@@ -1,0 +1,78 @@
+// Command snakesim runs one benchmark under one prefetching mechanism and
+// prints the resulting statistics.
+//
+// Usage:
+//
+//	snakesim -bench lps -pf snake
+//	snakesim -bench lib -pf baseline -sms 4 -warps 32 -ctas 48 -iters 12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snake/internal/config"
+	"snake/internal/harness"
+	"snake/internal/sim"
+	"snake/internal/workloads"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "lps", "benchmark name (see -list)")
+		pf    = flag.String("pf", "baseline", "prefetching mechanism (see -list)")
+		sms   = flag.Int("sms", 4, "number of SMs")
+		warps = flag.Int("warps", 32, "warp slots per SM")
+		ctas  = flag.Int("ctas", 0, "CTA count (0: default scale)")
+		wpc   = flag.Int("wpc", 0, "warps per CTA (0: default scale)")
+		iters = flag.Int("iters", 0, "loop-depth multiplier (0: default scale)")
+		list  = flag.Bool("list", false, "list benchmarks and mechanisms")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks:", workloads.Names())
+		fmt.Println("mechanisms:", harness.MechanismNames())
+		return
+	}
+
+	sc := workloads.Scale{CTAs: *ctas, WarpsPerCTA: *wpc, Iters: *iters}
+	k, err := workloads.Build(*bench, sc)
+	if err != nil {
+		fatal(err)
+	}
+	factory, err := harness.Mechanism(*pf)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := sim.Run(k, sim.Options{
+		Config:        config.Scaled(*sms, *warps),
+		NewPrefetcher: factory,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	s := &res.Stats
+	fmt.Printf("benchmark        %s\n", k.Name)
+	fmt.Printf("mechanism        %s\n", *pf)
+	fmt.Printf("cycles           %d\n", s.Cycles)
+	fmt.Printf("instructions     %d\n", s.Insts)
+	fmt.Printf("loads            %d\n", s.Loads)
+	fmt.Printf("IPC              %.4f\n", s.IPC())
+	fmt.Printf("L1 hit rate      %.1f%%\n", 100*s.L1HitRate())
+	fmt.Printf("resv-fail rate   %.1f%%\n", 100*s.ReservationFailRate())
+	fmt.Printf("bw utilization   %.1f%%\n", 100*s.BandwidthUtilization())
+	fmt.Printf("mem-stall frac   %.1f%%\n", 100*s.MemStallFraction())
+	fmt.Printf("coverage         %.1f%%\n", 100*s.Coverage())
+	fmt.Printf("accuracy         %.1f%%\n", 100*s.Accuracy())
+	fmt.Printf("pf issued        %d (useful %d, late %d, early-evicted %d, unused %d, dropped %d)\n",
+		s.Pf.Issued, s.Pf.UsefulTimely, s.Pf.UsefulLate, s.Pf.EarlyEvicted, s.Pf.Unused, s.Pf.Dropped)
+	fmt.Printf("dram reads       %d (row hits %d, row misses %d)\n", s.DRAMReads, s.DRAMRowHits, s.DRAMRowMisses)
+	fmt.Printf("resfail causes   missq=%d mshr=%d victim=%d\n", s.ResFailMissQueue, s.ResFailMSHR, s.ResFailVictim)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "snakesim:", err)
+	os.Exit(1)
+}

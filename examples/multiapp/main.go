@@ -1,0 +1,63 @@
+// Multiapp: the paper's §1 extension — "it can be extended to support
+// multiple applications where the chains of strides are detected within
+// each application". Two different kernels run back to back on one GPU;
+// the example compares carrying Snake's tables across the boundary against
+// resetting them per application, and shows a warm relaunch of the same
+// kernel.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"snake/internal/config"
+	"snake/internal/core"
+	"snake/internal/prefetch"
+	"snake/internal/sim"
+	"snake/internal/trace"
+	"snake/internal/workloads"
+)
+
+func main() {
+	cfg := config.Scaled(4, 64)
+	sc := workloads.DefaultScale()
+	lps, err := workloads.Build("lps", sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hotspot, err := workloads.Build("hotspot", sc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	seq := []*trace.Kernel{lps, hotspot, lps}
+
+	run := func(reset bool) *sim.SequenceResult {
+		res, err := sim.RunSequence(seq, sim.SequenceOptions{
+			Options: sim.Options{
+				Config:        cfg,
+				NewPrefetcher: func(int) prefetch.Prefetcher { return core.NewSnake() },
+			},
+			ResetPrefetchers: reset,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	carry := run(false)
+	scoped := run(true)
+
+	fmt.Println("kernel sequence: lps -> hotspot -> lps (Snake prefetching)")
+	fmt.Printf("\n%-12s %18s %18s\n", "kernel", "tables carried", "tables per-app")
+	for i := range seq {
+		fmt.Printf("%-12s %12d cyc %14d cyc\n",
+			carry.Spans[i].Name, carry.Spans[i].Cycles(), scoped.Spans[i].Cycles())
+	}
+	fmt.Printf("%-12s %12d cyc %14d cyc\n", "total", carry.Stats.Cycles, scoped.Stats.Cycles)
+	fmt.Printf("\ncoverage: carried %.1f%%, per-app %.1f%%\n",
+		100*carry.Stats.Coverage(), 100*scoped.Stats.Coverage())
+	fmt.Println("\nscoping detection per application (the paper's suggestion) avoids")
+	fmt.Println("cross-application chain pollution at a small relearning cost on")
+	fmt.Println("relaunches of the same kernel.")
+}

@@ -1,0 +1,52 @@
+// Quickstart: build a kernel, run it on the simulated GPU with and without
+// Snake, and print the headline numbers — the minimal end-to-end use of the
+// library's public surface (workloads -> sim -> stats, with a prefetcher
+// from core).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"snake/internal/config"
+	"snake/internal/core"
+	"snake/internal/prefetch"
+	"snake/internal/sim"
+	"snake/internal/workloads"
+)
+
+func main() {
+	// A scaled GPU: 4 SMs x 64 warps, Table 1 per-SM structures.
+	cfg := config.Scaled(4, 64)
+
+	// The LPS stencil from the paper's Figure 7 — the canonical chain
+	// workload.
+	kernel, err := workloads.Build("lps", workloads.DefaultScale())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	baseline, err := sim.Run(kernel, sim.Options{Config: cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	snake, err := sim.Run(kernel, sim.Options{
+		Config:        cfg,
+		NewPrefetcher: func(int) prefetch.Prefetcher { return core.NewSnake() },
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	b, s := &baseline.Stats, &snake.Stats
+	fmt.Printf("kernel: %s (%d instructions, %d loads)\n\n", kernel.Name, b.Insts, b.Loads)
+	fmt.Printf("%-22s %12s %12s\n", "", "baseline", "snake")
+	fmt.Printf("%-22s %12d %12d\n", "cycles", b.Cycles, s.Cycles)
+	fmt.Printf("%-22s %12.3f %12.3f\n", "IPC", b.IPC(), s.IPC())
+	fmt.Printf("%-22s %11.1f%% %11.1f%%\n", "L1 hit rate", 100*b.L1HitRate(), 100*s.L1HitRate())
+	fmt.Printf("%-22s %11.1f%% %11.1f%%\n", "memory-stall fraction", 100*b.MemStallFraction(), 100*s.MemStallFraction())
+	fmt.Printf("%-22s %12s %11.1f%%\n", "prefetch coverage", "-", 100*s.Coverage())
+	fmt.Printf("%-22s %12s %11.1f%%\n", "prefetch accuracy", "-", 100*s.Accuracy())
+	fmt.Printf("\nspeedup: %.2fx\n", s.IPC()/b.IPC())
+}

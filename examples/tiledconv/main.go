@@ -1,0 +1,50 @@
+// Tiledconv: the §3.5/§5.6 study — how Snake interacts with software tiling.
+// It sweeps the tile size from 0% (no tiling) to 100% of the unified cache
+// and reports IPC and energy for Tiled vs Snake+Tiled, reproducing the shape
+// of the paper's Figure 24 (best at 75%, Snake amplifying the tiling gains
+// except at 100% where it is permanently throttled).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"snake/internal/config"
+	"snake/internal/core"
+	"snake/internal/energy"
+	"snake/internal/prefetch"
+	"snake/internal/sim"
+	"snake/internal/workloads"
+)
+
+func main() {
+	cfg := config.Scaled(4, 64)
+	model := energy.Default()
+	sc := workloads.DefaultScale()
+
+	run := func(frac float64, snake bool) (ipc, joules float64) {
+		k := workloads.TiledConv(sc, frac, cfg.DataCacheBytes())
+		opt := sim.Options{Config: cfg}
+		if snake {
+			opt.NewPrefetcher = func(int) prefetch.Prefetcher { return core.NewSnake() }
+		}
+		res, err := sim.Run(k, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Stats.IPC(), model.Estimate(&res.Stats, cfg, snake).Total()
+	}
+
+	baseIPC, baseJ := run(0, false)
+	fmt.Println("tiled convolution, normalized to the untiled baseline:")
+	fmt.Printf("%-8s %16s %16s\n", "tile", "tiled", "snake+tiled")
+	fmt.Printf("%-8s %8s %7s %8s %7s\n", "", "ipc", "energy", "ipc", "energy")
+	for _, frac := range []float64{0.25, 0.50, 0.75, 1.00} {
+		ti, tj := run(frac, false)
+		si, sj := run(frac, true)
+		fmt.Printf("%-7.0f%% %8.3f %7.3f %8.3f %7.3f\n",
+			frac*100, ti/baseIPC, tj/baseJ, si/baseIPC, sj/baseJ)
+	}
+	fmt.Println("\npaper (fig 24): gains peak at the 75% tile; Snake amplifies tiling")
+	fmt.Println("except at 100%, where the prefetcher stays throttled for space.")
+}

@@ -1,0 +1,3 @@
+module snake
+
+go 1.22

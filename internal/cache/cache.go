@@ -1,0 +1,327 @@
+// Package cache implements the on-chip cache substrate: a set-associative
+// cache with LRU replacement, an MSHR file with merge capability, a miss
+// queue, and the L1 controller used by the simulator.
+//
+// The L1 controller supports Snake's decoupled unified-cache organization
+// (§3.2 of the paper): prefetched lines and demand (L1 data) lines share the
+// unified storage but are distinguished by a per-line flag, each side may
+// grow until the space is full, demand hits on prefetched lines "transfer"
+// the line by flipping the flag, and eviction between the two classes follows
+// the paper's 80%-transferred heuristic.
+package cache
+
+import (
+	"fmt"
+
+	"snake/internal/config"
+)
+
+// Class tags the owner of a cache line in the decoupled organization.
+type Class uint8
+
+// Line classes.
+const (
+	ClassData     Class = iota // normal L1 data
+	ClassPrefetch              // line brought in by the prefetcher
+)
+
+// line is one cache line's metadata.
+type line struct {
+	tag      uint64
+	valid    bool
+	reserved bool // fill in flight
+	class    Class
+	lastUse  int64
+	fillAt   int64 // cycle the line became valid
+	touched  bool  // demanded at least once since fill (for useful-prefetch accounting)
+}
+
+// Cache is a set-associative cache with per-line class flags.
+type Cache struct {
+	geom     config.CacheGeom
+	sets     [][]line
+	setShift uint
+	setBits  uint
+	setMask  uint64
+
+	// Occupancy counters for the decoupling policy.
+	nData     int
+	nPrefetch int
+	nReserved int
+}
+
+// New builds a cache from the geometry. It panics on invalid geometry; use
+// geom.Validate beforehand for recoverable checking.
+func New(geom config.CacheGeom) *Cache {
+	if err := geom.Validate(); err != nil {
+		panic(fmt.Sprintf("cache: %v", err))
+	}
+	nsets := geom.Sets()
+	if nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d is not a power of two", nsets))
+	}
+	ls := geom.LineSize
+	if ls&(ls-1) != 0 {
+		panic(fmt.Sprintf("cache: line size %d is not a power of two", ls))
+	}
+	shift := uint(0)
+	for 1<<shift < ls {
+		shift++
+	}
+	c := &Cache{
+		geom:     geom,
+		sets:     make([][]line, nsets),
+		setShift: shift,
+		setBits:  uint(len2(nsets)),
+		setMask:  uint64(nsets - 1),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]line, geom.Ways)
+	}
+	return c
+}
+
+// LineAddr returns addr truncated to its cache-line base address.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr &^ (uint64(c.geom.LineSize) - 1)
+}
+
+// Geom returns the cache geometry.
+func (c *Cache) Geom() config.CacheGeom { return c.geom }
+
+// Lines returns the total number of lines in the cache.
+func (c *Cache) Lines() int { return c.geom.Lines() }
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	la := addr >> c.setShift
+	return int(la & c.setMask), la >> c.setBits
+}
+
+// addrOf reconstructs a line base address from a set index and tag.
+func (c *Cache) addrOf(set int, tag uint64) uint64 {
+	return (tag<<c.setBits | uint64(set)) << c.setShift
+}
+
+// len2 returns log2(n) for power-of-two n.
+func len2(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}
+
+// lookup finds the way holding addr, or -1.
+func (c *Cache) lookup(addr uint64) (set, way int) {
+	s, tag := c.index(addr)
+	for w := range c.sets[s] {
+		ln := &c.sets[s][w]
+		if (ln.valid || ln.reserved) && ln.tag == tag {
+			return s, w
+		}
+	}
+	return s, -1
+}
+
+// ProbeResult describes the state of a looked-up line.
+type ProbeResult struct {
+	Present  bool  // valid data in the cache
+	Reserved bool  // fill in flight
+	Class    Class // meaningful when Present
+	Touched  bool
+}
+
+// Probe looks up addr without changing replacement state.
+func (c *Cache) Probe(addr uint64) ProbeResult {
+	s, w := c.lookup(addr)
+	if w < 0 {
+		return ProbeResult{}
+	}
+	ln := &c.sets[s][w]
+	return ProbeResult{Present: ln.valid, Reserved: ln.reserved, Class: ln.class, Touched: ln.touched}
+}
+
+// Touch performs a demand hit on addr: updates LRU and marks touched. If the
+// line is in the prefetch class, it is transferred to the data class (the
+// flag flip of §3.2) and transferred=true is returned. ok is false when the
+// line is not present.
+func (c *Cache) Touch(addr uint64, cycle int64) (transferred, wasPrefetch, ok bool) {
+	s, w := c.lookup(addr)
+	if w < 0 || !c.sets[s][w].valid {
+		return false, false, false
+	}
+	ln := &c.sets[s][w]
+	ln.lastUse = cycle
+	ln.touched = true
+	if ln.class == ClassPrefetch {
+		ln.class = ClassData
+		c.nPrefetch--
+		c.nData++
+		return true, true, true
+	}
+	return false, false, true
+}
+
+// Occupancy returns the current line counts by state.
+func (c *Cache) Occupancy() (data, prefetch, reserved, free int) {
+	total := c.Lines()
+	return c.nData, c.nPrefetch, c.nReserved, total - c.nData - c.nPrefetch - c.nReserved
+}
+
+// Reserve claims a line for an in-flight fill of addr with the given class.
+// A victim is chosen inside addr's set:
+//
+//  1. an invalid, unreserved way if one exists;
+//  2. otherwise the LRU valid way permitted by the victim filter;
+//  3. if every way is reserved (or the filter rejects all), reservation
+//     fails and ok=false is returned.
+//
+// evictedPrefetchUnused reports that the victim was an untouched prefetch
+// line (early eviction, for accuracy accounting).
+func (c *Cache) Reserve(addr uint64, class Class, cycle int64, filter VictimFilter) (evicted EvictInfo, ok bool) {
+	s, tag := c.index(addr)
+	set := c.sets[s]
+	// Already present or reserved? Caller should have probed; treat as failure.
+	for w := range set {
+		if (set[w].valid || set[w].reserved) && set[w].tag == tag {
+			return EvictInfo{}, false
+		}
+	}
+	// Invalid way first.
+	for w := range set {
+		if !set[w].valid && !set[w].reserved {
+			c.install(&set[w], tag, class)
+			return EvictInfo{}, true
+		}
+	}
+	// LRU among valid, unreserved, filter-permitted ways.
+	victim := -1
+	var oldest int64
+	for w := range set {
+		ln := &set[w]
+		if !ln.valid || ln.reserved {
+			continue
+		}
+		if filter != nil && !filter(ln.class, ln.touched) {
+			continue
+		}
+		if victim < 0 || ln.lastUse < oldest {
+			victim = w
+			oldest = ln.lastUse
+		}
+	}
+	if victim < 0 {
+		return EvictInfo{}, false
+	}
+	ev := c.evictAt(s, victim)
+	c.install(&set[victim], tag, class)
+	return ev, true
+}
+
+// EvictInfo describes an evicted line.
+type EvictInfo struct {
+	Valid    bool
+	Class    Class
+	Touched  bool
+	LineAddr uint64 // base address of the evicted line
+}
+
+func (c *Cache) install(ln *line, tag uint64, class Class) {
+	ln.tag = tag
+	ln.valid = false
+	ln.reserved = true
+	ln.class = class
+	ln.touched = false
+	c.nReserved++
+}
+
+func (c *Cache) evictAt(set, way int) EvictInfo {
+	ln := &c.sets[set][way]
+	ev := EvictInfo{Valid: true, Class: ln.class, Touched: ln.touched, LineAddr: c.addrOf(set, ln.tag)}
+	if ln.class == ClassPrefetch {
+		c.nPrefetch--
+	} else {
+		c.nData--
+	}
+	ln.valid = false
+	ln.reserved = false
+	return ev
+}
+
+// Fill completes an in-flight fill for addr. ok is false if no reservation
+// for addr exists (e.g. the reservation was squashed).
+func (c *Cache) Fill(addr uint64, cycle int64) bool {
+	s, w := c.lookup(addr)
+	if w < 0 {
+		return false
+	}
+	ln := &c.sets[s][w]
+	if !ln.reserved {
+		return false
+	}
+	ln.reserved = false
+	ln.valid = true
+	ln.lastUse = cycle
+	ln.fillAt = cycle
+	c.nReserved--
+	if ln.class == ClassPrefetch {
+		c.nPrefetch++
+	} else {
+		c.nData++
+	}
+	return true
+}
+
+// VictimFilter restricts which lines may be evicted; it receives the line's
+// class and whether it has been demand-touched.
+type VictimFilter func(class Class, touched bool) bool
+
+// EvictLRUOfClass evicts up to n valid lines of the given class, choosing
+// globally least-recently-used first. It returns per-line info for accounting
+// (used by the §3.2 "free up 25% of the unified cache" bulk eviction).
+func (c *Cache) EvictLRUOfClass(class Class, n int) []EvictInfo {
+	if n <= 0 {
+		return nil
+	}
+	type cand struct {
+		s, w    int
+		lastUse int64
+	}
+	var cands []cand
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			ln := &c.sets[s][w]
+			if ln.valid && !ln.reserved && ln.class == class {
+				cands = append(cands, cand{s, w, ln.lastUse})
+			}
+		}
+	}
+	// Partial selection sort for the n oldest (n is small relative to size).
+	if n > len(cands) {
+		n = len(cands)
+	}
+	for i := 0; i < n; i++ {
+		min := i
+		for j := i + 1; j < len(cands); j++ {
+			if cands[j].lastUse < cands[min].lastUse {
+				min = j
+			}
+		}
+		cands[i], cands[min] = cands[min], cands[i]
+	}
+	out := make([]EvictInfo, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, c.evictAt(cands[i].s, cands[i].w))
+	}
+	return out
+}
+
+// InvalidateAll clears the cache (used between kernels).
+func (c *Cache) InvalidateAll() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w] = line{}
+		}
+	}
+	c.nData, c.nPrefetch, c.nReserved = 0, 0, 0
+}

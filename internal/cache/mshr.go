@@ -1,0 +1,155 @@
+package cache
+
+// Special warp IDs for MSHR allocation.
+const (
+	// PrefetchWarp marks an allocation made by the prefetcher: no waiter,
+	// and the fill is tracked as a prefetch.
+	PrefetchWarp = -1
+	// NoWaiterWarp marks a demand allocation with no warp to wake — the
+	// secondary transactions of a divergent (uncoalesced) warp access.
+	NoWaiterWarp = -2
+)
+
+// MSHR is a miss status holding register file. Each in-flight line address
+// owns one entry; subsequent misses to the same line merge into that entry up
+// to the merge capability. When the file or an entry's merge slots are
+// exhausted, the access suffers a reservation fail.
+type MSHR struct {
+	entries  int
+	mergeCap int
+	inflight map[uint64]*mshrEntry
+}
+
+type mshrEntry struct {
+	merged       int   // accesses merged into this entry (including the first)
+	waiters      []int // warp IDs blocked on this line (-1 marks a prefetch)
+	prefetch     bool  // no demand merged yet (clears on demand merge)
+	origPrefetch bool  // the entry was allocated by a prefetch
+	issuedAt     int64
+}
+
+// NewMSHR builds an MSHR file with the given entry count and merge capacity.
+func NewMSHR(entries, mergeCap int) *MSHR {
+	return &MSHR{
+		entries:  entries,
+		mergeCap: mergeCap,
+		inflight: make(map[uint64]*mshrEntry, entries),
+	}
+}
+
+// MSHRResult is the outcome of an allocation attempt.
+type MSHRResult uint8
+
+// Allocation outcomes.
+const (
+	MSHRNew    MSHRResult = iota // new entry: a fill request must be sent
+	MSHRMerged                   // merged into an existing in-flight entry
+	MSHRFull                     // no entry or merge slot: reservation fail
+)
+
+// Allocate tries to register a miss on lineAddr for warp (warp<0 for a
+// prefetch).
+func (m *MSHR) Allocate(lineAddr uint64, warp int, cycle int64) MSHRResult {
+	if e, ok := m.inflight[lineAddr]; ok {
+		if e.merged >= m.mergeCap {
+			return MSHRFull
+		}
+		e.merged++
+		if warp >= 0 {
+			e.waiters = append(e.waiters, warp)
+			e.prefetch = false
+		}
+		return MSHRMerged
+	}
+	if len(m.inflight) >= m.entries {
+		return MSHRFull
+	}
+	e := &mshrEntry{merged: 1, issuedAt: cycle, prefetch: warp == PrefetchWarp, origPrefetch: warp == PrefetchWarp}
+	if warp >= 0 {
+		e.waiters = append(e.waiters, warp)
+	}
+	m.inflight[lineAddr] = e
+	return MSHRNew
+}
+
+// Lookup reports whether lineAddr has an in-flight entry and whether that
+// entry was allocated purely by a prefetch (no demand merged yet).
+func (m *MSHR) Lookup(lineAddr uint64) (inflight, prefetchOnly bool) {
+	e, ok := m.inflight[lineAddr]
+	if !ok {
+		return false, false
+	}
+	return true, e.prefetch
+}
+
+// Complete removes the entry for lineAddr and returns the warps waiting on
+// it, whether the entry has had no demand merged (prefetchOnly), and whether
+// it was originally allocated by a prefetch.
+func (m *MSHR) Complete(lineAddr uint64) (waiters []int, prefetchOnly, origPrefetch bool, ok bool) {
+	e, exists := m.inflight[lineAddr]
+	if !exists {
+		return nil, false, false, false
+	}
+	delete(m.inflight, lineAddr)
+	return e.waiters, e.prefetch, e.origPrefetch, true
+}
+
+// InFlight returns the number of occupied entries.
+func (m *MSHR) InFlight() int { return len(m.inflight) }
+
+// Free returns the number of free entries.
+func (m *MSHR) Free() int { return m.entries - len(m.inflight) }
+
+// MissQueue is the fixed-capacity queue of outgoing fill requests between the
+// L1 and the interconnect. Congestion here is the dominant cause of
+// reservation fails on recent GPU generations (§2 of the paper).
+type MissQueue struct {
+	cap   int
+	queue []MissRequest
+}
+
+// MissRequest is one outgoing fill request.
+type MissRequest struct {
+	LineAddr uint64
+	Prefetch bool
+	Cycle    int64
+}
+
+// NewMissQueue builds a miss queue with the given capacity.
+func NewMissQueue(capacity int) *MissQueue {
+	return &MissQueue{cap: capacity}
+}
+
+// Full reports whether the queue has no free slot.
+func (q *MissQueue) Full() bool { return len(q.queue) >= q.cap }
+
+// Len returns the current queue occupancy.
+func (q *MissQueue) Len() int { return len(q.queue) }
+
+// Push appends a request; it panics if the queue is full (callers must check
+// Full first — a full queue is a reservation fail, not a programming error).
+func (q *MissQueue) Push(r MissRequest) {
+	if q.Full() {
+		panic("cache: push to full miss queue")
+	}
+	q.queue = append(q.queue, r)
+}
+
+// Pop removes and returns the oldest request.
+func (q *MissQueue) Pop() (MissRequest, bool) {
+	if len(q.queue) == 0 {
+		return MissRequest{}, false
+	}
+	r := q.queue[0]
+	copy(q.queue, q.queue[1:])
+	q.queue = q.queue[:len(q.queue)-1]
+	return r, true
+}
+
+// Peek returns the oldest request without removing it.
+func (q *MissQueue) Peek() (MissRequest, bool) {
+	if len(q.queue) == 0 {
+		return MissRequest{}, false
+	}
+	return q.queue[0], true
+}

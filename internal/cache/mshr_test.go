@@ -1,0 +1,119 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMSHRAllocateMergeComplete(t *testing.T) {
+	m := NewMSHR(4, 3)
+	if r := m.Allocate(0x100, 7, 1); r != MSHRNew {
+		t.Fatalf("first Allocate = %v, want MSHRNew", r)
+	}
+	if r := m.Allocate(0x100, 8, 2); r != MSHRMerged {
+		t.Fatalf("second Allocate = %v, want MSHRMerged", r)
+	}
+	if r := m.Allocate(0x100, 9, 3); r != MSHRMerged {
+		t.Fatalf("third Allocate = %v, want MSHRMerged", r)
+	}
+	// Merge capability 3 reached.
+	if r := m.Allocate(0x100, 10, 4); r != MSHRFull {
+		t.Fatalf("fourth Allocate = %v, want MSHRFull", r)
+	}
+	waiters, prefetchOnly, orig, ok := m.Complete(0x100)
+	if !ok || prefetchOnly || orig {
+		t.Fatalf("Complete = (%v,%v,%v,%v)", waiters, prefetchOnly, orig, ok)
+	}
+	if len(waiters) != 3 || waiters[0] != 7 || waiters[1] != 8 || waiters[2] != 9 {
+		t.Errorf("waiters = %v", waiters)
+	}
+	if _, _, _, ok := m.Complete(0x100); ok {
+		t.Error("double Complete must fail")
+	}
+}
+
+func TestMSHREntryExhaustion(t *testing.T) {
+	m := NewMSHR(2, 8)
+	m.Allocate(0x100, 1, 1)
+	m.Allocate(0x200, 2, 1)
+	if r := m.Allocate(0x300, 3, 1); r != MSHRFull {
+		t.Errorf("Allocate with full file = %v, want MSHRFull", r)
+	}
+	if m.Free() != 0 || m.InFlight() != 2 {
+		t.Errorf("Free=%d InFlight=%d", m.Free(), m.InFlight())
+	}
+}
+
+func TestMSHRPrefetchFlagFlipsOnDemandMerge(t *testing.T) {
+	m := NewMSHR(4, 8)
+	m.Allocate(0x100, -1, 1) // prefetch
+	if inflight, pfOnly := m.Lookup(0x100); !inflight || !pfOnly {
+		t.Fatalf("Lookup = (%v,%v)", inflight, pfOnly)
+	}
+	m.Allocate(0x100, 5, 2) // demand merges
+	if _, pfOnly := m.Lookup(0x100); pfOnly {
+		t.Error("demand merge must clear the prefetch-only flag")
+	}
+	waiters, pfOnly, orig, _ := m.Complete(0x100)
+	if pfOnly || !orig {
+		t.Errorf("Complete: pfOnly=%v origPrefetch=%v, want false/true", pfOnly, orig)
+	}
+	if len(waiters) != 1 || waiters[0] != 5 {
+		t.Errorf("waiters = %v", waiters)
+	}
+}
+
+func TestMissQueueFIFO(t *testing.T) {
+	q := NewMissQueue(3)
+	for i := 0; i < 3; i++ {
+		q.Push(MissRequest{LineAddr: uint64(i)})
+	}
+	if !q.Full() {
+		t.Error("queue must be full")
+	}
+	for i := 0; i < 3; i++ {
+		r, ok := q.Pop()
+		if !ok || r.LineAddr != uint64(i) {
+			t.Errorf("Pop %d = (%v,%v)", i, r, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("Pop on empty queue must fail")
+	}
+}
+
+func TestMissQueuePushFullPanics(t *testing.T) {
+	q := NewMissQueue(1)
+	q.Push(MissRequest{})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic pushing to full queue")
+		}
+	}()
+	q.Push(MissRequest{})
+}
+
+func TestMSHRInvariant(t *testing.T) {
+	// Property: InFlight + Free == capacity, always.
+	f := func(ops []uint8) bool {
+		m := NewMSHR(8, 4)
+		live := map[uint64]bool{}
+		for i, op := range ops {
+			line := uint64(op%16) * 128
+			if op < 128 {
+				m.Allocate(line, int(op%32), int64(i))
+				live[line] = true
+			} else if live[line] {
+				m.Complete(line)
+				delete(live, line)
+			}
+			if m.InFlight()+m.Free() != 8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

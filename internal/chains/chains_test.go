@@ -1,0 +1,101 @@
+package chains
+
+import (
+	"testing"
+
+	"snake/internal/trace"
+	"snake/internal/workloads"
+)
+
+// chainKernel builds a kernel with a known chain structure: per warp,
+// iterations of loads at pc 0x10 and 0x18 with fixed delta 64 and a fixed
+// per-iteration step.
+func chainKernel(warps, iters int) *trace.Kernel {
+	k := &trace.Kernel{Name: "chain-test"}
+	cta := trace.CTA{ID: 0}
+	for w := 0; w < warps; w++ {
+		b := trace.NewBuilder()
+		p := uint64(0x10000 + w*0x10000)
+		for i := 0; i < iters; i++ {
+			b.Load(0x10, p, 4)
+			b.Load(0x18, p+64, 4)
+			p += 4096
+		}
+		wp := b.Exit(0x20)
+		wp.IDInCTA = w
+		cta.Warps = append(cta.Warps, wp)
+	}
+	k.CTAs = append(k.CTAs, cta)
+	return k
+}
+
+func TestAnalyzeDetectsChainPCs(t *testing.T) {
+	st := Analyze(chainKernel(4, 10))
+	if st.TotalPCs != 2 {
+		t.Fatalf("TotalPCs = %d, want 2", st.TotalPCs)
+	}
+	if st.ChainPCs != 2 {
+		t.Fatalf("ChainPCs = %d, want 2 (both PCs participate)", st.ChainPCs)
+	}
+	if st.PCFraction() != 1.0 {
+		t.Errorf("PCFraction = %v", st.PCFraction())
+	}
+}
+
+func TestMaxRepetitionCountsIterations(t *testing.T) {
+	st := Analyze(chainKernel(4, 10))
+	// The 0x10->0x18 (+64) link occurs once per iteration: 10 times.
+	if st.MaxRepetition != 10 {
+		t.Errorf("MaxRepetition = %d, want 10", st.MaxRepetition)
+	}
+}
+
+func TestDynamicCoverageHighForRegularChains(t *testing.T) {
+	st := Analyze(chainKernel(8, 20))
+	if st.ChainCoverage < 0.6 {
+		t.Errorf("ChainCoverage = %.2f, want high for a perfectly regular chain", st.ChainCoverage)
+	}
+	// Per-PC strides are fixed too, so MTA also covers here.
+	if st.MTACoverage < 0.5 {
+		t.Errorf("MTACoverage = %.2f", st.MTACoverage)
+	}
+}
+
+func TestRandomKernelHasNoChains(t *testing.T) {
+	k := workloads.RandomMicro(workloads.Tiny())
+	st := Analyze(k)
+	if st.ChainCoverage > 0.1 {
+		t.Errorf("ChainCoverage = %.2f on random addresses", st.ChainCoverage)
+	}
+	if st.MTACoverage > 0.1 {
+		t.Errorf("MTACoverage = %.2f on random addresses", st.MTACoverage)
+	}
+}
+
+func TestChainOnlyMicroSeparatesChainsFromMTA(t *testing.T) {
+	// ChainOnlyMicro has fixed within-iteration deltas but varying
+	// per-iteration steps: chains must beat MTA's fixed strides clearly.
+	k := workloads.ChainOnlyMicro(workloads.Scale{CTAs: 4, WarpsPerCTA: 4, Iters: 10})
+	st := Analyze(k)
+	if st.ChainCoverage < st.MTACoverage+0.2 {
+		t.Errorf("chains %.2f vs MTA %.2f: expected a clear chain advantage",
+			st.ChainCoverage, st.MTACoverage)
+	}
+}
+
+func TestLinksSortedByFrequency(t *testing.T) {
+	st := Analyze(chainKernel(2, 8))
+	for i := 1; i < len(st.Links); i++ {
+		if st.Links[i].Count > st.Links[i-1].Count {
+			t.Fatalf("links not sorted by count: %v", st.Links)
+		}
+	}
+}
+
+func TestEmptyKernel(t *testing.T) {
+	k := &trace.Kernel{Name: "empty"}
+	st := Analyze(k)
+	if st.TotalPCs != 0 || st.ChainCoverage != 0 {
+		t.Errorf("empty kernel stats: %+v", st)
+	}
+}

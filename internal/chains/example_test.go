@@ -1,0 +1,35 @@
+package chains_test
+
+import (
+	"fmt"
+
+	"snake/internal/chains"
+	"snake/internal/trace"
+)
+
+// Example mines a small warp trace whose two load PCs form a chain with a
+// fixed 64-byte inter-thread stride.
+func Example() {
+	var cta trace.CTA
+	for w := 0; w < 4; w++ {
+		b := trace.NewBuilder()
+		p := uint64(0x1000_0000 + w*0x8000)
+		for i := 0; i < 6; i++ {
+			b.Load(0x10, p, 4)
+			b.Load(0x18, p+64, 4) // the chain link: always +64
+			p += 4096
+		}
+		wp := b.Exit(0x20)
+		wp.IDInCTA = w
+		cta.Warps = append(cta.Warps, wp)
+	}
+	k := &trace.Kernel{Name: "example", CTAs: []trace.CTA{cta}}
+
+	st := chains.Analyze(k)
+	fmt.Printf("%d of %d load PCs participate in chains\n", st.ChainPCs, st.TotalPCs)
+	fmt.Printf("strongest link: %#x -> %#x stride %+d (x%d)\n",
+		st.Links[0].PC1, st.Links[0].PC2, st.Links[0].Delta, st.Links[0].Count)
+	// Output:
+	// 2 of 2 load PCs participate in chains
+	// strongest link: 0x10 -> 0x18 stride +64 (x6)
+}

@@ -1,0 +1,233 @@
+// Package config holds the GPU configuration used by the simulator.
+//
+// The default configuration models the NVIDIA Volta V100 parameters from
+// Table 1 of the Snake paper (MICRO '23). Experiments typically run a scaled
+// configuration (fewer SMs, shorter kernels) produced by Scaled, which keeps
+// all per-SM structure sizes intact so prefetcher behaviour is unchanged.
+package config
+
+import (
+	"errors"
+	"fmt"
+)
+
+// DRAMTiming holds DRAM timing parameters in memory-clock cycles
+// (Table 1 lists them in ns; we interpret them as controller cycles).
+type DRAMTiming struct {
+	TCCD  int // column-to-column delay
+	TRRD  int // row-to-row activate delay (different banks)
+	TRCD  int // row-to-column delay (activate to read)
+	TRAS  int // row active time
+	TRP   int // row precharge time
+	TRC   int // row cycle time (activate to activate, same bank)
+	TCL   int // CAS latency
+	TWL   int // write latency
+	TCDLR int // read-to-write turnaround
+	TWR   int // write recovery
+	TCCDL int // long column-to-column delay (same bank group)
+	TRTPL int // read-to-precharge (long)
+}
+
+// DefaultDRAMTiming returns the Table 1 DRAM parameters.
+func DefaultDRAMTiming() DRAMTiming {
+	return DRAMTiming{
+		TCCD: 1, TRRD: 3, TRCD: 12, TRAS: 28, TRP: 12, TRC: 40,
+		TCL: 12, TWL: 2, TCDLR: 3, TWR: 10, TCCDL: 2, TRTPL: 3,
+	}
+}
+
+// CacheGeom describes a set-associative cache.
+type CacheGeom struct {
+	SizeBytes int
+	Ways      int
+	LineSize  int
+	Banks     int
+	Latency   int // access (hit) latency in core cycles
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (g CacheGeom) Sets() int {
+	lines := g.SizeBytes / g.LineSize
+	if g.Ways <= 0 {
+		return lines
+	}
+	s := lines / g.Ways
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// Lines returns the total number of cache lines.
+func (g CacheGeom) Lines() int { return g.SizeBytes / g.LineSize }
+
+// Validate checks internal consistency of the geometry.
+func (g CacheGeom) Validate() error {
+	switch {
+	case g.SizeBytes <= 0:
+		return errors.New("cache size must be positive")
+	case g.LineSize <= 0:
+		return errors.New("line size must be positive")
+	case g.SizeBytes%g.LineSize != 0:
+		return fmt.Errorf("cache size %d not a multiple of line size %d", g.SizeBytes, g.LineSize)
+	case g.Ways <= 0:
+		return errors.New("associativity must be positive")
+	case g.Lines()%g.Ways != 0:
+		return fmt.Errorf("line count %d not a multiple of ways %d", g.Lines(), g.Ways)
+	}
+	return nil
+}
+
+// SchedulerPolicy selects the warp scheduling policy.
+type SchedulerPolicy string
+
+// Supported scheduler policies.
+const (
+	SchedGTO    SchedulerPolicy = "gto" // Greedy-Then-Oldest (Table 1 default)
+	SchedLRR    SchedulerPolicy = "lrr" // loose round-robin
+	SchedOldest SchedulerPolicy = "oldest"
+)
+
+// GPU is the full simulator configuration.
+type GPU struct {
+	// Core organization.
+	NumSM           int
+	CoreClockMHz    int
+	SchedulersPerSM int
+	ThreadsPerSM    int
+	WarpSize        int
+	RegFilePerSM    int
+	Scheduler       SchedulerPolicy
+
+	// Unified L1 data cache / shared memory (per SM).
+	Unified      CacheGeom
+	SharedMemPer int // bytes of the unified space carved out as shared memory
+
+	// MSHR file (per SM L1).
+	MSHREntries   int
+	MSHRMergeCap  int
+	MissQueueSize int
+
+	// Interconnect between L1s and L2 banks.
+	IcntBytesPerCycle int // peak bytes per core cycle per SM port
+	IcntLatency       int // base one-way latency in cycles
+
+	// L2 (per sub-partition; the simulator instantiates L2Partitions of them).
+	L2            CacheGeom
+	L2Partitions  int
+	DRAM          DRAMTiming
+	DRAMBanks     int
+	DRAMRowBytes  int
+	DRAMClockxfer int // core cycles per DRAM data transfer
+
+	// Limits.
+	MaxCTAsPerSM  int
+	MaxWarpsPerSM int
+}
+
+// Default returns the Table 1 V100-like configuration.
+func Default() GPU {
+	return GPU{
+		NumSM:           80,
+		CoreClockMHz:    1530,
+		SchedulersPerSM: 4,
+		ThreadsPerSM:    2048,
+		WarpSize:        32,
+		RegFilePerSM:    65536,
+		Scheduler:       SchedGTO,
+		Unified: CacheGeom{
+			SizeBytes: 128 * 1024,
+			Ways:      256,
+			LineSize:  128,
+			Banks:     4,
+			Latency:   28,
+		},
+		SharedMemPer:      0,
+		MSHREntries:       512,
+		MSHRMergeCap:      8,
+		MissQueueSize:     8,
+		IcntBytesPerCycle: 128,
+		IcntLatency:       100,
+		L2: CacheGeom{
+			SizeBytes: 96 * 1024,
+			Ways:      24,
+			LineSize:  128,
+			Banks:     64,
+			Latency:   212 - 100, // Table 1's 212 cycles include the interconnect round trip
+		},
+		L2Partitions:  32,
+		DRAM:          DefaultDRAMTiming(),
+		DRAMBanks:     16,
+		DRAMRowBytes:  2048,
+		DRAMClockxfer: 2,
+		MaxCTAsPerSM:  32,
+		MaxWarpsPerSM: 64,
+	}
+}
+
+// Scaled returns a configuration suitable for fast experiments: numSM SMs and
+// warpsPerSM warps per SM, with per-SM cache/MSHR structures untouched except
+// that the L2 is consolidated into a small number of partitions. Prefetcher
+// state is per-SM, so the scaling does not change relative prefetcher
+// behaviour.
+func Scaled(numSM, warpsPerSM int) GPU {
+	g := Default()
+	g.NumSM = numSM
+	g.MaxWarpsPerSM = warpsPerSM
+	g.ThreadsPerSM = warpsPerSM * g.WarpSize
+	// Kernels carve shared memory out of the unified 128KB (§3.2); the
+	// remainder is what the prefetch space and L1 data space share.
+	g.SharedMemPer = 64 * 1024
+	g.L2Partitions = 8
+	g.L2.SizeBytes = 512 * 1024 / g.L2Partitions
+	g.L2.Ways = 16
+	return g
+}
+
+// Validate checks the whole configuration for consistency.
+func (g GPU) Validate() error {
+	if g.NumSM <= 0 {
+		return errors.New("config: NumSM must be positive")
+	}
+	if g.SchedulersPerSM <= 0 {
+		return errors.New("config: SchedulersPerSM must be positive")
+	}
+	if g.WarpSize <= 0 {
+		return errors.New("config: WarpSize must be positive")
+	}
+	if g.MaxWarpsPerSM <= 0 {
+		return errors.New("config: MaxWarpsPerSM must be positive")
+	}
+	if g.SharedMemPer < 0 || g.SharedMemPer >= g.Unified.SizeBytes {
+		return fmt.Errorf("config: SharedMemPer %d must be in [0, unified size)", g.SharedMemPer)
+	}
+	if g.MSHREntries <= 0 || g.MSHRMergeCap <= 0 {
+		return errors.New("config: MSHR entries and merge capability must be positive")
+	}
+	if g.MissQueueSize <= 0 {
+		return errors.New("config: MissQueueSize must be positive")
+	}
+	if g.IcntBytesPerCycle <= 0 {
+		return errors.New("config: IcntBytesPerCycle must be positive")
+	}
+	if g.L2Partitions <= 0 {
+		return errors.New("config: L2Partitions must be positive")
+	}
+	if g.DRAMBanks <= 0 {
+		return errors.New("config: DRAMBanks must be positive")
+	}
+	if err := g.Unified.Validate(); err != nil {
+		return fmt.Errorf("config: unified cache: %w", err)
+	}
+	if err := g.L2.Validate(); err != nil {
+		return fmt.Errorf("config: L2 cache: %w", err)
+	}
+	return nil
+}
+
+// DataCacheBytes returns the unified-cache space left after the shared-memory
+// carve-out; this is the space split between L1 data and prefetch storage.
+func (g GPU) DataCacheBytes() int { return g.Unified.SizeBytes - g.SharedMemPer }
+
+// DataCacheLines returns DataCacheBytes in cache lines.
+func (g GPU) DataCacheLines() int { return g.DataCacheBytes() / g.Unified.LineSize }

@@ -1,0 +1,108 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("Default() invalid: %v", err)
+	}
+}
+
+func TestScaledValidates(t *testing.T) {
+	for _, tc := range []struct{ sms, warps int }{{1, 8}, {4, 32}, {4, 64}, {8, 64}} {
+		g := Scaled(tc.sms, tc.warps)
+		if err := g.Validate(); err != nil {
+			t.Errorf("Scaled(%d,%d) invalid: %v", tc.sms, tc.warps, err)
+		}
+		if g.NumSM != tc.sms {
+			t.Errorf("Scaled(%d,%d).NumSM = %d", tc.sms, tc.warps, g.NumSM)
+		}
+		if g.MaxWarpsPerSM != tc.warps {
+			t.Errorf("Scaled(%d,%d).MaxWarpsPerSM = %d", tc.sms, tc.warps, g.MaxWarpsPerSM)
+		}
+		if g.ThreadsPerSM != tc.warps*g.WarpSize {
+			t.Errorf("ThreadsPerSM = %d, want %d", g.ThreadsPerSM, tc.warps*g.WarpSize)
+		}
+	}
+}
+
+func TestCacheGeomSets(t *testing.T) {
+	g := CacheGeom{SizeBytes: 128 * 1024, Ways: 256, LineSize: 128}
+	if got := g.Lines(); got != 1024 {
+		t.Errorf("Lines() = %d, want 1024", got)
+	}
+	if got := g.Sets(); got != 4 {
+		t.Errorf("Sets() = %d, want 4", got)
+	}
+}
+
+func TestCacheGeomValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		g    CacheGeom
+		want string
+	}{
+		{"zero size", CacheGeom{LineSize: 128, Ways: 4}, "size"},
+		{"zero line", CacheGeom{SizeBytes: 1024, Ways: 4}, "line"},
+		{"size not multiple", CacheGeom{SizeBytes: 1000, LineSize: 128, Ways: 2}, "multiple"},
+		{"zero ways", CacheGeom{SizeBytes: 1024, LineSize: 128}, "associativity"},
+		{"lines not multiple of ways", CacheGeom{SizeBytes: 1280, LineSize: 128, Ways: 3}, "multiple"},
+	}
+	for _, tc := range cases {
+		err := tc.g.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestGPUValidateRejects(t *testing.T) {
+	mutate := []struct {
+		name string
+		f    func(*GPU)
+	}{
+		{"no SMs", func(g *GPU) { g.NumSM = 0 }},
+		{"no schedulers", func(g *GPU) { g.SchedulersPerSM = 0 }},
+		{"no warps", func(g *GPU) { g.MaxWarpsPerSM = 0 }},
+		{"shared too big", func(g *GPU) { g.SharedMemPer = g.Unified.SizeBytes }},
+		{"no MSHR", func(g *GPU) { g.MSHREntries = 0 }},
+		{"no miss queue", func(g *GPU) { g.MissQueueSize = 0 }},
+		{"no icnt", func(g *GPU) { g.IcntBytesPerCycle = 0 }},
+		{"no partitions", func(g *GPU) { g.L2Partitions = 0 }},
+		{"no banks", func(g *GPU) { g.DRAMBanks = 0 }},
+		{"bad unified", func(g *GPU) { g.Unified.Ways = 0 }},
+	}
+	for _, m := range mutate {
+		g := Default()
+		m.f(&g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", m.name)
+		}
+	}
+}
+
+func TestDataCacheBytes(t *testing.T) {
+	g := Default()
+	g.SharedMemPer = 32 * 1024
+	if got := g.DataCacheBytes(); got != 96*1024 {
+		t.Errorf("DataCacheBytes = %d, want %d", got, 96*1024)
+	}
+	if got := g.DataCacheLines(); got != 96*1024/128 {
+		t.Errorf("DataCacheLines = %d, want %d", got, 96*1024/128)
+	}
+}
+
+func TestDRAMTimingDefaults(t *testing.T) {
+	d := DefaultDRAMTiming()
+	// Spot-check against Table 1.
+	if d.TRCD != 12 || d.TRAS != 28 || d.TRP != 12 || d.TRC != 40 || d.TCL != 12 {
+		t.Errorf("DRAM timing mismatch with Table 1: %+v", d)
+	}
+}

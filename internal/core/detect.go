@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/bits"
+
+	"snake/internal/prefetch"
+)
+
+// maxChainWalk bounds chain traversals (the Tail table has ~10 entries, so
+// loops longer than the table cannot be represented anyway).
+const maxChainWalk = 8
+
+// detect is the §3.1 detection step: update the Head table, and on a Head
+// update send the (warp, PC1, PC2, stride) tuple to the Tail table, creating
+// or matching entries per conditions ❶–❹ of Figure 12, then run the
+// intra-warp and inter-warp training.
+func (s *Snake) detect(ev prefetch.AccessEvent) {
+	tp, ok := s.head.update(ev.WarpID, ev.PC, ev.Addr)
+	if !ok {
+		return
+	}
+	bit := uint64(1) << uint(tp.warpID%64)
+
+	// Prefetching-step consistency check (§3.2): a warp whose observed
+	// (PC2, stride) diverges from an entry it had confirmed is removed from
+	// that entry's warp vector; the entry demotes when its support drops.
+	for i := range s.tail.entries {
+		e := &s.tail.entries[i]
+		if !e.valid || e.pc1 != tp.pc1 || e.warpVec&bit == 0 {
+			continue
+		}
+		if e.pc2 != tp.pc2 || e.interThread != tp.stride {
+			e.warpVec &^= bit
+			if e.popcount() < s.cfg.PromoteWarps {
+				e.t1 = trainNone
+			}
+		}
+	}
+
+	// Match or create the (PC1, PC2, stride) entry.
+	e := s.tail.find(tp.pc1, tp.pc2, tp.stride)
+	wasSet := false
+	if e == nil {
+		e = s.tail.allocate()
+		*e = tailEntry{valid: true, pc1: tp.pc1, pc2: tp.pc2, interThread: tp.stride}
+	} else {
+		wasSet = e.warpVec&bit != 0
+	}
+	e.warpVec |= bit
+	s.tail.touch(e)
+
+	// T1 training: promotion once PromoteWarps distinct warps agree;
+	// trained once a promoted stride repeats (§3.2).
+	if e.t1 == trainNone && e.popcount() >= s.cfg.PromoteWarps {
+		e.t1 = trainPromoted
+		s.trained = true
+	} else if e.t1 == trainPromoted && wasSet {
+		e.t1 = trainTrained
+	}
+
+	if !s.cfg.ChainsOnly {
+		s.trainInterWarp(e, tp)
+		s.trainIntraWarp(tp, bit)
+	}
+}
+
+// trainInterWarp updates the inter-warp stride of PC1's entry from
+// consecutive executions of the same PC by different warps. The stride is
+// recorded only once it has been detected in at least PromoteWarps warps.
+func (s *Snake) trainInterWarp(e *tailEntry, tp tuple) {
+	if e.iwHasLast && e.iwLastWarp != tp.warpID {
+		dw := tp.warpID - e.iwLastWarp
+		num := int64(tp.addr1) - int64(e.iwLastAddr)
+		if int64(dw) != 0 && num%int64(dw) == 0 {
+			stride := num / int64(dw)
+			if stride != 0 && stride == e.iwCand {
+				e.iwSeen++
+				// iwSeen counts warp-to-warp transitions; PromoteWarps warps
+				// give PromoteWarps-1 transitions.
+				if e.iwSeen >= s.cfg.PromoteWarps-1 {
+					if !e.iwValid {
+						e.bulkPending = true
+					}
+					e.interWarp = stride
+					e.iwValid = true
+				}
+			} else {
+				e.iwCand = stride
+				e.iwSeen = 1
+				e.iwValid = false
+			}
+		}
+	}
+	e.iwLastAddr = tp.addr1
+	e.iwLastWarp = tp.warpID
+	e.iwHasLast = true
+}
+
+// trainIntraWarp handles the two re-execution cases of §3.1.
+func (s *Snake) trainIntraWarp(tp tuple, bit uint64) {
+	// Case 1: the same PC_ld re-executed consecutively: the tuple's stride
+	// is directly the intra-warp stride of that PC.
+	if tp.pc1 == tp.pc2 {
+		if e := s.tail.findAnyPC1(tp.pc1); e != nil {
+			s.confirmIntra(e, tp.stride, bit)
+		}
+		return
+	}
+	// Case 2: the warp re-executes PC2 after other PCs (a loop): accumulate
+	// the inter-thread strides around the chain that starts and ends at PC2
+	// among entries whose warp bit is set; the loop displacement is the
+	// intra-warp stride.
+	start := s.tail.findByPC1(tp.pc2, tp.warpID)
+	if start == nil || start.warpVec&bit == 0 {
+		return
+	}
+	total := int64(0)
+	e := start
+	for hop := 0; hop < maxChainWalk; hop++ {
+		total += e.interThread
+		if e.pc2 == tp.pc2 {
+			// Chain closed: total is PC2's per-iteration displacement.
+			s.confirmIntra(start, total, bit)
+			return
+		}
+		next := s.tail.findByPC1(e.pc2, tp.warpID)
+		if next == nil || next.warpVec&bit == 0 {
+			return
+		}
+		e = next
+	}
+}
+
+// confirmIntra applies the three-warp confirmation rule to an intra-warp
+// stride candidate (§3.4: "Upon establishing consistency of intra-warp
+// stride in three distinct warps, Snake proceeds to update T2").
+func (s *Snake) confirmIntra(e *tailEntry, stride int64, bit uint64) {
+	if stride == 0 {
+		return
+	}
+	if stride == e.intraCand {
+		e.intraWarpVec |= bit
+		if bits.OnesCount64(e.intraWarpVec) >= s.cfg.PromoteWarps {
+			e.intraStride = stride
+			if e.t2 == trainNone {
+				e.t2 = trainPromoted
+				s.trained = true
+			} else if e.t2 == trainPromoted {
+				e.t2 = trainTrained
+			}
+		}
+	} else {
+		e.intraCand = stride
+		e.intraWarpVec = bit
+		e.t2 = trainNone
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import "snake/internal/prefetch"
+
+// generate is the §3.2 prefetching step: given a demand access at (warp, PC,
+// addr), issue prefetches from the trained strides — the inter-thread chain
+// (walked to depth per Figure 13), the intra-warp stride, and the inter-warp
+// stride, including chains rooted at future warps' projected addresses
+// (Snake's "prefetch for all future warps" once an entry is promoted, which
+// is where its timeliness advantage over the inter-warp prefetcher comes
+// from: the chain detected in one warp is replayed for warps that execute
+// much later).
+func (s *Snake) generate(ev prefetch.AccessEvent) {
+	e := s.tail.findByPC1(ev.PC, ev.WarpID)
+	if e == nil {
+		return
+	}
+	bit := uint64(1) << uint(ev.WarpID%64)
+	chainOK := !s.cfg.DisableChains && e.t1 >= trainPromoted
+
+	// Inter-thread chain for this warp's own upcoming loads first — Snake
+	// "accords priority to the inter-thread stride over the inter-warp
+	// stride due to its higher accuracy" (§3.4). A warp with its bit set
+	// uses the entry once promoted; a warp the entry has not seen requires
+	// promotion as well — promotion is exactly the license to prefetch for
+	// all future warps (§3.2).
+	if chainOK {
+		s.walkChain(e, ev.Addr, ev.WarpID, s.effectiveDepth())
+	}
+	if s.cfg.ChainsOnly {
+		return
+	}
+	// Intra-warp stride: future loop iterations of this PC for this warp,
+	// with chains rooted at each projected iteration (the chain detected
+	// once replays down the loop).
+	if e.t2 >= trainPromoted && e.warpVec&bit != 0 {
+		for k := 1; k <= s.cfg.IntraDegree; k++ {
+			base := uint64(int64(ev.Addr) + e.intraStride*int64(k))
+			s.push(base)
+			if chainOK {
+				s.walkChain(e, base, ev.WarpID, s.effectiveDepth()/2)
+			}
+		}
+	}
+	// Inter-warp stride: project this PC's address onto future warps. On
+	// the first access after the stride trains on a promoted chain, a
+	// one-time burst covers all future warps at once (§3.2: "issues
+	// prefetching requests for all future warps, as soon as the train
+	// status ... is updated to promoted"); afterwards each access keeps a
+	// rolling InterWarpDegree-deep window.
+	if e.iwValid {
+		degree := s.cfg.InterWarpDegree
+		burst := false
+		if e.bulkPending && e.t1 >= trainPromoted {
+			e.bulkPending = false
+			if s.cfg.BulkPromotionWarps > degree {
+				degree = s.cfg.BulkPromotionWarps
+				burst = true
+			}
+		}
+		for k := 1; k <= degree; k++ {
+			base := uint64(int64(ev.Addr) + e.interWarp*int64(k))
+			if burst {
+				s.pushUncapped(base) // the one-time burst bypasses the cap
+			} else {
+				s.push(base)
+			}
+			if chainOK && k <= s.cfg.InterWarpDegree {
+				s.walkChain(e, base, ev.WarpID, s.effectiveDepth()/2)
+			}
+		}
+	}
+}
+
+// walkChain issues prefetches down the chain starting at entry e with the
+// demand address addr, revisiting the Tail table for entries whose PC1
+// matches the previous entry's PC2 (Figure 13).
+func (s *Snake) walkChain(e *tailEntry, addr uint64, warpID int, depth int) {
+	a := int64(addr)
+	for d := 0; d < depth; d++ {
+		a += e.interThread
+		s.push(uint64(a))
+		next := s.tail.findByPC1(e.pc2, warpID)
+		if next == nil || next.t1 < trainPromoted || next == e {
+			return
+		}
+		e = next
+	}
+}
+
+// effectiveDepth returns the chain depth currently allowed; the throttle
+// shrinks it as the unified space fills (§3.2: "the depth of inter-thread
+// prefetching ... is controlled by a throttling mechanism").
+func (s *Snake) effectiveDepth() int {
+	if s.cfg.DisableThrottle {
+		return s.cfg.ChainDepth
+	}
+	if s.lastFree < 0.10 {
+		return 1
+	}
+	if s.lastFree < 0.25 {
+		d := s.cfg.ChainDepth / 2
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+	return s.cfg.ChainDepth
+}
+
+func (s *Snake) push(addr uint64) {
+	if len(s.reqBuf) >= s.cfg.MaxRequestsPerAccess {
+		return
+	}
+	s.pushUncapped(addr)
+}
+
+// pushUncapped appends without the per-access cap (promotion bursts).
+func (s *Snake) pushUncapped(addr uint64) {
+	for _, r := range s.reqBuf {
+		if r.Addr == addr {
+			return
+		}
+	}
+	s.reqBuf = append(s.reqBuf, prefetch.Request{Addr: addr})
+}

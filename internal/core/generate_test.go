@@ -1,0 +1,101 @@
+package core
+
+import (
+	"testing"
+
+	"snake/internal/prefetch"
+)
+
+func TestEffectiveDepthShrinksUnderSpacePressure(t *testing.T) {
+	s := NewSnake()
+	s.lastFree = 1.0
+	if d := s.effectiveDepth(); d != s.cfg.ChainDepth {
+		t.Errorf("full space: depth %d, want %d", d, s.cfg.ChainDepth)
+	}
+	s.lastFree = 0.20
+	if d := s.effectiveDepth(); d >= s.cfg.ChainDepth || d < 1 {
+		t.Errorf("moderate pressure: depth %d", d)
+	}
+	s.lastFree = 0.05
+	if d := s.effectiveDepth(); d != 1 {
+		t.Errorf("high pressure: depth %d, want 1", d)
+	}
+	// Without the throttle the depth never shrinks.
+	cfg := Defaults()
+	cfg.DisableThrottle = true
+	st := New(cfg)
+	st.lastFree = 0.0
+	if d := st.effectiveDepth(); d != cfg.ChainDepth {
+		t.Errorf("unthrottled depth %d, want %d", d, cfg.ChainDepth)
+	}
+}
+
+func TestGenerateWithoutEntryIsSilent(t *testing.T) {
+	s := NewSnake()
+	if reqs := s.OnAccess(ev(0, 0x900, 0x1000, 1)); len(reqs) != 0 {
+		t.Errorf("untrained Snake issued %v", reqs)
+	}
+}
+
+func TestZeroStrideChainNotCreatedAsIntra(t *testing.T) {
+	s := NewSnake()
+	// Chain with a zero-delta link (LPS's PC2 -> next PC1 case): the zero
+	// stride must not be confirmed as an intra stride.
+	for w := 0; w < 3; w++ {
+		base := uint64(0x30000 + w*0x3000)
+		s.OnAccess(ev(w, 0x600, base, int64(w*10+1)))
+		s.OnAccess(ev(w, 0x600, base, int64(w*10+2))) // same address again
+	}
+	if e := s.tail.findAnyPC1(0x600); e != nil && e.t2 >= trainPromoted {
+		t.Error("zero stride confirmed as intra-warp stride")
+	}
+}
+
+func TestChainWalkDeduplicates(t *testing.T) {
+	// A two-entry loop (A->B, B->A) walked deep must not emit duplicates.
+	cfg := Defaults()
+	cfg.ChainDepth = 8
+	cfg.ChainsOnly = true
+	s := New(cfg)
+	for w := 0; w < 3; w++ {
+		base := uint64(0x40000 + w*0x4000)
+		for it := 0; it < 2; it++ {
+			s.OnAccess(ev(w, 0x700, base, int64(w*100+it*10+1)))
+			s.OnAccess(ev(w, 0x708, base+64, int64(w*100+it*10+2)))
+			base += 128
+		}
+	}
+	reqs := s.OnAccess(ev(9, 0x700, 0x90000, 500))
+	seen := map[uint64]bool{}
+	for _, r := range reqs {
+		if seen[r.Addr] {
+			t.Fatalf("duplicate request %#x in %v", r.Addr, reqs)
+		}
+		seen[r.Addr] = true
+	}
+}
+
+func TestSnakePlusCTAPassesThrottleThrough(t *testing.T) {
+	s := NewSnakePlusCTA()
+	env := &fakeEnv{util: 0.9, free: 0.5}
+	s.OnCycle(1, env) // bandwidth halt
+	e := prefetch.AccessEvent{Cycle: 2, WarpID: 0, PC: 0x100, Addr: 0x1000, CTAID: 0, CTABase: 0x1000}
+	if reqs := s.OnAccess(e); len(reqs) != 0 {
+		t.Errorf("halted snake+cta still issued %v", reqs)
+	}
+}
+
+func TestTrainedFlagFollowsPromotion(t *testing.T) {
+	s := NewSnake()
+	if s.Trained() {
+		t.Fatal("fresh Snake claims training")
+	}
+	feedChain(s, 2, 0x100, 0x108, 64, 4096, 1)
+	if s.Trained() {
+		t.Fatal("trained after only two warps")
+	}
+	feedChain(s, 3, 0x100, 0x108, 64, 4096, 100)
+	if !s.Trained() {
+		t.Fatal("not trained after three warps")
+	}
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"snake/internal/prefetch"
+)
+
+// Config holds Snake's tunable parameters. Zero values are replaced by the
+// paper's defaults in New.
+type Config struct {
+	// TailEntries is the Tail-table size (paper: 10, §5.5).
+	TailEntries int
+	// HeadRows is the Head-table row count (paper: #warps/2 = 32).
+	HeadRows int
+	// HeadSlotsPerRow doubles the warp-ID/base-address columns for greedy
+	// schedulers (paper: 2; 1 reproduces the non-greedy, three-column form).
+	HeadSlotsPerRow int
+	// PromoteWarps is how many distinct warps must observe a stride before
+	// it is promoted (paper: 3).
+	PromoteWarps int
+	// ChainDepth bounds how far down a chain prefetches are issued
+	// (Figure 13); the throttle shrinks the effective depth under pressure.
+	ChainDepth int
+	// InterWarpDegree is how many future warps to prefetch for.
+	InterWarpDegree int
+	// BulkPromotionWarps, when positive, issues a one-time burst for this
+	// many future warps the first time an inter-warp stride trains on a
+	// promoted chain — the literal "all future warps" reading of §3.2. Off
+	// by default: in this substrate the burst's cross-CTA misprojections
+	// cost more than the extra lead time earns (see EXPERIMENTS.md D2).
+	BulkPromotionWarps int
+	// IntraDegree is how many loop iterations ahead to prefetch.
+	IntraDegree int
+
+	// DisableDecoupling stores prefetched lines as ordinary L1 data instead
+	// of the decoupled prefetch space (§3.2) — the Snake-DT variant.
+	DisableDecoupling bool
+	// Isolated uses a buffer distinct from the unified memory
+	// (Isolated-Snake, §5.7).
+	Isolated bool
+
+	// DisableThrottle turns off the §3.3 mechanism (Snake-DT/Snake-T).
+	DisableThrottle bool
+	// ThrottleCycles is the halt duration when the unified space is
+	// exhausted (paper: 50, §5.4).
+	ThrottleCycles int
+	// BWHalt / BWResume are the bandwidth hysteresis thresholds
+	// (paper: 0.70 / 0.50).
+	BWHalt, BWResume float64
+
+	// ChainsOnly disables the intra-warp and inter-warp stride components —
+	// the s-Snake variant, which exploits only the chains of strides.
+	ChainsOnly bool
+	// DisableChains turns off the inter-thread chain component (ablation).
+	DisableChains bool
+	// EvictPopcountOnly replaces the combined LRU+popcount Tail eviction
+	// policy with the popcount-only policy of Figure 22.
+	EvictPopcountOnly bool
+
+	// MaxRequestsPerAccess bounds the prefetch burst per demand access.
+	MaxRequestsPerAccess int
+}
+
+// Defaults returns the paper's configuration.
+func Defaults() Config {
+	return Config{
+		TailEntries:          10,
+		HeadRows:             32,
+		HeadSlotsPerRow:      2,
+		PromoteWarps:         3,
+		ChainDepth:           2,
+		InterWarpDegree:      2,
+		IntraDegree:          2,
+		ThrottleCycles:       50,
+		BWHalt:               0.70,
+		BWResume:             0.50,
+		MaxRequestsPerAccess: 8,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := Defaults()
+	if c.TailEntries <= 0 {
+		c.TailEntries = d.TailEntries
+	}
+	if c.HeadRows <= 0 {
+		c.HeadRows = d.HeadRows
+	}
+	if c.HeadSlotsPerRow <= 0 {
+		c.HeadSlotsPerRow = d.HeadSlotsPerRow
+	}
+	if c.PromoteWarps <= 0 {
+		c.PromoteWarps = d.PromoteWarps
+	}
+	if c.ChainDepth <= 0 {
+		c.ChainDepth = d.ChainDepth
+	}
+	if c.InterWarpDegree < 0 {
+		c.InterWarpDegree = d.InterWarpDegree
+	}
+	if c.IntraDegree <= 0 {
+		c.IntraDegree = d.IntraDegree
+	}
+	if c.ThrottleCycles <= 0 {
+		c.ThrottleCycles = d.ThrottleCycles
+	}
+	if c.BWHalt == 0 {
+		c.BWHalt = d.BWHalt
+	}
+	if c.BWResume == 0 {
+		c.BWResume = d.BWResume
+	}
+	if c.MaxRequestsPerAccess <= 0 {
+		c.MaxRequestsPerAccess = d.MaxRequestsPerAccess
+	}
+	return c
+}
+
+// Snake is the chain-based prefetcher. One instance serves one SM.
+type Snake struct {
+	cfg  Config
+	name string
+
+	head *headTable
+	tail *tailTable
+
+	// Throttle state.
+	haltedUntil int64   // space-triggered halt deadline
+	bwHalted    bool    // bandwidth-triggered halt (hysteresis)
+	throttled   int64   // total halted cycles (exported via ThrottleCycles)
+	lastFree    float64 // last observed unified-cache free fraction
+	lastUtil    float64 // last observed bandwidth utilization
+
+	// Optional composed CTA-aware prefetcher (Snake+CTA).
+	ctaPart prefetch.Prefetcher
+
+	trained bool
+
+	// Scratch request buffer reused across accesses.
+	reqBuf []prefetch.Request
+}
+
+var _ prefetch.Prefetcher = (*Snake)(nil)
+var _ prefetch.StorageHint = (*Snake)(nil)
+
+// New builds a Snake prefetcher with the given configuration.
+func New(cfg Config) *Snake {
+	cfg = cfg.withDefaults()
+	return &Snake{
+		cfg:      cfg,
+		name:     "snake",
+		head:     newHeadTable(cfg.HeadRows, cfg.HeadSlotsPerRow),
+		tail:     newTailTable(cfg.TailEntries, !cfg.EvictPopcountOnly),
+		lastFree: 1,
+	}
+}
+
+// Name implements prefetch.Prefetcher.
+func (s *Snake) Name() string { return s.name }
+
+// Magic implements prefetch.Prefetcher.
+func (s *Snake) Magic() bool { return false }
+
+// Trained implements prefetch.Prefetcher: true once any Tail entry reached
+// promotion. The paper reports training completing within 3–10 cycles; here
+// it is a property of the observed stream.
+func (s *Snake) Trained() bool { return s.trained }
+
+// Storage implements prefetch.StorageHint.
+func (s *Snake) Storage() (decoupled, isolated bool) {
+	return !s.cfg.DisableDecoupling && !s.cfg.Isolated, s.cfg.Isolated
+}
+
+// ThrottleCycles returns the total cycles the prefetcher spent halted.
+func (s *Snake) ThrottleCycles() int64 { return s.throttled }
+
+// Config returns the active configuration.
+func (s *Snake) Config() Config { return s.cfg }
+
+// OnCycle implements prefetch.Prefetcher: the §3.3 throttling checks.
+func (s *Snake) OnCycle(cycle int64, env prefetch.Env) {
+	if s.ctaPart != nil {
+		s.ctaPart.OnCycle(cycle, env)
+	}
+	if s.cfg.DisableThrottle {
+		return
+	}
+	s.lastFree = env.FreeFraction()
+	s.lastUtil = env.Utilization()
+	// Condition 2 of §3.3: bandwidth saturation with hysteresis (halt at
+	// 70% of the theoretical peak, resume at 50%). Condition 1 (no free
+	// space) is event-driven: see OnPrefetchOutcome.
+	u := s.lastUtil
+	if s.bwHalted {
+		if u <= s.cfg.BWResume {
+			s.bwHalted = false
+		}
+	} else if u >= s.cfg.BWHalt {
+		s.bwHalted = true
+	}
+	if s.halted(cycle) {
+		s.throttled++
+	}
+}
+
+// OnPrefetchOutcome implements prefetch.OutcomeObserver: when a prefetch
+// found the unified memory without free space (the L1 bulk-freed 25% of it,
+// §3.2), Snake halts prefetching for ThrottleCycles so the prefetched data
+// has time to be utilized, and confines the L1 data space for the same
+// interval (§3.3 condition 1).
+func (s *Snake) OnPrefetchOutcome(_ uint64, oc prefetch.Outcome, cycle int64, env prefetch.Env) {
+	if s.cfg.DisableThrottle || oc != prefetch.OutcomeNoSpace {
+		return
+	}
+	if cycle >= s.haltedUntil {
+		s.haltedUntil = cycle + int64(s.cfg.ThrottleCycles)
+		env.ConfineL1(s.haltedUntil)
+	}
+}
+
+func (s *Snake) halted(cycle int64) bool {
+	return !s.cfg.DisableThrottle && (s.bwHalted || cycle < s.haltedUntil)
+}
+
+// OnAccess implements prefetch.Prefetcher: detection always runs; prefetch
+// generation is suppressed while throttled.
+func (s *Snake) OnAccess(ev prefetch.AccessEvent) []prefetch.Request {
+	s.detect(ev)
+	if s.halted(ev.Cycle) {
+		return nil
+	}
+	s.reqBuf = s.reqBuf[:0]
+	s.generate(ev)
+	if s.ctaPart != nil {
+		s.reqBuf = append(s.reqBuf, s.ctaPart.OnAccess(ev)...)
+	}
+	return s.reqBuf
+}
+
+// Reset implements prefetch.Prefetcher.
+func (s *Snake) Reset() {
+	s.head.reset()
+	s.tail.reset()
+	s.haltedUntil = 0
+	s.bwHalted = false
+	s.throttled = 0
+	s.trained = false
+	s.lastFree = 1
+	s.lastUtil = 0
+	if s.ctaPart != nil {
+		s.ctaPart.Reset()
+	}
+}

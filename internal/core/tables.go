@@ -1,0 +1,276 @@
+// Package core implements Snake, the variable-length chain-based prefetcher
+// of Mostofi et al. (MICRO '23): detection of inter-thread stride chains
+// between consecutive load PCs via the Head and Tail tables (§3.1),
+// chain-based prefetch generation with training/promotion (§3.2), and the
+// space/bandwidth throttling mechanism (§3.3). Variants used in the
+// evaluation (s-Snake, Snake-DT, Snake-T, Snake+CTA, Isolated-Snake) are
+// constructed in variants.go.
+package core
+
+import "math/bits"
+
+// Train status encoding for the 2-bit T1/T2 fields (§3.1, Figure 15).
+const (
+	trainNone     uint8 = 0b00 // not trained
+	trainPromoted uint8 = 0b10 // observed in enough warps; prefetch for future warps
+	trainTrained  uint8 = 0b11 // promotion confirmed by repetition
+)
+
+// headSlot is one (warp, PC, address) triple in a Head-table row.
+type headSlot struct {
+	valid  bool
+	warpID int
+	pc     uint64
+	addr   uint64
+}
+
+// headRow is one Head-table row. A row serves two warps (N rows = #warps/2);
+// with SlotsPerRow == 2 it holds both warps' last loads so an aggressive
+// greedy scheduler (GTO) interleaving two warps does not thrash the row
+// (§3.1: "doubling the warp ID and base address columns").
+type headRow struct {
+	slots []headSlot
+}
+
+// headTable stores the last executed PC_ld and requested address per warp.
+type headTable struct {
+	rows        []headRow
+	slotsPerRow int
+}
+
+func newHeadTable(rows, slotsPerRow int) *headTable {
+	t := &headTable{rows: make([]headRow, rows), slotsPerRow: slotsPerRow}
+	for i := range t.rows {
+		t.rows[i].slots = make([]headSlot, slotsPerRow)
+	}
+	return t
+}
+
+// tuple is the message the Head table sends to the Tail table when a warp's
+// entry is updated: warp ID, previous PC, current PC, the stride between
+// their addresses, and the two addresses (used for inter-warp training).
+type tuple struct {
+	warpID   int
+	pc1, pc2 uint64
+	stride   int64
+	addr1    uint64
+	addr2    uint64
+}
+
+// update records warp's newly executed load and, if the warp had a previous
+// load recorded, returns the Head→Tail tuple.
+func (t *headTable) update(warpID int, pc, addr uint64) (tuple, bool) {
+	row := &t.rows[warpID%len(t.rows)]
+	// Find the warp's slot.
+	var slot *headSlot
+	for i := range row.slots {
+		if row.slots[i].valid && row.slots[i].warpID == warpID {
+			slot = &row.slots[i]
+			break
+		}
+	}
+	if slot == nil {
+		// Take a free slot, else displace the first (the single-slot case is
+		// exactly the thrash the doubled columns avoid under GTO).
+		for i := range row.slots {
+			if !row.slots[i].valid {
+				slot = &row.slots[i]
+				break
+			}
+		}
+		if slot == nil {
+			slot = &row.slots[0]
+		}
+		*slot = headSlot{valid: true, warpID: warpID, pc: pc, addr: addr}
+		return tuple{}, false
+	}
+	tp := tuple{
+		warpID: warpID,
+		pc1:    slot.pc,
+		pc2:    pc,
+		stride: int64(addr) - int64(slot.addr),
+		addr1:  slot.addr,
+		addr2:  addr,
+	}
+	slot.pc = pc
+	slot.addr = addr
+	return tp, true
+}
+
+func (t *headTable) reset() {
+	for i := range t.rows {
+		for j := range t.rows[i].slots {
+			t.rows[i].slots[j] = headSlot{}
+		}
+	}
+}
+
+// tailEntry is one Tail-table entry with the eight key fields of §3.1:
+// PC1, PC2, the inter-thread stride between them, its train status (T1), the
+// warp_ID vector, the intra-warp stride with its train status (T2), and the
+// inter-warp stride (no dedicated train field: it is inserted only once
+// detected in at least three warps).
+type tailEntry struct {
+	valid       bool
+	pc1, pc2    uint64
+	interThread int64
+	t1          uint8
+	warpVec     uint64
+	intraStride int64
+	t2          uint8
+	interWarp   int64
+	iwValid     bool
+
+	// Inter-warp training registers (per-entry scratch within the entry's
+	// 32-byte budget; see cost.go).
+	iwLastAddr uint64
+	iwLastWarp int
+	iwHasLast  bool
+	iwCand     int64
+	iwSeen     int
+
+	// Intra-warp training: distinct warps that confirmed the candidate.
+	intraCand    int64
+	intraWarpVec uint64
+
+	// bulkPending marks a freshly trained inter-warp stride on a promoted
+	// chain: the next access triggers a one-time burst of prefetches for
+	// all future warps ("issues prefetching requests for all future warps,
+	// as soon as the train status ... is updated to promoted", §3.2).
+	bulkPending bool
+
+	lastUse int64 // LRU timestamp
+}
+
+func (e *tailEntry) popcount() int { return bits.OnesCount64(e.warpVec) }
+
+// tailTable is the fixed-size chain store (10 entries by default, §5.5).
+type tailTable struct {
+	entries []tailEntry
+	lruSeq  int64
+	// evictLRU selects the paper's combined policy (LRU group, then fewest
+	// warp-vector bits); false uses the popcount-only policy of Figure 22.
+	evictLRU bool
+}
+
+func newTailTable(n int, evictLRU bool) *tailTable {
+	return &tailTable{entries: make([]tailEntry, n), evictLRU: evictLRU}
+}
+
+func (t *tailTable) touch(e *tailEntry) {
+	t.lruSeq++
+	e.lastUse = t.lruSeq
+}
+
+// find returns the entry matching (pc1, pc2, stride) exactly, or nil.
+func (t *tailTable) find(pc1, pc2 uint64, stride int64) *tailEntry {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.pc1 == pc1 && e.pc2 == pc2 && e.interThread == stride {
+			return e
+		}
+	}
+	return nil
+}
+
+// findByPC1 returns entries whose head PC matches pc1, preferring an entry
+// whose warp bit for warpID is set, then the highest-popcount one.
+func (t *tailTable) findByPC1(pc1 uint64, warpID int) *tailEntry {
+	var best *tailEntry
+	for i := range t.entries {
+		e := &t.entries[i]
+		if !e.valid || e.pc1 != pc1 {
+			continue
+		}
+		if e.warpVec&(1<<uint(warpID%64)) != 0 {
+			return e
+		}
+		if best == nil || e.popcount() > best.popcount() {
+			best = e
+		}
+	}
+	return best
+}
+
+// findAnyPC1 returns any valid entry with the given head PC.
+func (t *tailTable) findAnyPC1(pc1 uint64) *tailEntry {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.pc1 == pc1 {
+			return e
+		}
+	}
+	return nil
+}
+
+// allocate returns a slot for a new entry, evicting per the configured
+// policy when the table is full (§3.1): with evictLRU, the least-recently
+// used half of the table forms the candidate group and the entry with the
+// fewest '1's in its warp_ID vector is evicted from it; without, the fewest
+// '1's entry is evicted globally.
+func (t *tailTable) allocate() *tailEntry {
+	for i := range t.entries {
+		if !t.entries[i].valid {
+			return &t.entries[i]
+		}
+	}
+	victim := -1
+	if t.evictLRU {
+		group := t.lruGroup((len(t.entries) + 1) / 2)
+		for _, i := range group {
+			if victim < 0 || t.entries[i].popcount() < t.entries[victim].popcount() {
+				victim = i
+			}
+		}
+	} else {
+		for i := range t.entries {
+			if victim < 0 || t.entries[i].popcount() < t.entries[victim].popcount() {
+				victim = i
+			}
+		}
+	}
+	t.entries[victim] = tailEntry{}
+	return &t.entries[victim]
+}
+
+// lruGroup returns the indices of the n least-recently-used valid entries.
+func (t *tailTable) lruGroup(n int) []int {
+	idx := make([]int, 0, len(t.entries))
+	for i := range t.entries {
+		if t.entries[i].valid {
+			idx = append(idx, i)
+		}
+	}
+	// Selection of the n smallest lastUse values.
+	if n > len(idx) {
+		n = len(idx)
+	}
+	for i := 0; i < n; i++ {
+		min := i
+		for j := i + 1; j < len(idx); j++ {
+			if t.entries[idx[j]].lastUse < t.entries[idx[min]].lastUse {
+				min = j
+			}
+		}
+		idx[i], idx[min] = idx[min], idx[i]
+	}
+	return idx[:n]
+}
+
+// anyTrained reports whether any entry reached promotion on any stride kind.
+func (t *tailTable) anyTrained() bool {
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && (e.t1 >= trainPromoted || e.t2 >= trainPromoted || e.iwValid) {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *tailTable) reset() {
+	for i := range t.entries {
+		t.entries[i] = tailEntry{}
+	}
+	t.lruSeq = 0
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHeadTableTupleStride(t *testing.T) {
+	h := newHeadTable(32, 2)
+	h.update(5, 0x100, 1000)
+	tp, ok := h.update(5, 0x108, 1500)
+	if !ok {
+		t.Fatal("no tuple on second load")
+	}
+	if tp.pc1 != 0x100 || tp.pc2 != 0x108 || tp.stride != 500 ||
+		tp.addr1 != 1000 || tp.addr2 != 1500 || tp.warpID != 5 {
+		t.Errorf("tuple = %+v", tp)
+	}
+}
+
+func TestHeadTableNegativeStride(t *testing.T) {
+	h := newHeadTable(32, 2)
+	h.update(0, 0x100, 5000)
+	tp, _ := h.update(0, 0x108, 3000)
+	if tp.stride != -2000 {
+		t.Errorf("stride = %d, want -2000", tp.stride)
+	}
+}
+
+func TestHeadTableRowSharing(t *testing.T) {
+	// Warps 0 and 32 share row 0 of a 32-row table; with two slots both
+	// keep their history.
+	h := newHeadTable(32, 2)
+	h.update(0, 0x100, 1000)
+	h.update(32, 0x200, 9000)
+	if _, ok := h.update(0, 0x108, 1100); !ok {
+		t.Error("warp 0 lost history to row-mate warp 32")
+	}
+	if _, ok := h.update(32, 0x208, 9100); !ok {
+		t.Error("warp 32 lost history")
+	}
+	// A third warp on the same row displaces someone.
+	h2 := newHeadTable(32, 2)
+	h2.update(0, 0x100, 1)
+	h2.update(32, 0x100, 2)
+	h2.update(64, 0x100, 3) // row full: displaces slot 0 (warp 0)
+	if _, ok := h2.update(0, 0x108, 10); ok {
+		t.Error("warp 0 should have been displaced by the third row-mate")
+	}
+}
+
+func TestHeadTableReset(t *testing.T) {
+	h := newHeadTable(4, 2)
+	h.update(1, 0x100, 50)
+	h.reset()
+	if _, ok := h.update(1, 0x108, 60); ok {
+		t.Error("history survived reset")
+	}
+}
+
+func TestTailFindMatchesAllThreeFields(t *testing.T) {
+	tt := newTailTable(10, true)
+	e := tt.allocate()
+	*e = tailEntry{valid: true, pc1: 1, pc2: 2, interThread: 64}
+	if tt.find(1, 2, 64) != e {
+		t.Error("exact find failed")
+	}
+	// Conditions ❷/❸ of Figure 12: different pc2 or stride must not match.
+	if tt.find(1, 3, 64) != nil || tt.find(1, 2, 128) != nil || tt.find(9, 2, 64) != nil {
+		t.Error("find matched a non-identical entry")
+	}
+}
+
+func TestTailVariableStridesCoexist(t *testing.T) {
+	// §3.4: "different entries in the table may store the same PC1 and PC2
+	// with various strides for different groups of warps".
+	tt := newTailTable(10, true)
+	a := tt.allocate()
+	*a = tailEntry{valid: true, pc1: 1, pc2: 2, interThread: 64, warpVec: 0x0F}
+	b := tt.allocate()
+	*b = tailEntry{valid: true, pc1: 1, pc2: 2, interThread: -512, warpVec: 0xF0}
+	if tt.find(1, 2, 64) != a || tt.find(1, 2, -512) != b {
+		t.Error("variable-stride entries for the same PC pair must coexist")
+	}
+}
+
+func TestFindByPC1PrefersWarpBit(t *testing.T) {
+	tt := newTailTable(10, true)
+	a := tt.allocate()
+	*a = tailEntry{valid: true, pc1: 1, pc2: 2, interThread: 64, warpVec: 0xFF00}
+	b := tt.allocate()
+	*b = tailEntry{valid: true, pc1: 1, pc2: 2, interThread: 128, warpVec: 1 << 3}
+	if got := tt.findByPC1(1, 3); got != b {
+		t.Error("findByPC1 must prefer the entry holding the warp's bit")
+	}
+	// Without a bit match, the highest-popcount entry wins.
+	if got := tt.findByPC1(1, 60); got != a {
+		t.Error("findByPC1 fallback must pick the strongest entry")
+	}
+}
+
+func TestAllocatePrefersInvalid(t *testing.T) {
+	tt := newTailTable(3, true)
+	a := tt.allocate()
+	a.valid = true
+	b := tt.allocate()
+	if a == b {
+		t.Error("allocate reused a valid entry while free slots existed")
+	}
+}
+
+func TestLRUGroupSelectsOldest(t *testing.T) {
+	tt := newTailTable(4, true)
+	var es []*tailEntry
+	for i := 0; i < 4; i++ {
+		e := tt.allocate()
+		e.valid = true
+		e.pc1 = uint64(i)
+		tt.touch(e)
+		es = append(es, e)
+	}
+	tt.touch(es[0]) // entry 0 becomes MRU
+	group := tt.lruGroup(2)
+	for _, idx := range group {
+		if tt.entries[idx].pc1 == 0 {
+			t.Error("MRU entry landed in the LRU group")
+		}
+	}
+}
+
+func TestPopcountInvariant(t *testing.T) {
+	f := func(vec uint64) bool {
+		e := tailEntry{warpVec: vec}
+		n := 0
+		for v := vec; v != 0; v &= v - 1 {
+			n++
+		}
+		return e.popcount() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnyTrained(t *testing.T) {
+	tt := newTailTable(4, true)
+	if tt.anyTrained() {
+		t.Error("empty table claims training")
+	}
+	e := tt.allocate()
+	*e = tailEntry{valid: true, t1: trainPromoted}
+	if !tt.anyTrained() {
+		t.Error("promoted entry not detected")
+	}
+	tt.reset()
+	if tt.anyTrained() {
+		t.Error("reset did not clear training")
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import "snake/internal/prefetch"
+
+// NewSnake returns the full mechanism: chains + intra/inter-warp strides,
+// decoupled storage, and throttling.
+func NewSnake() *Snake { return New(Defaults()) }
+
+// NewSimpleSnake returns s-Snake: only the chains of strides, without the
+// intra-warp and inter-warp components (§4, comparison point 6).
+func NewSimpleSnake() *Snake {
+	cfg := Defaults()
+	cfg.ChainsOnly = true
+	s := New(cfg)
+	s.name = "s-snake"
+	return s
+}
+
+// NewSnakeDT returns Snake-DT: Snake without the decoupling and throttling
+// mechanisms (§4, comparison point 7).
+func NewSnakeDT() *Snake {
+	cfg := Defaults()
+	cfg.DisableDecoupling = true
+	cfg.DisableThrottle = true
+	s := New(cfg)
+	s.name = "snake-dt"
+	return s
+}
+
+// NewSnakeT returns Snake-T: decoupling without throttling (§4, comparison
+// point 8).
+func NewSnakeT() *Snake {
+	cfg := Defaults()
+	cfg.DisableThrottle = true
+	s := New(cfg)
+	s.name = "snake-t"
+	return s
+}
+
+// NewSnakePlusCTA returns Snake combined with the CTA-aware prefetcher,
+// demonstrating their orthogonality (§4, comparison point 9).
+func NewSnakePlusCTA() *Snake {
+	s := New(Defaults())
+	s.name = "snake+cta"
+	s.ctaPart = prefetch.NewCTAAware()
+	return s
+}
+
+// NewIsolatedSnake returns Isolated-Snake: prefetched data is stored in a
+// buffer distinct from the unified memory (§5.7).
+func NewIsolatedSnake() *Snake {
+	cfg := Defaults()
+	cfg.Isolated = true
+	s := New(cfg)
+	s.name = "isolated-snake"
+	return s
+}

@@ -1,0 +1,84 @@
+// Package dram models off-chip memory: per-bank row-buffer state machines
+// with the Table 1 timing parameters. Fetching data from global memory takes
+// "hundreds to thousands of cycles, given the traffic" (§2); this model
+// produces exactly that behaviour through bank conflicts and row misses.
+package dram
+
+import "snake/internal/config"
+
+// Controller is one memory controller governing a set of DRAM banks with
+// open-page row-buffer policy.
+type Controller struct {
+	timing   config.DRAMTiming
+	rowBytes uint64
+	banks    []bank
+	xferCyc  int64 // data transfer cycles per request
+
+	reads     int64
+	rowHits   int64
+	rowMisses int64
+}
+
+type bank struct {
+	openRow    uint64
+	hasOpenRow bool
+	readyAt    int64 // earliest cycle the bank can accept a new column access
+	lastAct    int64 // cycle of the last activate (for tRC)
+}
+
+// New builds a controller with the given bank count and row size.
+func New(t config.DRAMTiming, banks int, rowBytes int, xferCycles int) *Controller {
+	return &Controller{
+		timing:   t,
+		rowBytes: uint64(rowBytes),
+		banks:    make([]bank, banks),
+		xferCyc:  int64(xferCycles),
+	}
+}
+
+// Access services a read of lineAddr arriving at the given cycle and returns
+// the cycle at which data is available.
+func (c *Controller) Access(lineAddr uint64, cycle int64) int64 {
+	c.reads++
+	row := lineAddr / c.rowBytes
+	// Swizzled bank mapping: XOR-fold higher row bits so power-of-two
+	// strides (ubiquitous in GPU kernels) spread across banks instead of
+	// serializing on one.
+	b := &c.banks[int((row^(row>>4)^(row>>8))%uint64(len(c.banks)))]
+
+	start := cycle
+	if b.readyAt > start {
+		start = b.readyAt // queue behind the bank's previous operation
+	}
+
+	var dataAt int64
+	if b.hasOpenRow && b.openRow == row {
+		// Row hit: CAS latency only.
+		c.rowHits++
+		dataAt = start + int64(c.timing.TCL) + c.xferCyc
+		b.readyAt = start + int64(c.timing.TCCDL)
+	} else {
+		// Row miss: precharge (if a row is open) + activate + CAS.
+		c.rowMisses++
+		pre := int64(0)
+		if b.hasOpenRow {
+			pre = int64(c.timing.TRP)
+			// Respect tRC between consecutive activates on the same bank.
+			if minAct := b.lastAct + int64(c.timing.TRC); start+pre < minAct {
+				pre = minAct - start
+			}
+		}
+		actAt := start + pre
+		b.lastAct = actAt
+		dataAt = actAt + int64(c.timing.TRCD) + int64(c.timing.TCL) + c.xferCyc
+		b.readyAt = actAt + int64(c.timing.TRAS)
+		b.openRow = row
+		b.hasOpenRow = true
+	}
+	return dataAt
+}
+
+// Stats returns read, row-hit and row-miss counts.
+func (c *Controller) Stats() (reads, rowHits, rowMisses int64) {
+	return c.reads, c.rowHits, c.rowMisses
+}

@@ -1,0 +1,80 @@
+// Package energy models GPU energy consumption in the style of AccelWattch
+// (§4): static power integrated over the run plus per-event dynamic
+// energies. Absolute joules are not the point — the paper's Figure 19 and
+// 24 report energy normalized to the baseline, which depends on the ratio
+// of runtime savings (static energy) to added memory traffic (dynamic
+// energy). Snake's own table overheads use the paper's measured values
+// (6.4 pJ per access, 6 mW static per SM, §5.5).
+package energy
+
+import (
+	"snake/internal/config"
+	"snake/internal/stats"
+)
+
+// Model holds the energy parameters.
+type Model struct {
+	// Static power in watts, for the whole modelled GPU.
+	StaticPerSMW float64 // per-SM static power
+	MemStaticW   float64 // L2 + DRAM + interconnect static power
+
+	// Dynamic energies in nanojoules per event.
+	InstNJ     float64 // per retired warp instruction
+	L1AccessNJ float64 // per L1 access (any outcome)
+	L2AccessNJ float64 // per request reaching the L2
+	DRAMReadNJ float64 // per DRAM line fetch
+	IcntByteNJ float64 // per byte moved on the interconnect
+
+	// Snake overheads (§5.5).
+	TableAccessPJ float64 // per prefetcher table access
+	TableStaticMW float64 // per-SM static overhead
+}
+
+// Default returns the model parameters used by the experiments.
+func Default() Model {
+	return Model{
+		StaticPerSMW:  2.0,
+		MemStaticW:    12.0,
+		InstNJ:        0.05,
+		L1AccessNJ:    0.08,
+		L2AccessNJ:    0.15,
+		DRAMReadNJ:    2.0,
+		IcntByteNJ:    0.002,
+		TableAccessPJ: 6.4,
+		TableStaticMW: 6.0,
+	}
+}
+
+// Result breaks an energy estimate into components (joules).
+type Result struct {
+	StaticJ   float64
+	DynamicJ  float64
+	OverheadJ float64 // prefetcher tables
+}
+
+// Total returns the summed energy in joules.
+func (r Result) Total() float64 { return r.StaticJ + r.DynamicJ + r.OverheadJ }
+
+// Estimate computes the energy of a run. withPrefetcher adds the Snake-style
+// table overheads (used for every hardware prefetcher; the Ideal oracle
+// passes false).
+func (m Model) Estimate(st *stats.Sim, cfg config.GPU, withPrefetcher bool) Result {
+	seconds := float64(st.Cycles) / (float64(cfg.CoreClockMHz) * 1e6)
+	var r Result
+	r.StaticJ = (m.StaticPerSMW*float64(cfg.NumSM) + m.MemStaticW) * seconds
+
+	l2Accesses := st.L1[stats.L1Miss] + st.Pf.Issued
+	r.DynamicJ = m.InstNJ*1e-9*float64(st.Insts) +
+		m.L1AccessNJ*1e-9*float64(st.L1Accesses()) +
+		m.L2AccessNJ*1e-9*float64(l2Accesses) +
+		m.DRAMReadNJ*1e-9*float64(st.DRAMReads) +
+		m.IcntByteNJ*1e-9*float64(st.IcntBytes)
+
+	if withPrefetcher {
+		// Each demand load consults the tables; each issued prefetch writes.
+		accesses := float64(st.Loads + st.Pf.Issued)
+		r.OverheadJ = m.TableAccessPJ*1e-12*accesses +
+			m.TableStaticMW*1e-3*float64(cfg.NumSM)*seconds
+	}
+	return r
+}

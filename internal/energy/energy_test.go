@@ -1,0 +1,82 @@
+package energy
+
+import (
+	"testing"
+
+	"snake/internal/config"
+	"snake/internal/stats"
+)
+
+func sampleStats(cycles, insts int64) *stats.Sim {
+	s := &stats.Sim{Cycles: cycles, Insts: insts, Loads: insts / 3}
+	s.L1[stats.L1Hit] = insts / 4
+	s.L1[stats.L1Miss] = insts / 8
+	s.DRAMReads = insts / 10
+	s.IcntBytes = insts * 16
+	return s
+}
+
+func TestStaticScalesWithRuntime(t *testing.T) {
+	m := Default()
+	cfg := config.Scaled(4, 32)
+	short := m.Estimate(sampleStats(1000, 100), cfg, false)
+	long := m.Estimate(sampleStats(2000, 100), cfg, false)
+	if long.StaticJ <= short.StaticJ {
+		t.Error("static energy must grow with runtime")
+	}
+	if long.DynamicJ != short.DynamicJ {
+		t.Error("dynamic energy must not depend on runtime")
+	}
+}
+
+func TestFasterRunUsesLessTotalEnergy(t *testing.T) {
+	// Same work, 20% fewer cycles, modest extra traffic: net win — the
+	// Figure 19 mechanism.
+	m := Default()
+	cfg := config.Scaled(4, 32)
+	base := sampleStats(10000, 5000)
+	fast := sampleStats(8000, 5000)
+	fast.Pf.Issued = 500
+	e0 := m.Estimate(base, cfg, false).Total()
+	e1 := m.Estimate(fast, cfg, true).Total()
+	if e1 >= e0 {
+		t.Errorf("faster run consumed more energy: %.3g >= %.3g", e1, e0)
+	}
+}
+
+func TestOverheadOnlyWithPrefetcher(t *testing.T) {
+	m := Default()
+	cfg := config.Scaled(4, 32)
+	st := sampleStats(1000, 300)
+	without := m.Estimate(st, cfg, false)
+	with := m.Estimate(st, cfg, true)
+	if without.OverheadJ != 0 {
+		t.Error("baseline must have no table overhead")
+	}
+	if with.OverheadJ <= 0 {
+		t.Error("prefetcher run must have table overhead")
+	}
+	// The overhead must be tiny relative to total (paper: <1%).
+	if with.OverheadJ > 0.01*with.Total() {
+		t.Errorf("table overhead %.3g is more than 1%% of %.3g", with.OverheadJ, with.Total())
+	}
+}
+
+func TestComponentsSumToTotal(t *testing.T) {
+	m := Default()
+	cfg := config.Scaled(2, 16)
+	r := m.Estimate(sampleStats(5000, 2000), cfg, true)
+	if got := r.StaticJ + r.DynamicJ + r.OverheadJ; got != r.Total() {
+		t.Errorf("Total %.6g != sum %.6g", r.Total(), got)
+	}
+}
+
+func TestMoreSMsMoreStatic(t *testing.T) {
+	m := Default()
+	st := sampleStats(1000, 100)
+	small := m.Estimate(st, config.Scaled(2, 32), false)
+	big := m.Estimate(st, config.Scaled(8, 32), false)
+	if big.StaticJ <= small.StaticJ {
+		t.Error("static power must scale with SM count")
+	}
+}

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV renders the table as CSV (header row, then one row per label).
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return fmt.Errorf("harness: csv header: %w", err)
+	}
+	for _, r := range t.Rows {
+		rec := make([]string, len(t.Columns))
+		rec[0] = r.Label
+		for i, v := range r.Values {
+			if i+1 < len(rec) {
+				rec[i+1] = strconv.FormatFloat(v, 'g', 6, 64)
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("harness: csv row %q: %w", r.Label, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonTable is the JSON wire form of a Table.
+type jsonTable struct {
+	ID      string               `json:"id"`
+	Title   string               `json:"title"`
+	Columns []string             `json:"columns"`
+	Rows    []map[string]float64 `json:"rows"`
+	Labels  []string             `json:"labels"`
+	Note    string               `json:"note,omitempty"`
+}
+
+// WriteJSON renders the table as indented JSON, one object per row keyed by
+// column name.
+func (t *Table) WriteJSON(w io.Writer) error {
+	jt := jsonTable{ID: t.ID, Title: t.Title, Columns: t.Columns, Note: t.Note}
+	for _, r := range t.Rows {
+		row := make(map[string]float64, len(r.Values))
+		for i, v := range r.Values {
+			if i+1 < len(t.Columns) {
+				row[t.Columns[i+1]] = v
+			}
+		}
+		jt.Rows = append(jt.Rows, row)
+		jt.Labels = append(jt.Labels, r.Label)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(jt); err != nil {
+		return fmt.Errorf("harness: json: %w", err)
+	}
+	return nil
+}
+
+// Write renders in the named format: "text" (default), "csv", or "json".
+func (t *Table) Write(w io.Writer, format string) error {
+	switch format {
+	case "", "text":
+		t.Fprint(w)
+		return nil
+	case "csv":
+		return t.WriteCSV(w)
+	case "json":
+		return t.WriteJSON(w)
+	default:
+		return fmt.Errorf("harness: unknown output format %q (text|csv|json)", format)
+	}
+}

@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{ID: "x", Title: "Sample", Columns: []string{"bench", "a", "b"}, Note: "n"}
+	t.AddRow("one", 1.5, 2.5)
+	t.AddRow("two", 3, 4)
+	return t
+}
+
+func TestWriteCSVParsesBack(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if recs[0][0] != "bench" || recs[1][0] != "one" || recs[1][1] != "1.5" || recs[2][2] != "4" {
+		t.Errorf("csv content: %v", recs)
+	}
+}
+
+func TestWriteJSONParsesBack(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTable().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var jt struct {
+		ID     string               `json:"id"`
+		Rows   []map[string]float64 `json:"rows"`
+		Labels []string             `json:"labels"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &jt); err != nil {
+		t.Fatal(err)
+	}
+	if jt.ID != "x" || len(jt.Rows) != 2 {
+		t.Fatalf("json: %+v", jt)
+	}
+	if jt.Rows[0]["a"] != 1.5 || jt.Rows[1]["b"] != 4 || jt.Labels[1] != "two" {
+		t.Errorf("json rows: %+v labels %v", jt.Rows, jt.Labels)
+	}
+}
+
+func TestWriteDispatch(t *testing.T) {
+	for _, f := range []string{"", "text", "csv", "json"} {
+		var buf bytes.Buffer
+		if err := sampleTable().Write(&buf, f); err != nil {
+			t.Errorf("format %q: %v", f, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("format %q: empty output", f)
+		}
+	}
+	if err := sampleTable().Write(&bytes.Buffer{}, "xml"); err == nil ||
+		!strings.Contains(err.Error(), "unknown output format") {
+		t.Error("unknown format accepted")
+	}
+}

@@ -1,0 +1,169 @@
+package harness
+
+import (
+	"testing"
+
+	"snake/internal/config"
+	"snake/internal/workloads"
+)
+
+// These tests pin the paper-level qualitative claims end to end — the
+// regression suite for "does the reproduction still tell the paper's story".
+// They run the real experiment pipeline on a reduced scale.
+
+func storyRunner() *Runner {
+	r := NewRunner()
+	r.Cfg = config.Scaled(2, 32)
+	r.Scale = workloads.Scale{CTAs: 12, WarpsPerCTA: 8, Iters: 8}
+	return r
+}
+
+func TestStorySnakeBeatsBaselineOnChainRichApps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("story test")
+	}
+	r := storyRunner()
+	for _, b := range []string{"lps", "srad", "lud", "histo"} {
+		base, err := r.Run(b, "baseline")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sn, err := r.Run(b, "snake")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sn.IPC() <= base.IPC() {
+			t.Errorf("%s: Snake %.3f did not beat baseline %.3f", b, sn.IPC(), base.IPC())
+		}
+		if sn.Coverage() < 0.5 {
+			t.Errorf("%s: Snake coverage %.2f below 50%% on a chain-rich app", b, sn.Coverage())
+		}
+	}
+}
+
+func TestStoryTreeHurtsIrregularApps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("story test")
+	}
+	r := storyRunner()
+	// §6.2: aggressive spatial prefetching hurts GPUs with limited memory
+	// resources; mum is the clearest victim.
+	base, err := r.Run("mum", "baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := r.Run("mum", "tree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.IPC() >= base.IPC() {
+		t.Errorf("Tree %.3f did not hurt mum vs baseline %.3f", tree.IPC(), base.IPC())
+	}
+}
+
+func TestStoryNWStaysFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("story test")
+	}
+	r := storyRunner()
+	// §5.1: nw's patterns repeat too rarely; coverage stays low and the
+	// speedup small.
+	sn, err := r.Run("nw", "snake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.Coverage() > 0.6 {
+		t.Errorf("nw Snake coverage %.2f; the paper's low-repetition story requires it low", sn.Coverage())
+	}
+}
+
+func TestStorySnakeCoverageBeatsMTA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("story test")
+	}
+	r := storyRunner()
+	// Figure 16's headline: mean Snake coverage above mean MTA coverage.
+	var snSum, mtaSum float64
+	for _, b := range workloads.Names() {
+		sn, err := r.Run(b, "snake")
+		if err != nil {
+			t.Fatal(err)
+		}
+		mta, err := r.Run(b, "mta")
+		if err != nil {
+			t.Fatal(err)
+		}
+		snSum += sn.Coverage()
+		mtaSum += mta.Coverage()
+	}
+	if snSum <= mtaSum {
+		t.Errorf("mean Snake coverage %.3f not above MTA %.3f", snSum/11, mtaSum/11)
+	}
+}
+
+func TestStoryLUDNeedsChains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("story test")
+	}
+	r := storyRunner()
+	// LUD's per-PC strides vary every iteration: fixed-stride MTA gets
+	// little, chains get a lot — the purest "variable strides" case.
+	sn, err := r.Run("lud", "snake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mta, err := r.Run("lud", "mta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sn.Coverage() < mta.Coverage()+0.3 {
+		t.Errorf("lud: Snake %.2f vs MTA %.2f — chains must dominate here",
+			sn.Coverage(), mta.Coverage())
+	}
+}
+
+func TestStoryCPUPrefetchersUnderperform(t *testing.T) {
+	if testing.Short() {
+		t.Skip("story test")
+	}
+	r := storyRunner()
+	// §6.1: CPU prefetchers cannot be applied directly. Mean coverage of
+	// Domino/Bingo must sit far below Snake's.
+	var dom, bin, sn float64
+	for _, b := range workloads.Names() {
+		d, err := r.Run(b, "domino")
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := r.Run(b, "bingo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := r.Run(b, "snake")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dom += d.Coverage()
+		bin += g.Coverage()
+		sn += s.Coverage()
+	}
+	if dom >= sn-1.0 || bin >= sn-1.0 {
+		t.Errorf("CPU prefetchers too strong: domino %.2f bingo %.2f snake %.2f (sums)",
+			dom, bin, sn)
+	}
+}
+
+func TestStoryEnergyFollowsPerformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("story test")
+	}
+	r := storyRunner()
+	tb, err := Fig19(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := tb.Rows[len(tb.Rows)-1].Values[0]
+	if mean >= 1.0 {
+		t.Errorf("Snake mean energy %.3f not below baseline", mean)
+	}
+}

@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"snake/internal/config"
+	"snake/internal/core"
+	"snake/internal/prefetch"
+	"snake/internal/sim"
+	"snake/internal/stats"
+	"snake/internal/trace"
+	"snake/internal/workloads"
+)
+
+// Runner executes (benchmark, mechanism) simulations with memoization and a
+// bounded worker pool, since the figure experiments share most of their
+// underlying runs (e.g. Figures 16–19 all read the same eleven×ten grid).
+type Runner struct {
+	Cfg   config.GPU
+	Scale workloads.Scale
+
+	mu    sync.Mutex
+	cache map[string]*runResult
+	sem   chan struct{}
+}
+
+type runResult struct {
+	once sync.Once
+	st   *stats.Sim
+	err  error
+}
+
+// NewRunner returns a runner with the standard experiment configuration:
+// 4 SMs × 64 warps, default workload scale.
+func NewRunner() *Runner {
+	return &Runner{
+		Cfg:   config.Scaled(4, 64),
+		Scale: workloads.DefaultScale(),
+		cache: make(map[string]*runResult),
+		sem:   make(chan struct{}, runtime.GOMAXPROCS(0)),
+	}
+}
+
+// Run simulates the benchmark under the named mechanism (memoized).
+func (r *Runner) Run(bench, mech string) (*stats.Sim, error) {
+	return r.RunWith(bench, mech, nil)
+}
+
+// RunWith is Run with a custom prefetcher factory; mech must uniquely
+// identify the factory's configuration for memoization. A nil factory
+// resolves mech from the registry.
+func (r *Runner) RunWith(bench, mech string, factory Factory) (*stats.Sim, error) {
+	return r.run(bench+"|"+mech, mech, factory, func() (*trace.Kernel, error) {
+		return workloads.Build(bench, r.Scale)
+	})
+}
+
+// runKernel memoizes a simulation of an explicitly built kernel.
+func (r *Runner) runKernel(k *trace.Kernel, key, mech string) (*stats.Sim, error) {
+	return r.run(key+"|"+mech, mech, nil, func() (*trace.Kernel, error) { return k, nil })
+}
+
+func (r *Runner) run(key, mech string, factory Factory, build func() (*trace.Kernel, error)) (*stats.Sim, error) {
+	r.mu.Lock()
+	res, ok := r.cache[key]
+	if !ok {
+		res = &runResult{}
+		r.cache[key] = res
+	}
+	r.mu.Unlock()
+
+	res.once.Do(func() {
+		r.sem <- struct{}{}
+		defer func() { <-r.sem }()
+		f := factory
+		if f == nil {
+			f, res.err = Mechanism(mech)
+			if res.err != nil {
+				return
+			}
+		}
+		k, err := build()
+		if err != nil {
+			res.err = err
+			return
+		}
+		out, err := sim.Run(k, sim.Options{Config: r.Cfg, NewPrefetcher: f})
+		if err != nil {
+			res.err = fmt.Errorf("%s: %w", key, err)
+			return
+		}
+		res.st = &out.Stats
+	})
+	return res.st, res.err
+}
+
+// Prefill launches the given (bench, mech) grid concurrently and waits; it
+// exists so experiments reading a big grid pay wall-clock ≈ grid/#cores.
+func (r *Runner) Prefill(benches, mechs []string) error {
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(benches)*len(mechs))
+	for _, b := range benches {
+		for _, m := range mechs {
+			wg.Add(1)
+			go func(b, m string) {
+				defer wg.Done()
+				if _, err := r.Run(b, m); err != nil {
+					errCh <- err
+				}
+			}(b, m)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// SnakeVariant builds a memoized custom Snake configuration run.
+func (r *Runner) SnakeVariant(bench, key string, cfg core.Config) (*stats.Sim, error) {
+	return r.RunWith(bench, "snake:"+key, func(int) prefetch.Prefetcher { return core.New(cfg) })
+}

@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output: the rows/series the corresponding paper
+// figure or table reports.
+type Table struct {
+	ID      string // "fig16", "table3", ...
+	Title   string
+	Columns []string // first column is the row label
+	Rows    []RowData
+	Note    string // paper-expected values and commentary
+}
+
+// RowData is one labelled row of values.
+type RowData struct {
+	Label  string
+	Values []float64
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(label string, values ...float64) {
+	t.Rows = append(t.Rows, RowData{Label: label, Values: values})
+}
+
+// Mean appends a geometric-mean-free arithmetic average row over the
+// existing rows (skipped for empty tables).
+func (t *Table) Mean(label string) {
+	if len(t.Rows) == 0 {
+		return
+	}
+	n := len(t.Rows[0].Values)
+	avg := make([]float64, n)
+	for _, r := range t.Rows {
+		for i, v := range r.Values {
+			avg[i] += v
+		}
+	}
+	for i := range avg {
+		avg[i] /= float64(len(t.Rows))
+	}
+	t.AddRow(label, avg...)
+}
+
+// Fprint renders the table.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(t.Rows))
+	for ri, r := range t.Rows {
+		row := make([]string, len(t.Columns))
+		row[0] = r.Label
+		for i, v := range r.Values {
+			if i+1 < len(t.Columns) {
+				row[i+1] = formatValue(v)
+			}
+		}
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+		cells[ri] = row
+	}
+	header := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		header[i] = pad(c, widths[i])
+	}
+	fmt.Fprintln(w, strings.Join(header, "  "))
+	for _, row := range cells {
+		for i, c := range row {
+			row[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.Join(row, "  "))
+	}
+	if t.Note != "" {
+		fmt.Fprintf(w, "note: %s\n", t.Note)
+	}
+	fmt.Fprintln(w)
+}
+
+func formatValue(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e6:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+func pad(s string, n int) string {
+	if len(s) >= n {
+		return s
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}

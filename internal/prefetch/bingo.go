@@ -1,0 +1,133 @@
+package prefetch
+
+import "math/bits"
+
+// Bingo is a GPU adaptation of the Bingo spatial prefetcher (Bakhshalipour
+// et al., HPCA'19 — §6.1 of the Snake paper): it learns the footprint of
+// lines touched within a spatial region and, on the next trigger access to
+// a matching region, prefetches the whole footprint. Lookup starts from the
+// long event (PC + address); if that misses it falls back to the short
+// event (PC + offset), exactly as the paper describes.
+//
+// Like Domino, Bingo is an extension comparison point: region footprints on
+// a GPU are assembled by many warps at once, so the per-trigger footprint
+// generalizes poorly.
+type Bingo struct {
+	nopCycle
+	// RegionBytes is the spatial region size (default 2KB = 16 lines).
+	RegionBytes uint64
+	// LineBytes is the prefetch granularity (default 128).
+	LineBytes uint64
+	// MaxEntries bounds each history table (default 2048).
+	MaxEntries int
+
+	active map[uint64]*regionState // region base -> accumulation
+	long   map[longKey]uint32      // PC+trigger-address -> footprint
+	short  map[shortKey]uint32     // PC+trigger-offset  -> footprint
+	fifoA  []uint64
+	fifoL  []longKey
+	fifoS  []shortKey
+}
+
+type longKey struct {
+	pc   uint64
+	addr uint64
+}
+
+type shortKey struct {
+	pc     uint64
+	offset uint8
+}
+
+type regionState struct {
+	footprint uint32 // bit per line in the region
+	trigPC    uint64
+	trigAddr  uint64
+}
+
+// NewBingo returns a Bingo prefetcher with default parameters.
+func NewBingo() *Bingo {
+	return &Bingo{
+		RegionBytes: 2048,
+		LineBytes:   128,
+		MaxEntries:  2048,
+		active:      make(map[uint64]*regionState),
+		long:        make(map[longKey]uint32),
+		short:       make(map[shortKey]uint32),
+	}
+}
+
+// Name implements Prefetcher.
+func (p *Bingo) Name() string { return "bingo" }
+
+// OnAccess implements Prefetcher.
+func (p *Bingo) OnAccess(ev AccessEvent) []Request {
+	region := ev.Addr &^ (p.RegionBytes - 1)
+	lineIdx := uint((ev.Addr % p.RegionBytes) / p.LineBytes)
+	st, tracked := p.active[region]
+	if tracked {
+		st.footprint |= 1 << lineIdx
+		return nil
+	}
+	// Trigger access to a new region: learn the previous epoch's footprint
+	// is handled on eviction; start tracking and predict from history.
+	st = &regionState{footprint: 1 << lineIdx, trigPC: ev.PC, trigAddr: ev.Addr}
+	if len(p.active) >= 64 { // few regions tracked at once, FIFO recycled
+		victim := p.fifoA[0]
+		p.fifoA = p.fifoA[1:]
+		p.retire(victim)
+	}
+	p.active[region] = st
+	p.fifoA = append(p.fifoA, region)
+
+	// Long event first, then the short event (§6.1).
+	fp, ok := p.long[longKey{ev.PC, ev.Addr}]
+	if !ok {
+		fp, ok = p.short[shortKey{ev.PC, uint8(lineIdx)}]
+	}
+	if !ok || fp == 0 {
+		return nil
+	}
+	reqs := make([]Request, 0, bits.OnesCount32(fp))
+	for i := uint(0); i < uint(p.RegionBytes/p.LineBytes); i++ {
+		if fp&(1<<i) != 0 && i != lineIdx {
+			reqs = append(reqs, Request{Addr: region + uint64(i)*p.LineBytes})
+		}
+	}
+	return reqs
+}
+
+// retire stores a finished region's footprint under both event keys.
+func (p *Bingo) retire(region uint64) {
+	st, ok := p.active[region]
+	if !ok {
+		return
+	}
+	delete(p.active, region)
+	lk := longKey{st.trigPC, st.trigAddr}
+	if _, exists := p.long[lk]; !exists {
+		if len(p.fifoL) >= p.MaxEntries {
+			delete(p.long, p.fifoL[0])
+			p.fifoL = p.fifoL[1:]
+		}
+		p.fifoL = append(p.fifoL, lk)
+	}
+	p.long[lk] = st.footprint
+	sk := shortKey{st.trigPC, uint8((st.trigAddr % p.RegionBytes) / p.LineBytes)}
+	if _, exists := p.short[sk]; !exists {
+		if len(p.fifoS) >= p.MaxEntries {
+			delete(p.short, p.fifoS[0])
+			p.fifoS = p.fifoS[1:]
+		}
+		p.fifoS = append(p.fifoS, sk)
+	}
+	p.short[sk] = st.footprint
+}
+
+// Reset implements Prefetcher.
+func (p *Bingo) Reset() {
+	p.active = make(map[uint64]*regionState)
+	p.long = make(map[longKey]uint32)
+	p.short = make(map[shortKey]uint32)
+	p.fifoA, p.fifoL, p.fifoS = nil, nil, nil
+}

@@ -1,0 +1,54 @@
+package prefetch
+
+// MTA is the Many-Thread-Aware prefetcher of Lee et al. [29]: the
+// combination of the intra-warp and inter-warp mechanisms, providing the best
+// coverage among the prior fixed-stride prefetchers (§2). It inherits both
+// components' drawbacks: limited opportunity without deep loops and the
+// inter-warp timeliness problem.
+type MTA struct {
+	nopCycle
+	intra *IntraWarp
+	inter *InterWarp
+}
+
+// NewMTA returns an MTA prefetcher with default sub-prefetcher parameters.
+func NewMTA() *MTA {
+	return &MTA{intra: NewIntraWarp(), inter: NewInterWarp()}
+}
+
+// Name implements Prefetcher.
+func (p *MTA) Name() string { return "mta" }
+
+// OnAccess implements Prefetcher: union of intra- and inter-warp candidates
+// with duplicates removed.
+func (p *MTA) OnAccess(ev AccessEvent) []Request {
+	a := p.intra.OnAccess(ev)
+	b := p.inter.OnAccess(ev)
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	seen := make(map[uint64]bool, len(a)+len(b))
+	out := make([]Request, 0, len(a)+len(b))
+	for _, r := range a {
+		if !seen[r.Addr] {
+			seen[r.Addr] = true
+			out = append(out, r)
+		}
+	}
+	for _, r := range b {
+		if !seen[r.Addr] {
+			seen[r.Addr] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Reset implements Prefetcher.
+func (p *MTA) Reset() {
+	p.intra.Reset()
+	p.inter.Reset()
+}

@@ -1,0 +1,93 @@
+// Package sched implements warp schedulers. Each SM has several scheduler
+// slices, each owning a subset of the SM's warps; every cycle a scheduler
+// picks one ready warp to issue from.
+//
+// The Greedy-Then-Oldest (GTO) policy — the Table 1 default — keeps issuing
+// from the same warp until it stalls, then falls back to the oldest ready
+// warp. GTO's greediness is why Snake's Head table doubles its warp-ID and
+// base-address columns (§3.1): a greedy scheduler can interleave two warps'
+// load streams in a way that a single-entry head would lose.
+package sched
+
+import "snake/internal/config"
+
+// Scheduler picks the next warp to issue among a scheduler slice's warps.
+type Scheduler interface {
+	// Pick returns the index (into the ready slice) of the warp to issue, or
+	// -1 if none is ready. ready[i] reports warp i is issuable this cycle;
+	// age[i] is a monotonically increasing assignment stamp (smaller =
+	// older).
+	Pick(ready []bool, age []int64) int
+	// Name returns the policy name.
+	Name() string
+}
+
+// New returns a scheduler implementing the given policy.
+func New(policy config.SchedulerPolicy) Scheduler {
+	switch policy {
+	case config.SchedLRR:
+		return &lrr{}
+	case config.SchedOldest:
+		return &oldest{}
+	default:
+		return &gto{last: -1}
+	}
+}
+
+// gto is Greedy-Then-Oldest.
+type gto struct {
+	last int
+}
+
+func (g *gto) Name() string { return string(config.SchedGTO) }
+
+func (g *gto) Pick(ready []bool, age []int64) int {
+	if g.last >= 0 && g.last < len(ready) && ready[g.last] {
+		return g.last
+	}
+	pick := -1
+	for i, r := range ready {
+		if r && (pick < 0 || age[i] < age[pick]) {
+			pick = i
+		}
+	}
+	g.last = pick
+	return pick
+}
+
+// lrr is loose round-robin.
+type lrr struct {
+	next int
+}
+
+func (l *lrr) Name() string { return string(config.SchedLRR) }
+
+func (l *lrr) Pick(ready []bool, _ []int64) int {
+	n := len(ready)
+	if n == 0 {
+		return -1
+	}
+	for off := 0; off < n; off++ {
+		i := (l.next + off) % n
+		if ready[i] {
+			l.next = (i + 1) % n
+			return i
+		}
+	}
+	return -1
+}
+
+// oldest always picks the oldest ready warp.
+type oldest struct{}
+
+func (oldest) Name() string { return string(config.SchedOldest) }
+
+func (oldest) Pick(ready []bool, age []int64) int {
+	pick := -1
+	for i, r := range ready {
+		if r && (pick < 0 || age[i] < age[pick]) {
+			pick = i
+		}
+	}
+	return pick
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"snake/internal/prefetch"
+	"snake/internal/workloads"
+)
+
+func TestCoalesceUnitStride(t *testing.T) {
+	// 32 threads x 4B = 128B = exactly one line.
+	lines := coalesce(nil, 0x1000, 4, 32, 128)
+	if len(lines) != 1 || lines[0] != 0x1000 {
+		t.Errorf("unit stride coalesced to %v", lines)
+	}
+}
+
+func TestCoalesceBroadcast(t *testing.T) {
+	lines := coalesce(nil, 0x1234, 0, 32, 128)
+	if len(lines) != 1 || lines[0] != 0x1200 {
+		t.Errorf("broadcast coalesced to %v", lines)
+	}
+}
+
+func TestCoalesceMisaligned(t *testing.T) {
+	// Unit stride starting mid-line spans two lines.
+	lines := coalesce(nil, 0x1040, 4, 32, 128)
+	if len(lines) != 2 || lines[0] != 0x1000 || lines[1] != 0x1080 {
+		t.Errorf("misaligned access coalesced to %v", lines)
+	}
+}
+
+func TestCoalesceFullyDivergent(t *testing.T) {
+	// 128B per thread: every thread hits its own line.
+	lines := coalesce(nil, 0x0, 128, 32, 128)
+	if len(lines) != 32 {
+		t.Errorf("fully divergent access produced %d transactions, want 32", len(lines))
+	}
+}
+
+func TestCoalesceStride32(t *testing.T) {
+	// 32B stride: 4 threads per line -> 8 lines.
+	if n := transactionsFor(0x0, 32, 32, 128); n != 8 {
+		t.Errorf("stride-32 transactions = %d, want 8", n)
+	}
+}
+
+func TestCoalesceNegativeStride(t *testing.T) {
+	lines := coalesce(nil, 0x10000, -4, 32, 128)
+	if len(lines) != 2 {
+		t.Errorf("negative unit stride produced %v", lines)
+	}
+}
+
+func TestCoalesceNoDuplicates(t *testing.T) {
+	f := func(base uint64, stride int16) bool {
+		lines := coalesce(nil, base%(1<<30), int32(stride), 32, 128)
+		seen := map[uint64]bool{}
+		for _, l := range lines {
+			if seen[l] || l%128 != 0 {
+				return false
+			}
+			seen[l] = true
+		}
+		return len(lines) >= 1 && len(lines) <= 32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivergentKernelGeneratesMoreTraffic(t *testing.T) {
+	co := workloads.DivergenceMicro(workloads.Tiny(), 4)   // coalesced
+	dv := workloads.DivergenceMicro(workloads.Tiny(), 256) // 2 lines per access... large stride
+	a := runTiny(t, co, nil)
+	b := runTiny(t, dv, nil)
+	if b.Stats.L1Accesses() <= a.Stats.L1Accesses() {
+		t.Errorf("divergent kernel produced %d L1 accesses vs coalesced %d",
+			b.Stats.L1Accesses(), a.Stats.L1Accesses())
+	}
+	if b.Stats.IPC() >= a.Stats.IPC() {
+		t.Errorf("divergence did not cost performance: %.3f vs %.3f", b.Stats.IPC(), a.Stats.IPC())
+	}
+}
+
+func TestDivergentKernelCompletesWithSnake(t *testing.T) {
+	k := workloads.DivergenceMicro(workloads.Tiny(), 512)
+	res := runTiny(t, k, func(int) prefetch.Prefetcher { return prefetch.NewMTA() })
+	if res.Stats.Insts != int64(k.TotalInsts()) {
+		t.Errorf("retired %d != %d", res.Stats.Insts, k.TotalInsts())
+	}
+}

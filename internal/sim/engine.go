@@ -1,0 +1,356 @@
+// Package sim is the cycle-level GPU memory-system simulator: SMs with warp
+// schedulers and scoreboarded warps, per-SM L1 controllers (MSHRs, miss
+// queues, reservation fails), a bandwidth-limited interconnect, banked L2
+// partitions and DRAM timing. It substitutes for Accel-Sim in the Snake
+// reproduction; see DESIGN.md for the substitution argument.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"snake/internal/config"
+	"snake/internal/prefetch"
+	"snake/internal/stats"
+	"snake/internal/trace"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	Config config.GPU
+	// NewPrefetcher constructs the per-SM prefetcher; nil runs the baseline.
+	NewPrefetcher func(smID int) prefetch.Prefetcher
+	// MaxCycles aborts runaway simulations (default 20,000,000).
+	MaxCycles int64
+	// StoreBytes is the store packet size on the interconnect (default 32).
+	StoreBytes int
+	// RequestBytes is the fill-request packet size (default 8).
+	RequestBytes int
+	// MLPPerWarp is the per-warp memory-level-parallelism window: how many
+	// loads a warp may have in flight before it blocks (default 2).
+	MLPPerWarp int
+	// MaxInflightFills caps outstanding fill requests in the memory system
+	// (finite L2/DRAM queueing). When the cap is reached, L1 miss queues
+	// back up and demand accesses suffer reservation fails — the congestion
+	// behaviour §2 attributes to miss-queue pressure. Default:
+	// 24 × L2Partitions.
+	MaxInflightFills int
+}
+
+// Result carries the outcome of a run.
+type Result struct {
+	Stats stats.Sim   // aggregated over SMs, plus global counters
+	PerSM []stats.Sim // per-SM counters
+}
+
+// engine is the live simulation state.
+type engine struct {
+	cfg    config.GPU
+	opt    Options
+	kernel *trace.Kernel
+
+	cycle    int64
+	net      *icntNet
+	parts    []*memPartition
+	sms      []*sm
+	events   eventHeap
+	resps    respHeap
+	stores   []storePkt
+	ctaNext  int // next undispatched CTA index
+	ageCtr   int64
+	inflight int // outstanding fill requests in the memory system
+
+	perSM []stats.Sim
+}
+
+type storePkt struct {
+	sm   int
+	addr uint64
+}
+
+// Run simulates the kernel under the given options and returns aggregated
+// statistics.
+func Run(k *trace.Kernel, opt Options) (*Result, error) {
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.MaxCycles <= 0 {
+		opt.MaxCycles = 20_000_000
+	}
+	if opt.StoreBytes <= 0 {
+		opt.StoreBytes = 32
+	}
+	if opt.RequestBytes <= 0 {
+		opt.RequestBytes = 8
+	}
+	if opt.MaxInflightFills <= 0 {
+		opt.MaxInflightFills = 128 * opt.Config.L2Partitions
+	}
+	if opt.MLPPerWarp <= 0 {
+		opt.MLPPerWarp = 2
+	}
+	for _, cta := range k.CTAs {
+		if len(cta.Warps) > opt.Config.MaxWarpsPerSM {
+			return nil, fmt.Errorf("sim: CTA %d has %d warps, more than %d warp slots per SM",
+				cta.ID, len(cta.Warps), opt.Config.MaxWarpsPerSM)
+		}
+	}
+	e := newEngine(k, opt)
+	if err := e.run(); err != nil {
+		return nil, err
+	}
+	return e.result(), nil
+}
+
+func newEngine(k *trace.Kernel, opt Options) *engine {
+	cfg := opt.Config
+	e := &engine{
+		cfg:    cfg,
+		opt:    opt,
+		kernel: k,
+		net:    newIcntNet(cfg),
+		perSM:  make([]stats.Sim, cfg.NumSM),
+	}
+	e.parts = make([]*memPartition, cfg.L2Partitions)
+	for i := range e.parts {
+		e.parts[i] = newMemPartition(cfg)
+	}
+	e.sms = make([]*sm, cfg.NumSM)
+	for i := range e.sms {
+		var pf prefetch.Prefetcher
+		if opt.NewPrefetcher != nil {
+			pf = opt.NewPrefetcher(i)
+		}
+		e.sms[i] = newSM(i, cfg, pf, &e.perSM[i], opt.MLPPerWarp)
+		e.sms[i].kernel = k
+		e.sms[i].env = &smEnv{eng: e, sm: e.sms[i]}
+	}
+	return e
+}
+
+// partOf maps a line address to its L2 partition. Interleaving is at DRAM
+// row granularity so a whole row stays within one partition (preserving row
+// locality), with XOR folding so power-of-two strides spread across
+// partitions instead of camping on a few.
+func (e *engine) partOf(lineAddr uint64) int {
+	row := lineAddr / uint64(e.cfg.DRAMRowBytes)
+	return int((row ^ (row >> 3) ^ (row >> 6) ^ (row >> 9)) % uint64(len(e.parts)))
+}
+
+// enqueueStore records write-through store traffic (non-blocking for the
+// warp; a simplification documented in DESIGN.md).
+func (e *engine) enqueueStore(sm int, addr uint64) {
+	e.stores = append(e.stores, storePkt{sm: sm, addr: addr})
+}
+
+func (e *engine) run() error {
+	e.fillSMs()
+	idle := int64(0)
+	for e.cycle < e.opt.MaxCycles {
+		e.cycle++
+		e.net.tick(e.cycle)
+		e.processEvents()
+		e.drainResponses()
+		e.drainMissQueues()
+		e.drainStores()
+		anyRetired := e.step()
+		if e.finished() {
+			break
+		}
+		if anyRetired || len(e.events) > 0 || len(e.resps) > 0 {
+			idle = 0
+		} else {
+			// Deadlock guard: nothing retired and nothing in flight for a
+			// long time means a stuck warp (a bug, not a workload property).
+			idle++
+			if idle > 1_000_000 {
+				return errors.New("sim: deadlock: no progress and no in-flight traffic")
+			}
+		}
+	}
+	if e.cycle >= e.opt.MaxCycles {
+		return fmt.Errorf("sim: exceeded MaxCycles=%d", e.opt.MaxCycles)
+	}
+	return nil
+}
+
+// fillSMs dispatches queued CTAs onto SMs with enough free slots.
+func (e *engine) fillSMs() {
+	for {
+		progress := false
+		for _, s := range e.sms {
+			if e.ctaNext >= len(e.kernel.CTAs) {
+				return
+			}
+			need := len(e.kernel.CTAs[e.ctaNext].Warps)
+			if s.freeSlots() >= need {
+				s.dispatchCTA(e.kernel, e.ctaNext, &e.ageCtr)
+				e.ctaNext++
+				progress = true
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// processEvents handles all deliveries due this cycle.
+func (e *engine) processEvents() {
+	for {
+		ev, ok := e.events.popDue(e.cycle)
+		if !ok {
+			return
+		}
+		switch ev.kind {
+		case evReqAtL2:
+			p := e.partOf(ev.lineAddr)
+			readyAt := e.parts[p].access(ev.lineAddr, ev.cycle)
+			e.resps.push(resp{readyAt: readyAt, sm: ev.sm, lineAddr: ev.lineAddr, part: p, prefetch: ev.prefetch})
+		case evRespAtL1:
+			e.inflight--
+			s := e.sms[ev.sm]
+			waiters := s.l1.Fill(ev.lineAddr, e.cycle)
+			s.wake(waiters, e.cycle)
+		}
+	}
+}
+
+// drainResponses sends ready memory responses back over the interconnect.
+func (e *engine) drainResponses() {
+	lineBytes := e.cfg.Unified.LineSize
+	for {
+		r, ok := e.resps.peek()
+		if !ok || r.readyAt > e.cycle {
+			return
+		}
+		deliverAt, sent := e.net.trySendResp(lineBytes)
+		if !sent {
+			return
+		}
+		e.resps.pop()
+		e.parts[r.part].completeFill(r.lineAddr, e.cycle)
+		e.events.push(event{cycle: deliverAt, kind: evRespAtL1, sm: r.sm, lineAddr: r.lineAddr, prefetch: r.prefetch})
+	}
+}
+
+// drainMissQueues injects outgoing fill requests, up to two per SM per
+// cycle, subject to the in-flight cap (downstream queue capacity). Staged
+// prefetch requests trickle into each shared miss queue at one per cycle.
+func (e *engine) drainMissQueues() {
+	for _, s := range e.sms {
+		s.l1.DrainPrefetch(e.cycle)
+		for k := 0; k < 3; k++ {
+			if e.inflight >= e.opt.MaxInflightFills {
+				return
+			}
+			if _, any := s.l1.PeekMiss(); !any {
+				break
+			}
+			deliverAt, sent := e.net.trySendReq(e.opt.RequestBytes)
+			if !sent {
+				return
+			}
+			req, _ := s.l1.PopMiss()
+			e.inflight++
+			e.events.push(event{cycle: deliverAt, kind: evReqAtL2, sm: s.id, lineAddr: req.LineAddr, prefetch: req.Prefetch})
+		}
+	}
+}
+
+// drainStores sends write-through store traffic at low priority.
+func (e *engine) drainStores() {
+	n := 0
+	for n < len(e.stores) {
+		if _, sent := e.net.trySendReq(e.opt.StoreBytes); !sent {
+			break
+		}
+		n++
+	}
+	if n > 0 {
+		e.stores = e.stores[n:]
+	}
+}
+
+// step runs one cycle of every SM and returns whether anything retired.
+func (e *engine) step() bool {
+	any := false
+	for _, s := range e.sms {
+		if s.pf != nil {
+			s.pf.OnCycle(e.cycle, s.env)
+		}
+		res := s.issue(e.cycle, e)
+		if res.retired > 0 {
+			any = true
+		} else {
+			s.classifyStall(res.resFail)
+		}
+		if len(res.ctaFinished) > 0 {
+			e.fillSMs()
+		}
+	}
+	return any
+}
+
+// finished reports whether all CTAs have been dispatched and completed and
+// no traffic is in flight.
+func (e *engine) finished() bool {
+	if e.ctaNext < len(e.kernel.CTAs) {
+		return false
+	}
+	for _, s := range e.sms {
+		if !s.done() {
+			return false
+		}
+	}
+	return len(e.events) == 0 && len(e.resps) == 0
+}
+
+// throttleReporter is implemented by prefetchers that track their halted
+// cycles (Snake).
+type throttleReporter interface {
+	ThrottleCycles() int64
+}
+
+// result aggregates statistics (call once, after the final run).
+func (e *engine) result() *Result {
+	for i, s := range e.sms {
+		s.l1.FinishRun()
+		if tr, ok := s.pf.(throttleReporter); ok {
+			e.perSM[i].Pf.ThrottleCycles = tr.ThrottleCycles()
+		}
+	}
+	res := &Result{PerSM: e.perSM}
+	for i := range e.perSM {
+		e.perSM[i].Cycles = e.cycle
+		res.Stats.Merge(&e.perSM[i])
+	}
+	res.Stats.Cycles = e.cycle
+	res.Stats.IcntBytes = e.net.totalBytes()
+	res.Stats.IcntPeakBytes = e.net.peakBytes(e.cycle)
+	for _, p := range e.parts {
+		r, h, m := p.dramStats()
+		res.Stats.DRAMReads += r
+		res.Stats.DRAMRowHits += h
+		res.Stats.DRAMRowMisses += m
+	}
+	return res
+}
+
+// smEnv adapts engine state to the prefetch.Env interface for one SM.
+type smEnv struct {
+	eng *engine
+	sm  *sm
+}
+
+// Utilization implements prefetch.Env.
+func (v *smEnv) Utilization() float64 { return v.eng.net.utilization() }
+
+// FreeFraction implements prefetch.Env.
+func (v *smEnv) FreeFraction() float64 { return v.sm.l1.FreeFraction() }
+
+// ConfineL1 implements prefetch.Env.
+func (v *smEnv) ConfineL1(until int64) { v.sm.l1.Confine(until) }

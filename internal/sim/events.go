@@ -1,0 +1,89 @@
+package sim
+
+import "container/heap"
+
+// eventKind distinguishes the two in-flight message types.
+type eventKind uint8
+
+const (
+	evReqAtL2  eventKind = iota // fill request arrives at its L2 partition
+	evRespAtL1                  // fill response arrives back at the SM's L1
+)
+
+// event is one scheduled message delivery.
+type event struct {
+	cycle    int64
+	kind     eventKind
+	sm       int
+	lineAddr uint64
+	prefetch bool
+}
+
+// eventHeap is a min-heap of events ordered by delivery cycle.
+type eventHeap []event
+
+func (h eventHeap) Len() int            { return len(h) }
+func (h eventHeap) Less(i, j int) bool  { return h[i].cycle < h[j].cycle }
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func (h *eventHeap) push(e event) { heap.Push(h, e) }
+
+// popDue removes and returns the earliest event if it is due at or before
+// cycle.
+func (h *eventHeap) popDue(cycle int64) (event, bool) {
+	if len(*h) == 0 || (*h)[0].cycle > cycle {
+		return event{}, false
+	}
+	return heap.Pop(h).(event), true
+}
+
+// nextCycle returns the earliest scheduled cycle, or -1 when empty.
+func (h eventHeap) nextCycle() int64 {
+	if len(h) == 0 {
+		return -1
+	}
+	return h[0].cycle
+}
+
+// resp is a memory response waiting for response-network bandwidth.
+type resp struct {
+	readyAt  int64
+	sm       int
+	lineAddr uint64
+	part     int
+	prefetch bool
+}
+
+// respHeap is a min-heap of responses ordered by data-ready cycle.
+type respHeap []resp
+
+func (h respHeap) Len() int            { return len(h) }
+func (h respHeap) Less(i, j int) bool  { return h[i].readyAt < h[j].readyAt }
+func (h respHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *respHeap) Push(x interface{}) { *h = append(*h, x.(resp)) }
+func (h *respHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func (h *respHeap) push(r resp) { heap.Push(h, r) }
+
+func (h *respHeap) peek() (resp, bool) {
+	if len(*h) == 0 {
+		return resp{}, false
+	}
+	return (*h)[0], true
+}
+
+func (h *respHeap) pop() resp { return heap.Pop(h).(resp) }

@@ -1,0 +1,43 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"snake/internal/config"
+	"snake/internal/core"
+	"snake/internal/prefetch"
+	"snake/internal/sim"
+	"snake/internal/trace"
+)
+
+// Example runs a hand-built two-warp kernel with Snake attached and prints
+// whether every instruction retired.
+func Example() {
+	// One CTA with two warps, each streaming eight lines.
+	var cta trace.CTA
+	for w := 0; w < 2; w++ {
+		b := trace.NewBuilder()
+		addr := uint64(0x1000_0000 + w*0x10000)
+		for i := 0; i < 8; i++ {
+			b.Load(0x100, addr, 4)
+			b.Compute(0x108, 4)
+			addr += 256
+		}
+		wp := b.Exit(0x110)
+		wp.IDInCTA = w
+		cta.Warps = append(cta.Warps, wp)
+	}
+	k := &trace.Kernel{Name: "example", CTAs: []trace.CTA{cta}}
+
+	res, err := sim.Run(k, sim.Options{
+		Config:        config.Scaled(1, 8),
+		NewPrefetcher: func(int) prefetch.Prefetcher { return core.NewSnake() },
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("retired %d of %d instructions\n", res.Stats.Insts, k.TotalInsts())
+	// Output:
+	// retired 34 of 34 instructions
+}

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"snake/internal/cache"
+	"snake/internal/config"
+	"snake/internal/dram"
+)
+
+// memPartition is one L2 sub-partition with its attached DRAM controller.
+// Requests from different SMs to the same in-flight line merge at the
+// partition so DRAM sees each line once.
+type memPartition struct {
+	l2       *cache.Cache
+	dramCtl  *dram.Controller
+	latency  int64
+	inflight map[uint64]int64 // line -> data-ready cycle
+}
+
+func newMemPartition(cfg config.GPU) *memPartition {
+	return &memPartition{
+		l2:       cache.New(cfg.L2),
+		dramCtl:  dram.New(cfg.DRAM, cfg.DRAMBanks, cfg.DRAMRowBytes, cfg.DRAMClockxfer),
+		latency:  int64(cfg.L2.Latency),
+		inflight: make(map[uint64]int64),
+	}
+}
+
+// access services a fill request arriving at the partition at cycle and
+// returns the cycle at which the line's data is ready to be sent back.
+func (m *memPartition) access(lineAddr uint64, cycle int64) int64 {
+	if ra, ok := m.inflight[lineAddr]; ok && ra > cycle {
+		return ra // merge with the in-flight fetch
+	}
+	if p := m.l2.Probe(lineAddr); p.Present {
+		m.l2.Touch(lineAddr, cycle)
+		return cycle + m.latency
+	}
+	readyAt := m.dramCtl.Access(lineAddr, cycle+m.latency)
+	m.inflight[lineAddr] = readyAt
+	return readyAt
+}
+
+// completeFill installs the line into the L2 once its DRAM fetch finished.
+// Idempotent per in-flight fetch.
+func (m *memPartition) completeFill(lineAddr uint64, cycle int64) {
+	if _, ok := m.inflight[lineAddr]; !ok {
+		return
+	}
+	delete(m.inflight, lineAddr)
+	if p := m.l2.Probe(lineAddr); p.Present || p.Reserved {
+		return
+	}
+	if _, ok := m.l2.Reserve(lineAddr, cache.ClassData, cycle, nil); ok {
+		m.l2.Fill(lineAddr, cycle)
+	}
+}
+
+// dramStats exposes the controller counters.
+func (m *memPartition) dramStats() (reads, rowHits, rowMisses int64) {
+	return m.dramCtl.Stats()
+}

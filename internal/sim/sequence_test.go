@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"testing"
+
+	"snake/internal/core"
+	"snake/internal/prefetch"
+	"snake/internal/trace"
+	"snake/internal/workloads"
+)
+
+func seqOpts(pf func(int) prefetch.Prefetcher) SequenceOptions {
+	return SequenceOptions{Options: Options{Config: tinyCfg(), NewPrefetcher: pf}}
+}
+
+func TestSequenceRunsAllKernels(t *testing.T) {
+	a, _ := workloads.Build("lps", workloads.Tiny())
+	b, _ := workloads.Build("hotspot", workloads.Tiny())
+	res, err := RunSequence([]*trace.Kernel{a, b}, seqOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Spans) != 2 {
+		t.Fatalf("spans = %d", len(res.Spans))
+	}
+	if res.Spans[0].Name != "lps" || res.Spans[1].Name != "hotspot" {
+		t.Errorf("span names: %+v", res.Spans)
+	}
+	wantInsts := int64(a.TotalInsts() + b.TotalInsts())
+	if res.Stats.Insts != wantInsts {
+		t.Errorf("retired %d instructions, want %d", res.Stats.Insts, wantInsts)
+	}
+	if res.Spans[0].Insts != int64(a.TotalInsts()) {
+		t.Errorf("kernel 0 span retired %d, want %d", res.Spans[0].Insts, a.TotalInsts())
+	}
+	if res.Spans[1].StartCycle < res.Spans[0].EndCycle {
+		t.Error("kernel 1 started before kernel 0 finished")
+	}
+}
+
+func TestSequenceMatchesSingleRunTotals(t *testing.T) {
+	k, _ := workloads.Build("srad", workloads.Tiny())
+	single, err := Run(k, Options{Config: tinyCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := RunSequence([]*trace.Kernel{k}, seqOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Stats.Insts != seq.Stats.Insts || single.Stats.Cycles != seq.Stats.Cycles {
+		t.Errorf("one-kernel sequence differs from Run: %d/%d vs %d/%d",
+			seq.Stats.Insts, seq.Stats.Cycles, single.Stats.Insts, single.Stats.Cycles)
+	}
+}
+
+func TestSequenceWarmPrefetcherHelpsRelaunch(t *testing.T) {
+	k := workloads.StreamMicro(workloads.Scale{CTAs: 6, WarpsPerCTA: 4, Iters: 12}, 512)
+	pf := func(int) prefetch.Prefetcher { return core.NewSnake() }
+
+	warm, err := RunSequence([]*trace.Kernel{k, k}, seqOpts(pf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := RunSequence([]*trace.Kernel{k, k}, SequenceOptions{
+		Options:          Options{Config: tinyCfg(), NewPrefetcher: pf},
+		FlushL1:          true,
+		ResetPrefetchers: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A warm-table relaunch of an identical, perfectly regular kernel must
+	// be competitive with a cold one (stale Head-table entries cost a few
+	// mismatch demotions at the start, so allow a small margin).
+	warm2 := warm.Spans[1].Cycles()
+	cold2 := cold.Spans[1].Cycles()
+	if float64(warm2) > 1.10*float64(cold2) {
+		t.Errorf("warm relaunch (%d cycles) much slower than cold (%d)", warm2, cold2)
+	}
+}
+
+func TestSequenceFlushDropsHits(t *testing.T) {
+	k := workloads.StreamMicro(workloads.Tiny(), 256)
+	keep, err := RunSequence([]*trace.Kernel{k, k}, seqOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flush, err := RunSequence([]*trace.Kernel{k, k}, SequenceOptions{
+		Options: Options{Config: tinyCfg()},
+		FlushL1: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-running the same data with warm caches must hit at least as much.
+	if keep.Stats.L1HitRate() < flush.Stats.L1HitRate() {
+		t.Errorf("warm caches hit %.3f < flushed %.3f",
+			keep.Stats.L1HitRate(), flush.Stats.L1HitRate())
+	}
+}
+
+func TestSequenceEmptyRejected(t *testing.T) {
+	if _, err := RunSequence(nil, seqOpts(nil)); err == nil {
+		t.Error("empty sequence accepted")
+	}
+}
+
+func TestSequenceValidatesEveryKernel(t *testing.T) {
+	good, _ := workloads.Build("lps", workloads.Tiny())
+	bad := &trace.Kernel{Name: "bad"}
+	if _, err := RunSequence([]*trace.Kernel{good, bad}, seqOpts(nil)); err == nil {
+		t.Error("invalid kernel in sequence accepted")
+	}
+}
+
+func TestThrottleCyclesReported(t *testing.T) {
+	// Snake's halted cycles must surface in the aggregated stats.
+	k, _ := workloads.Build("lib", workloads.Tiny())
+	res := runTiny(t, k, func(int) prefetch.Prefetcher { return core.NewSnake() })
+	// lib saturates the response network, so the bandwidth throttle engages.
+	if res.Stats.Pf.ThrottleCycles == 0 {
+		t.Log("no throttle cycles on lib at tiny scale (acceptable)")
+	}
+	// The field must never be negative and must not exceed total cycles x SMs.
+	max := res.Stats.Cycles * int64(len(res.PerSM))
+	if res.Stats.Pf.ThrottleCycles < 0 || res.Stats.Pf.ThrottleCycles > max {
+		t.Errorf("ThrottleCycles = %d out of range [0,%d]", res.Stats.Pf.ThrottleCycles, max)
+	}
+}

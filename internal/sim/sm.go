@@ -1,0 +1,432 @@
+package sim
+
+import (
+	"snake/internal/cache"
+	"snake/internal/config"
+	"snake/internal/prefetch"
+	"snake/internal/sched"
+	"snake/internal/stats"
+	"snake/internal/trace"
+)
+
+// warpState is the lifecycle state of a warp slot.
+type warpState uint8
+
+const (
+	wsFree    warpState = iota // slot unoccupied
+	wsReady                    // can issue (subject to busyUntil)
+	wsWaitMem                  // blocked on an outstanding load
+	wsBarrier                  // waiting at a CTA barrier
+	wsDone                     // finished; slot frees when the CTA completes
+)
+
+// warpCtx is the per-warp-slot execution context.
+type warpCtx struct {
+	state     warpState
+	ctaIdx    int // index into the kernel's CTA slice
+	prog      *trace.WarpProgram
+	pc        int
+	busyUntil int64
+	age       int64
+	loadSeq   int // retired loads so far
+	// outstanding counts in-flight loads; the warp issues ahead until the
+	// MLP window fills, then blocks (in-order core with limited memory-level
+	// parallelism).
+	outstanding int
+
+	// Oracle load streams (populated only when the prefetcher wants them).
+	futPCs   []uint64
+	futAddrs []uint64
+}
+
+// sm models one streaming multiprocessor: warp slots, scheduler slices, the
+// L1 controller and the attached prefetcher.
+type sm struct {
+	id     int
+	cfg    config.GPU
+	l1     *cache.L1
+	pf     prefetch.Prefetcher
+	oracle bool
+	magic  bool
+	scheds []sched.Scheduler
+	warps  []warpCtx
+	st     *stats.Sim
+
+	// Scratch per-scheduler slices reused across cycles.
+	readyBuf [][]bool
+	ageBuf   [][]int64
+	slotBuf  [][]int
+	lineBuf  []uint64 // coalescer scratch
+
+	resident int // live (non-free) warp slots
+	env      prefetch.Env
+	kernel   *trace.Kernel // set by the engine before the run
+	mlp      int           // per-warp MLP window (outstanding loads before blocking)
+	observer prefetch.OutcomeObserver
+}
+
+// outcomeOf maps the cache-level prefetch outcome to the prefetcher-visible
+// one.
+func outcomeOf(oc cache.PrefetchOutcome) prefetch.Outcome {
+	switch oc {
+	case cache.PrefetchIssued:
+		return prefetch.OutcomeIssued
+	case cache.PrefetchDuplicate:
+		return prefetch.OutcomeDuplicate
+	case cache.PrefetchNoSpace:
+		return prefetch.OutcomeNoSpace
+	default:
+		return prefetch.OutcomeNoRoom
+	}
+}
+
+func newSM(id int, cfg config.GPU, pf prefetch.Prefetcher, st *stats.Sim, mlp int) *sm {
+	geom := cfg.Unified
+	geom.SizeBytes = cfg.DataCacheBytes()
+	l1opt := cache.L1Options{
+		MSHREntries:   cfg.MSHREntries,
+		MergeCap:      cfg.MSHRMergeCap,
+		MissQueueSize: cfg.MissQueueSize,
+	}
+	s := &sm{
+		id:    id,
+		cfg:   cfg,
+		pf:    pf,
+		st:    st,
+		warps: make([]warpCtx, cfg.MaxWarpsPerSM),
+		mlp:   mlp,
+	}
+	if pf != nil {
+		s.oracle = prefetch.WantsOracle(pf)
+		s.magic = pf.Magic()
+		if ob, ok := pf.(prefetch.OutcomeObserver); ok {
+			s.observer = ob
+		}
+	}
+	if dec, iso := prefetcherStorage(pf); dec || iso {
+		l1opt.Decoupled = dec
+		l1opt.Isolated = iso
+	}
+	s.l1 = cache.NewL1(geom, l1opt, st)
+	nSched := cfg.SchedulersPerSM
+	s.scheds = make([]sched.Scheduler, nSched)
+	s.readyBuf = make([][]bool, nSched)
+	s.ageBuf = make([][]int64, nSched)
+	s.slotBuf = make([][]int, nSched)
+	per := (cfg.MaxWarpsPerSM + nSched - 1) / nSched
+	for i := range s.scheds {
+		s.scheds[i] = sched.New(cfg.Scheduler)
+		s.readyBuf[i] = make([]bool, 0, per)
+		s.ageBuf[i] = make([]int64, 0, per)
+		s.slotBuf[i] = make([]int, 0, per)
+	}
+	return s
+}
+
+func prefetcherStorage(p prefetch.Prefetcher) (decoupled, isolated bool) {
+	if h, ok := p.(prefetch.StorageHint); ok {
+		return h.Storage()
+	}
+	return false, false
+}
+
+// freeSlots returns the number of unoccupied warp slots.
+func (s *sm) freeSlots() int { return len(s.warps) - s.resident }
+
+// dispatchCTA places a CTA's warps onto free slots. Caller must ensure
+// enough free slots exist.
+func (s *sm) dispatchCTA(k *trace.Kernel, ctaIdx int, age *int64) {
+	cta := &k.CTAs[ctaIdx]
+	wi := 0
+	for slot := range s.warps {
+		if wi >= len(cta.Warps) {
+			break
+		}
+		if s.warps[slot].state != wsFree {
+			continue
+		}
+		w := &s.warps[slot]
+		*age++
+		*w = warpCtx{
+			state:  wsReady,
+			ctaIdx: ctaIdx,
+			prog:   &cta.Warps[wi],
+			age:    *age,
+		}
+		if s.oracle {
+			w.futPCs, w.futAddrs = loadStream(w.prog)
+		}
+		s.resident++
+		wi++
+	}
+	if wi != len(cta.Warps) {
+		panic("sim: dispatched CTA without enough free slots")
+	}
+}
+
+// loadStream extracts the PC/address stream of a warp's loads.
+func loadStream(p *trace.WarpProgram) (pcs, addrs []uint64) {
+	for _, in := range p.Insts {
+		if in.Op == trace.OpLoad {
+			pcs = append(pcs, in.PC)
+			addrs = append(addrs, in.Addr)
+		}
+	}
+	return pcs, addrs
+}
+
+// issueResult summarizes one SM-cycle of issue for stall classification.
+type issueResult struct {
+	retired     int
+	resFail     bool
+	ctaFinished []int // CTA indices that completed this cycle
+}
+
+// issue runs all scheduler slices for one cycle. eng provides memory-system
+// callbacks.
+func (s *sm) issue(cycle int64, eng *engine) issueResult {
+	var res issueResult
+	nSched := len(s.scheds)
+	for si := 0; si < nSched; si++ {
+		ready := s.readyBuf[si][:0]
+		ages := s.ageBuf[si][:0]
+		slots := s.slotBuf[si][:0]
+		for slot := si; slot < len(s.warps); slot += nSched {
+			w := &s.warps[slot]
+			if w.state == wsFree || w.state == wsDone {
+				continue
+			}
+			slots = append(slots, slot)
+			ready = append(ready, w.state == wsReady && w.busyUntil <= cycle)
+			ages = append(ages, w.age)
+		}
+		s.readyBuf[si], s.ageBuf[si], s.slotBuf[si] = ready, ages, slots
+		if len(slots) == 0 {
+			continue
+		}
+		pick := s.scheds[si].Pick(ready, ages)
+		if pick < 0 {
+			continue
+		}
+		s.execute(slots[pick], cycle, eng, &res)
+	}
+	return res
+}
+
+// execute issues warp slot's next instruction.
+func (s *sm) execute(slot int, cycle int64, eng *engine, res *issueResult) {
+	w := &s.warps[slot]
+	in := &w.prog.Insts[w.pc]
+	switch in.Op {
+	case trace.OpCompute:
+		w.busyUntil = cycle + int64(in.Lat)
+		w.pc++
+		s.st.Insts++
+		res.retired++
+
+	case trace.OpStore:
+		eng.enqueueStore(s.id, in.Addr)
+		w.busyUntil = cycle + 1
+		w.pc++
+		s.st.Insts++
+		s.st.Stores++
+		res.retired++
+
+	case trace.OpBarrier:
+		w.state = wsBarrier
+		w.pc++
+		s.st.Insts++
+		res.retired++
+		s.maybeReleaseBarrier(w.ctaIdx, cycle)
+
+	case trace.OpExit:
+		if w.outstanding > 0 {
+			// Drain in-flight loads before retiring so a freed slot can
+			// never receive a stale wake-up.
+			w.state = wsWaitMem
+			return
+		}
+		w.state = wsDone
+		s.st.Insts++
+		res.retired++
+		s.maybeReleaseBarrier(w.ctaIdx, cycle)
+		if s.ctaLiveWarps(w.ctaIdx) == 0 {
+			s.retireCTA(w.ctaIdx)
+			res.ctaFinished = append(res.ctaFinished, w.ctaIdx)
+		}
+
+	case trace.OpLoad:
+		// Coalesce the warp's thread addresses into line transactions. The
+		// primary (first) transaction carries the warp's dependency: its
+		// outcome decides blocking and replay. Secondary transactions of a
+		// divergent access consume MSHRs, miss-queue slots and bandwidth but
+		// wake nobody — the warp's timing tracks its lead transaction, a
+		// documented simplification for divergent loads.
+		s.lineBuf = coalesce(s.lineBuf[:0], in.Addr, in.Stride, s.cfg.WarpSize, s.l1.LineSize())
+		out := s.l1.Access(slot, s.lineBuf[0], cycle)
+		switch out {
+		case stats.L1ReservationFail:
+			// PC not advanced: the request is resent until accepted (§2).
+			// The replay takes a few cycles to come around the access
+			// pipeline again.
+			w.busyUntil = cycle + 4
+			res.resFail = true
+			return
+		case stats.L1Hit, stats.L1HitPrefetch:
+			w.busyUntil = cycle + int64(s.cfg.Unified.Latency)
+		default:
+			// Miss or merged: the load is in flight. The warp keeps issuing
+			// until its MLP window fills, then blocks until a fill drains it.
+			w.outstanding++
+			if w.outstanding >= s.mlp {
+				w.state = wsWaitMem
+			} else {
+				w.busyUntil = cycle + 2 // issue occupancy only
+			}
+		}
+		for _, line := range s.lineBuf[1:] {
+			s.l1.Access(cache.NoWaiterWarp, line, cycle)
+		}
+		w.pc++
+		w.loadSeq++
+		s.st.Insts++
+		s.st.Loads++
+		res.retired++
+		s.notifyPrefetcher(slot, w, in, out, cycle)
+	}
+}
+
+// notifyPrefetcher reports a retired load and applies returned requests.
+func (s *sm) notifyPrefetcher(slot int, w *warpCtx, in *trace.Inst, out stats.L1Outcome, cycle int64) {
+	if s.pf == nil {
+		return
+	}
+	ev := prefetch.AccessEvent{
+		Cycle:     cycle,
+		SM:        s.id,
+		CTAID:     w.ctaIdx,
+		CTABase:   s.kernel.CTAs[w.ctaIdx].BaseAddr,
+		WarpID:    slot,
+		WarpInCTA: w.prog.IDInCTA,
+		PC:        in.PC,
+		Addr:      in.Addr,
+		LineAddr:  s.l1.LineAddr(in.Addr),
+		Hit:       out == stats.L1Hit || out == stats.L1HitPrefetch,
+		SeqInWarp: w.loadSeq - 1,
+	}
+	if s.oracle {
+		ev.FuturePCs = w.futPCs[w.loadSeq:]
+		ev.FutureAddrs = w.futAddrs[w.loadSeq:]
+	}
+	for _, r := range s.pf.OnAccess(ev) {
+		if s.magic {
+			// The Ideal oracle's predictions are free: they always count,
+			// whether or not the line was already resident.
+			s.l1.MagicFill(r.Addr, cycle)
+			s.l1.Predict(r.Addr)
+			continue
+		}
+		// Only accepted (or deduplicated) prefetches count as predictions;
+		// requests the memory system had to drop never became prefetches.
+		oc := s.l1.PrefetchLine(r.Addr, cycle)
+		if oc != cache.PrefetchNoRoom {
+			s.l1.Predict(r.Addr)
+		}
+		if s.observer != nil {
+			s.observer.OnPrefetchOutcome(r.Addr, outcomeOf(oc), cycle, s.env)
+		}
+	}
+	s.l1.SetTrained(s.pf.Trained())
+}
+
+// ctaLiveWarps counts warps of the CTA not yet done.
+func (s *sm) ctaLiveWarps(ctaIdx int) int {
+	n := 0
+	for i := range s.warps {
+		w := &s.warps[i]
+		if w.state != wsFree && w.state != wsDone && w.ctaIdx == ctaIdx {
+			n++
+		}
+	}
+	return n
+}
+
+// retireCTA frees the slots of a completed CTA.
+func (s *sm) retireCTA(ctaIdx int) {
+	for i := range s.warps {
+		w := &s.warps[i]
+		if w.state == wsDone && w.ctaIdx == ctaIdx {
+			w.state = wsFree
+			w.prog = nil
+			s.resident--
+		}
+	}
+}
+
+// maybeReleaseBarrier releases the CTA's warps when all have arrived.
+func (s *sm) maybeReleaseBarrier(ctaIdx int, cycle int64) {
+	for i := range s.warps {
+		w := &s.warps[i]
+		if w.ctaIdx != ctaIdx || w.state == wsFree {
+			continue
+		}
+		if w.state == wsReady || w.state == wsWaitMem {
+			return // someone still running
+		}
+	}
+	for i := range s.warps {
+		w := &s.warps[i]
+		if w.ctaIdx == ctaIdx && w.state == wsBarrier {
+			w.state = wsReady
+			w.busyUntil = cycle + 1
+		}
+	}
+}
+
+// wake drains one outstanding load per waiter entry and unblocks warps whose
+// MLP window has room again.
+func (s *sm) wake(slots []int, cycle int64) {
+	for _, slot := range slots {
+		if slot < 0 || slot >= len(s.warps) {
+			continue
+		}
+		w := &s.warps[slot]
+		if w.outstanding > 0 {
+			w.outstanding--
+		}
+		if w.state == wsWaitMem && w.outstanding < s.mlp {
+			w.state = wsReady
+			w.busyUntil = cycle
+		}
+	}
+}
+
+// classifyStall records the stall type for a cycle in which nothing retired.
+func (s *sm) classifyStall(resFail bool) {
+	if s.resident == 0 {
+		return
+	}
+	if resFail {
+		s.st.StallMemory++
+		return
+	}
+	waitMem, other := 0, 0
+	for i := range s.warps {
+		switch s.warps[i].state {
+		case wsWaitMem:
+			waitMem++
+		case wsReady:
+			other++ // busy on compute latency
+		case wsBarrier:
+			other++
+		}
+	}
+	if waitMem > 0 && other == 0 {
+		s.st.StallMemory++
+	} else {
+		s.st.StallOther++
+	}
+}
+
+// done reports whether every slot is free.
+func (s *sm) done() bool { return s.resident == 0 }

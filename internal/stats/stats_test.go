@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestL1OutcomeString(t *testing.T) {
+	for o, want := range map[L1Outcome]string{
+		L1Hit: "hit", L1HitPrefetch: "hit-prefetch", L1Reserved: "reserved",
+		L1Miss: "miss", L1ReservationFail: "reservation-fail",
+	} {
+		if got := o.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", o, got, want)
+		}
+	}
+}
+
+func TestRates(t *testing.T) {
+	var s Sim
+	s.Cycles = 100
+	s.Insts = 250
+	s.Loads = 100
+	for i := 0; i < 40; i++ {
+		s.AddL1(L1Hit)
+	}
+	for i := 0; i < 10; i++ {
+		s.AddL1(L1HitPrefetch)
+	}
+	for i := 0; i < 30; i++ {
+		s.AddL1(L1Miss)
+	}
+	for i := 0; i < 20; i++ {
+		s.AddL1(L1Reserved)
+	}
+	for i := 0; i < 100; i++ {
+		s.AddL1(L1ReservationFail)
+	}
+	if got := s.L1Accesses(); got != 200 {
+		t.Errorf("L1Accesses = %d", got)
+	}
+	if got := s.L1HitRate(); got != 0.5 {
+		t.Errorf("L1HitRate = %v, want 0.5 (fails excluded)", got)
+	}
+	if got := s.ReservationFailRate(); got != 0.5 {
+		t.Errorf("ReservationFailRate = %v, want 0.5", got)
+	}
+	if got := s.IPC(); got != 2.5 {
+		t.Errorf("IPC = %v", got)
+	}
+}
+
+func TestCoverageAccuracy(t *testing.T) {
+	var s Sim
+	s.Loads = 100
+	s.Pf.Covered = 80
+	s.Pf.CoveredTimely = 60
+	if got := s.Coverage(); got != 0.8 {
+		t.Errorf("Coverage = %v", got)
+	}
+	if got := s.Accuracy(); got != 0.6 {
+		t.Errorf("Accuracy = %v", got)
+	}
+	// Accuracy can never exceed coverage by construction of the counters;
+	// both clamp at 1.
+	s.Pf.Covered = 500
+	if got := s.Coverage(); got != 1 {
+		t.Errorf("clamped Coverage = %v", got)
+	}
+}
+
+func TestZeroDenominators(t *testing.T) {
+	var s Sim
+	if s.IPC() != 0 || s.L1HitRate() != 0 || s.ReservationFailRate() != 0 ||
+		s.BandwidthUtilization() != 0 || s.MemStallFraction() != 0 ||
+		s.Coverage() != 0 || s.Accuracy() != 0 || s.PrefetchPrecision() != 0 {
+		t.Error("zero-valued Sim must produce zero rates, not NaN")
+	}
+}
+
+func TestMergeAdds(t *testing.T) {
+	f := func(a, b uint16) bool {
+		var x, y Sim
+		x.Insts = int64(a)
+		x.Pf.Issued = int64(a)
+		x.StallMemory = int64(a)
+		y.Insts = int64(b)
+		y.Pf.Issued = int64(b)
+		y.StallMemory = int64(b)
+		x.Cycles = 10
+		y.Cycles = 20
+		x.Merge(&y)
+		return x.Insts == int64(a)+int64(b) &&
+			x.Pf.Issued == int64(a)+int64(b) &&
+			x.StallMemory == int64(a)+int64(b) &&
+			x.Cycles == 20 // max, not sum
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringContainsKeyFields(t *testing.T) {
+	var s Sim
+	s.Cycles = 10
+	s.Insts = 20
+	out := s.String()
+	for _, want := range []string{"cycles=10", "insts=20", "ipc=2.000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() = %q missing %q", out, want)
+		}
+	}
+}
+
+func TestMemStallFraction(t *testing.T) {
+	var s Sim
+	s.StallMemory = 55
+	s.StallOther = 45
+	if got := s.MemStallFraction(); got != 0.55 {
+		t.Errorf("MemStallFraction = %v", got)
+	}
+}

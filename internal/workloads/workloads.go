@@ -1,0 +1,133 @@
+// Package workloads generates synthetic per-warp instruction/address traces
+// reproducing the access structure of the paper's benchmark suite (Table 2):
+// CP, LPS, LIB, MUM from ISPASS; Backprop, Hotspot, Srad, lud, nw from
+// Rodinia; histo and MRQ from Parboil. Each generator documents the pattern
+// it reproduces and which prefetching mechanisms it favours; the shapes of
+// the paper's figures emerge from these structures rather than from any
+// per-mechanism tuning.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"snake/internal/trace"
+)
+
+// Byte-size helpers.
+const (
+	kb = 1 << 10
+	mb = 1 << 20
+)
+
+// lineBytes is the cache-line granularity the generators assume (Table 1).
+const lineBytes = 128
+
+// Scale controls workload size. Experiments use DefaultScale; tests shrink
+// it for speed.
+type Scale struct {
+	CTAs        int
+	WarpsPerCTA int
+	Iters       int // loop-depth multiplier
+}
+
+// DefaultScale sizes workloads for the scaled simulator configuration
+// (config.Scaled(4, 32)): three waves of CTAs so inter-CTA prefetching has
+// future CTAs to target.
+func DefaultScale() Scale { return Scale{CTAs: 48, WarpsPerCTA: 8, Iters: 12} }
+
+// Tiny returns a minimal scale for unit tests.
+func Tiny() Scale { return Scale{CTAs: 4, WarpsPerCTA: 2, Iters: 4} }
+
+func (s Scale) withDefaults() Scale {
+	d := DefaultScale()
+	if s.CTAs <= 0 {
+		s.CTAs = d.CTAs
+	}
+	if s.WarpsPerCTA <= 0 {
+		s.WarpsPerCTA = d.WarpsPerCTA
+	}
+	if s.Iters <= 0 {
+		s.Iters = d.Iters
+	}
+	return s
+}
+
+// Builder constructs a kernel at the given scale.
+type Builder func(Scale) *trace.Kernel
+
+var registry = map[string]Builder{
+	"cp":       CP,
+	"lps":      LPS,
+	"lib":      LIB,
+	"mum":      MUM,
+	"backprop": Backprop,
+	"hotspot":  Hotspot,
+	"srad":     Srad,
+	"lud":      LUD,
+	"nw":       NW,
+	"histo":    Histo,
+	"mrq":      MRQ,
+}
+
+// tableOrder is the Table 2 presentation order.
+var tableOrder = []string{
+	"cp", "lps", "lib", "mum", "backprop", "hotspot", "srad", "lud", "nw", "histo", "mrq",
+}
+
+// Names returns the benchmark names in Table 2 order.
+func Names() []string {
+	out := make([]string, len(tableOrder))
+	copy(out, tableOrder)
+	return out
+}
+
+// FullNames maps the abbreviation to the Table 2 full benchmark name.
+func FullNames() map[string]string {
+	return map[string]string{
+		"cp":       "Coulombic Potential (ISPASS)",
+		"lps":      "3D Laplace Solver (ISPASS)",
+		"lib":      "LIBOR Monte Carlo (ISPASS)",
+		"mum":      "MUMmerGPU (ISPASS)",
+		"backprop": "Back Propagation (Rodinia)",
+		"hotspot":  "HotSpot (Rodinia)",
+		"srad":     "Speckle Reducing Anisotropic Diffusion (Rodinia)",
+		"lud":      "LU Decomposition (Rodinia)",
+		"nw":       "Needleman-Wunsch (Rodinia)",
+		"histo":    "Histogram (Parboil)",
+		"mrq":      "mri-q (Parboil)",
+	}
+}
+
+// Build constructs the named benchmark's kernel.
+func Build(name string, sc Scale) (*trace.Kernel, error) {
+	b, ok := registry[name]
+	if !ok {
+		known := make([]string, 0, len(registry))
+		for k := range registry {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("workloads: unknown benchmark %q (known: %v)", name, known)
+	}
+	return b(sc.withDefaults()), nil
+}
+
+// mix is splitmix64: a deterministic pseudo-random mixer used for irregular
+// (data-dependent) address streams. No global state, fully reproducible.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// irregular returns a pseudo-random line-aligned address within
+// [base, base+span).
+func irregular(base uint64, span uint64, seed uint64) uint64 {
+	off := mix(seed) % (span / lineBytes)
+	return base + off*lineBytes
+}
+
+// gwarp returns the global warp index of warp w in CTA c.
+func gwarp(c, w, warpsPerCTA int) int { return c*warpsPerCTA + w }
