@@ -1,0 +1,89 @@
+// Command snaked serves the simulation service over HTTP/JSON: submit
+// simulation and sweep jobs, poll their results, and scrape metrics. Jobs
+// run on a bounded worker pool behind a priority queue, and completed
+// results are memoized in a content-addressed cache so repeated sweeps over
+// the paper's benchmark grid return instantly.
+//
+// Usage:
+//
+//	snaked -addr :8080 -workers 8
+//	curl -s localhost:8080/v1/benchmarks
+//	curl -s -XPOST localhost:8080/v1/runs -d '{"bench":"lps","mech":"snake"}'
+//
+// SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight jobs
+// (bounded by -draintimeout), aborting still-running simulations through
+// their contexts if the deadline passes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"snake/internal/config"
+	"snake/internal/service"
+	"snake/internal/workloads"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "simulation worker pool size (default: GOMAXPROCS)")
+		numSM   = flag.Int("sms", 4, "simulated SMs in the default GPU config")
+		warps   = flag.Int("warps", 64, "warps per SM in the default GPU config")
+		ctas    = flag.Int("ctas", 0, "default workload scale: CTAs (0: paper default)")
+		iters   = flag.Int("iters", 0, "default workload scale: loop iterations (0: paper default)")
+		drain   = flag.Duration("draintimeout", 2*time.Minute, "graceful shutdown drain budget")
+	)
+	flag.Parse()
+
+	gpu := config.Scaled(*numSM, *warps)
+	scale := workloads.DefaultScale()
+	if *ctas > 0 {
+		scale.CTAs = *ctas
+	}
+	if *iters > 0 {
+		scale.Iters = *iters
+	}
+
+	svc := service.New(service.Options{Workers: *workers, GPU: &gpu, Scale: &scale})
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("snaked: listening on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("snaked: %v: draining (budget %v)", sig, *drain)
+	case err := <-errCh:
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop intake first so new jobs get 503s, then drain the pool.
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("snaked: http shutdown: %v", err)
+	}
+	if err := svc.Shutdown(ctx); err != nil {
+		log.Printf("snaked: drain incomplete, aborted running jobs: %v", err)
+	}
+	log.Printf("snaked: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "snaked:", err)
+	os.Exit(1)
+}

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -35,6 +36,16 @@ var knobs = map[string]func(*core.Config, int){
 	"maxrequests":    func(c *core.Config, v int) { c.MaxRequestsPerAccess = v },
 }
 
+// knobNames returns the sweepable knob names, sorted.
+func knobNames() []string {
+	names := make([]string, 0, len(knobs))
+	for k := range knobs {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
 func main() {
 	var (
 		knob   = flag.String("knob", "chaindepth", "parameter to sweep (see -listknobs)")
@@ -46,11 +57,7 @@ func main() {
 	flag.Parse()
 
 	if *lk {
-		names := make([]string, 0, len(knobs))
-		for k := range knobs {
-			names = append(names, k)
-		}
-		fmt.Println(strings.Join(names, " "))
+		fmt.Println(strings.Join(knobNames(), " "))
 		return
 	}
 	set, ok := knobs[*knob]

@@ -1,0 +1,110 @@
+// Serveclient submits a small sweep to a locally running snaked and prints
+// the IPC-vs-baseline table — the minimal end-to-end client of the service
+// API, compiled against the same wire types the server uses
+// (service.SweepRequest / service.SweepView).
+//
+// Start a server, then run the client:
+//
+//	go run ./cmd/snaked -addr :8080 &
+//	go run ./examples/serveclient -addr http://localhost:8080
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"snake/internal/harness"
+	"snake/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://localhost:8080", "snaked base URL")
+		benches = flag.String("benches", "cp,lps,hotspot", "comma-separated benchmarks")
+		mechs   = flag.String("mechs", "mta,snake", "comma-separated mechanisms (baseline added automatically)")
+	)
+	flag.Parse()
+
+	bs := strings.Split(*benches, ",")
+	ms := append([]string{"baseline"}, strings.Split(*mechs, ",")...)
+
+	sweep := submit(*addr, service.SweepRequest{Benches: bs, Mechs: ms})
+	fmt.Printf("submitted sweep %s: %d jobs\n", sweep.ID, sweep.Total)
+
+	// Poll until every cell is terminal.
+	for !sweep.Done {
+		time.Sleep(250 * time.Millisecond)
+		sweep = poll(*addr, sweep.ID)
+		fmt.Printf("  %d/%d done\n", sweep.Total-sweep.Pending, sweep.Total)
+	}
+
+	// Index the cells and print IPC normalized to baseline per benchmark.
+	ipc := make(map[string]map[string]float64) // bench -> mech -> ipc
+	for _, j := range sweep.Jobs {
+		if j.Status != service.StatusDone {
+			log.Fatalf("job %s (%s/%s): %s %s", j.ID, j.Bench, j.Mech, j.Status, j.Error)
+		}
+		if ipc[j.Bench] == nil {
+			ipc[j.Bench] = make(map[string]float64)
+		}
+		ipc[j.Bench][j.Mech] = j.Result.IPC
+	}
+	t := &harness.Table{
+		ID:      "serveclient",
+		Title:   "IPC normalized to baseline (via snaked)",
+		Columns: append([]string{"benchmark"}, ms[1:]...),
+	}
+	for _, b := range bs {
+		base := ipc[b]["baseline"]
+		vals := make([]float64, 0, len(ms)-1)
+		for _, m := range ms[1:] {
+			vals = append(vals, ipc[b][m]/base)
+		}
+		t.AddRow(b, vals...)
+	}
+	t.Mean("mean")
+	t.Fprint(os.Stdout)
+}
+
+func submit(addr string, req service.SweepRequest) service.SweepView {
+	b, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(addr+"/v1/sweeps", "application/json", bytes.NewReader(b))
+	if err != nil {
+		log.Fatalf("submit sweep (is snaked running at %s?): %v", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		log.Fatalf("submit sweep: HTTP %d", resp.StatusCode)
+	}
+	return decodeSweep(resp)
+}
+
+func poll(addr, id string) service.SweepView {
+	resp, err := http.Get(addr + "/v1/sweeps/" + id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("poll sweep: HTTP %d", resp.StatusCode)
+	}
+	return decodeSweep(resp)
+}
+
+func decodeSweep(resp *http.Response) service.SweepView {
+	var v service.SweepView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		log.Fatal(err)
+	}
+	return v
+}

@@ -1,0 +1,37 @@
+package config
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// JSON serialization of GPU configurations. The snaked service accepts GPU
+// overrides on the wire and persists cache keys derived from them, so the
+// encoding must round-trip exactly: ParseJSON(g.JSON()) == g for any valid
+// configuration.
+
+// JSON returns the canonical indented JSON encoding of the configuration.
+func (g GPU) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("config: marshal: %w", err)
+	}
+	return b, nil
+}
+
+// ParseJSON decodes a GPU configuration and validates it. Unknown fields are
+// rejected so a typoed knob fails loudly instead of silently keeping its
+// zero value.
+func ParseJSON(data []byte) (GPU, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var g GPU
+	if err := dec.Decode(&g); err != nil {
+		return GPU{}, fmt.Errorf("config: parse: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return GPU{}, err
+	}
+	return g, nil
+}

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -17,6 +19,10 @@ import (
 // Runner executes (benchmark, mechanism) simulations with memoization and a
 // bounded worker pool, since the figure experiments share most of their
 // underlying runs (e.g. Figures 16–19 all read the same eleven×ten grid).
+//
+// Successful runs are memoized forever (the simulations are deterministic);
+// failed runs are never cached, so callers can retry transient failures such
+// as context cancellation.
 type Runner struct {
 	Cfg   config.GPU
 	Scale workloads.Scale
@@ -26,8 +32,13 @@ type Runner struct {
 	sem   chan struct{}
 }
 
+// runResult is one in-flight or completed simulation. The creating goroutine
+// executes the run and closes done; waiters block on done (or their own
+// context). On failure the entry is removed from the cache before done is
+// closed, so a retrying caller always finds either a fresh slot or a
+// successful result.
 type runResult struct {
-	once sync.Once
+	done chan struct{}
 	st   *stats.Sim
 	err  error
 }
@@ -43,62 +54,120 @@ func NewRunner() *Runner {
 	}
 }
 
-// Run simulates the benchmark under the named mechanism (memoized).
-func (r *Runner) Run(bench, mech string) (*stats.Sim, error) {
-	return r.RunWith(bench, mech, nil)
+// Key returns the content-address of a (bench, mech) run under this runner's
+// configuration — the same key the snaked service cache uses.
+func (r *Runner) Key(bench, mech string) RunKey {
+	return RunKey{Bench: bench, Mech: mech, GPU: r.Cfg, Scale: r.Scale}
 }
 
-// RunWith is Run with a custom prefetcher factory; mech must uniquely
-// identify the factory's configuration for memoization. A nil factory
-// resolves mech from the registry.
+// Run simulates the benchmark under the named mechanism (memoized).
+func (r *Runner) Run(bench, mech string) (*stats.Sim, error) {
+	return r.RunCtx(context.Background(), bench, mech)
+}
+
+// RunCtx is Run with cancellation: the context aborts the simulation's cycle
+// loop (if this caller started it) or just this caller's wait (if another
+// caller is already running the same key).
+func (r *Runner) RunCtx(ctx context.Context, bench, mech string) (*stats.Sim, error) {
+	return r.RunWithCtx(ctx, bench, mech, nil)
+}
+
+// RunWith is RunWithCtx without cancellation; mech must uniquely identify
+// the factory's configuration for memoization. A nil factory resolves mech
+// from the registry.
 func (r *Runner) RunWith(bench, mech string, factory Factory) (*stats.Sim, error) {
-	return r.run(bench+"|"+mech, mech, factory, func() (*trace.Kernel, error) {
+	return r.RunWithCtx(context.Background(), bench, mech, factory)
+}
+
+// RunWithCtx is Run with a custom prefetcher factory and cancellation.
+func (r *Runner) RunWithCtx(ctx context.Context, bench, mech string, factory Factory) (*stats.Sim, error) {
+	return r.run(ctx, r.Key(bench, mech).Hash(), bench+"|"+mech, mech, factory, func() (*trace.Kernel, error) {
 		return workloads.Build(bench, r.Scale)
 	})
 }
 
 // runKernel memoizes a simulation of an explicitly built kernel.
 func (r *Runner) runKernel(k *trace.Kernel, key, mech string) (*stats.Sim, error) {
-	return r.run(key+"|"+mech, mech, nil, func() (*trace.Kernel, error) { return k, nil })
+	return r.run(context.Background(), r.Key(key, mech).Hash(), key+"|"+mech, mech, nil,
+		func() (*trace.Kernel, error) { return k, nil })
 }
 
-func (r *Runner) run(key, mech string, factory Factory, build func() (*trace.Kernel, error)) (*stats.Sim, error) {
-	r.mu.Lock()
-	res, ok := r.cache[key]
-	if !ok {
-		res = &runResult{}
-		r.cache[key] = res
-	}
-	r.mu.Unlock()
-
-	res.once.Do(func() {
-		r.sem <- struct{}{}
-		defer func() { <-r.sem }()
-		f := factory
-		if f == nil {
-			f, res.err = Mechanism(mech)
+func (r *Runner) run(ctx context.Context, key, label, mech string, factory Factory, build func() (*trace.Kernel, error)) (*stats.Sim, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r.mu.Lock()
+		res, ok := r.cache[key]
+		if !ok {
+			res = &runResult{done: make(chan struct{})}
+			r.cache[key] = res
+			r.mu.Unlock()
+			r.execute(ctx, res, label, mech, factory, build)
 			if res.err != nil {
-				return
+				// Failures are not cached: drop the entry (unless a retry
+				// already replaced it) so later callers re-attempt.
+				r.mu.Lock()
+				if r.cache[key] == res {
+					delete(r.cache, key)
+				}
+				r.mu.Unlock()
 			}
+			close(res.done)
+			return res.st, res.err
 		}
-		k, err := build()
-		if err != nil {
-			res.err = err
+		r.mu.Unlock()
+		select {
+		case <-res.done:
+			if res.err == nil {
+				return res.st, nil
+			}
+			// The executing caller failed (possibly its own cancellation);
+			// loop and retry under our context.
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// execute performs the simulation for one cache entry, bounded by the
+// worker-pool semaphore.
+func (r *Runner) execute(ctx context.Context, res *runResult, label, mech string, factory Factory, build func() (*trace.Kernel, error)) {
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		res.err = ctx.Err()
+		return
+	}
+	defer func() { <-r.sem }()
+	f := factory
+	if f == nil {
+		if f, res.err = Mechanism(mech); res.err != nil {
 			return
 		}
-		out, err := sim.Run(k, sim.Options{Config: r.Cfg, NewPrefetcher: f})
-		if err != nil {
-			res.err = fmt.Errorf("%s: %w", key, err)
-			return
-		}
-		res.st = &out.Stats
-	})
-	return res.st, res.err
+	}
+	k, err := build()
+	if err != nil {
+		res.err = err
+		return
+	}
+	out, err := sim.Run(k, sim.Options{Config: r.Cfg, NewPrefetcher: f, Context: ctx})
+	if err != nil {
+		res.err = fmt.Errorf("%s: %w", label, err)
+		return
+	}
+	res.st = &out.Stats
 }
 
 // Prefill launches the given (bench, mech) grid concurrently and waits; it
 // exists so experiments reading a big grid pay wall-clock ≈ grid/#cores.
 func (r *Runner) Prefill(benches, mechs []string) error {
+	return r.PrefillCtx(context.Background(), benches, mechs)
+}
+
+// PrefillCtx is Prefill with cancellation. All cells are attempted; every
+// failure is reported via errors.Join rather than only the first.
+func (r *Runner) PrefillCtx(ctx context.Context, benches, mechs []string) error {
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(benches)*len(mechs))
 	for _, b := range benches {
@@ -106,18 +175,27 @@ func (r *Runner) Prefill(benches, mechs []string) error {
 			wg.Add(1)
 			go func(b, m string) {
 				defer wg.Done()
-				if _, err := r.Run(b, m); err != nil {
-					errCh <- err
+				if _, err := r.RunCtx(ctx, b, m); err != nil {
+					errCh <- fmt.Errorf("%s/%s: %w", b, m, err)
 				}
 			}(b, m)
 		}
 	}
 	wg.Wait()
 	close(errCh)
-	return <-errCh
+	var errs []error
+	for err := range errCh {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }
 
 // SnakeVariant builds a memoized custom Snake configuration run.
 func (r *Runner) SnakeVariant(bench, key string, cfg core.Config) (*stats.Sim, error) {
-	return r.RunWith(bench, "snake:"+key, func(int) prefetch.Prefetcher { return core.New(cfg) })
+	return r.SnakeVariantCtx(context.Background(), bench, key, cfg)
+}
+
+// SnakeVariantCtx is SnakeVariant with cancellation.
+func (r *Runner) SnakeVariantCtx(ctx context.Context, bench, key string, cfg core.Config) (*stats.Sim, error) {
+	return r.RunWithCtx(ctx, bench, "snake:"+key, func(int) prefetch.Prefetcher { return core.New(cfg) })
 }

@@ -1,0 +1,184 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// wallBucketsMS are the per-benchmark simulation wall-clock histogram bucket
+// upper bounds, in milliseconds.
+var wallBucketsMS = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+
+// metrics aggregates service counters. All methods are safe for concurrent
+// use; gauges derived from other subsystems (queue depth, cache entries) are
+// sampled at render time by the server.
+type metrics struct {
+	mu sync.Mutex
+
+	submitted int64
+	running   int64
+	completed int64
+	failed    int64
+	canceled  int64
+
+	cacheHits   int64
+	cacheMisses int64
+
+	wall map[string]*histogram // per-benchmark sim wall clock
+}
+
+func newMetrics() *metrics {
+	return &metrics{wall: make(map[string]*histogram)}
+}
+
+func (m *metrics) jobSubmitted() {
+	m.mu.Lock()
+	m.submitted++
+	m.mu.Unlock()
+}
+
+func (m *metrics) jobStarted() {
+	m.mu.Lock()
+	m.running++
+	m.mu.Unlock()
+}
+
+// jobFinished transitions a started job to its terminal state.
+func (m *metrics) jobFinished(st Status) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running--
+	switch st {
+	case StatusDone:
+		m.completed++
+	case StatusFailed:
+		m.failed++
+	case StatusCanceled:
+		m.canceled++
+	}
+}
+
+// jobDroppedQueued counts a job canceled before it ever started.
+func (m *metrics) jobDroppedQueued() {
+	m.mu.Lock()
+	m.canceled++
+	m.mu.Unlock()
+}
+
+func (m *metrics) cacheHit() {
+	m.mu.Lock()
+	m.cacheHits++
+	m.mu.Unlock()
+}
+
+func (m *metrics) cacheMiss() {
+	m.mu.Lock()
+	m.cacheMisses++
+	m.mu.Unlock()
+}
+
+// observeWall records one simulation's wall clock for its benchmark.
+func (m *metrics) observeWall(bench string, ms float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.wall[bench]
+	if h == nil {
+		h = newHistogram(wallBucketsMS)
+		m.wall[bench] = h
+	}
+	h.observe(ms)
+}
+
+// snapshot is a consistent copy of the counters for rendering and tests.
+type snapshot struct {
+	Submitted, Running, Completed, Failed, Canceled int64
+	CacheHits, CacheMisses                          int64
+}
+
+func (m *metrics) snap() snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return snapshot{
+		Submitted: m.submitted, Running: m.running, Completed: m.completed,
+		Failed: m.failed, Canceled: m.canceled,
+		CacheHits: m.cacheHits, CacheMisses: m.cacheMisses,
+	}
+}
+
+// hitRatio returns cache hits / lookups (0 when no lookups yet).
+func (s snapshot) hitRatio() float64 {
+	if s.CacheHits+s.CacheMisses == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
+}
+
+// render writes the Prometheus text exposition format. queued and
+// cacheEntries are sampled gauges supplied by the caller.
+func (m *metrics) render(w io.Writer, queued, cacheEntries int) {
+	s := m.snap()
+	fmt.Fprintf(w, "# TYPE snaked_jobs_submitted_total counter\n")
+	fmt.Fprintf(w, "snaked_jobs_submitted_total %d\n", s.Submitted)
+	fmt.Fprintf(w, "# TYPE snaked_jobs_queued gauge\n")
+	fmt.Fprintf(w, "snaked_jobs_queued %d\n", queued)
+	fmt.Fprintf(w, "# TYPE snaked_jobs_running gauge\n")
+	fmt.Fprintf(w, "snaked_jobs_running %d\n", s.Running)
+	fmt.Fprintf(w, "# TYPE snaked_jobs_completed_total counter\n")
+	fmt.Fprintf(w, "snaked_jobs_completed_total %d\n", s.Completed)
+	fmt.Fprintf(w, "# TYPE snaked_jobs_failed_total counter\n")
+	fmt.Fprintf(w, "snaked_jobs_failed_total %d\n", s.Failed)
+	fmt.Fprintf(w, "# TYPE snaked_jobs_canceled_total counter\n")
+	fmt.Fprintf(w, "snaked_jobs_canceled_total %d\n", s.Canceled)
+	fmt.Fprintf(w, "# TYPE snaked_cache_hits_total counter\n")
+	fmt.Fprintf(w, "snaked_cache_hits_total %d\n", s.CacheHits)
+	fmt.Fprintf(w, "# TYPE snaked_cache_misses_total counter\n")
+	fmt.Fprintf(w, "snaked_cache_misses_total %d\n", s.CacheMisses)
+	fmt.Fprintf(w, "# TYPE snaked_cache_hit_ratio gauge\n")
+	fmt.Fprintf(w, "snaked_cache_hit_ratio %.4f\n", s.hitRatio())
+	fmt.Fprintf(w, "# TYPE snaked_cache_entries gauge\n")
+	fmt.Fprintf(w, "snaked_cache_entries %d\n", cacheEntries)
+
+	m.mu.Lock()
+	benches := make([]string, 0, len(m.wall))
+	for b := range m.wall {
+		benches = append(benches, b)
+	}
+	sort.Strings(benches)
+	fmt.Fprintf(w, "# TYPE snaked_sim_wall_ms histogram\n")
+	for _, b := range benches {
+		m.wall[b].render(w, "snaked_sim_wall_ms", fmt.Sprintf("bench=%q", b))
+	}
+	m.mu.Unlock()
+}
+
+// histogram is a fixed-bucket cumulative histogram (Prometheus semantics).
+type histogram struct {
+	bounds []float64
+	counts []int64 // per-bucket (non-cumulative), +1 slot for +Inf
+	sum    float64
+	total  int64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]int64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+}
+
+func (h *histogram) render(w io.Writer, name, labels string) {
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"%g\"} %d\n", name, labels, b, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, labels, h.total)
+	fmt.Fprintf(w, "%s_sum{%s} %.3f\n", name, labels, h.sum)
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, h.total)
+}

@@ -1,0 +1,84 @@
+package service
+
+import (
+	"container/heap"
+	"sync"
+)
+
+// jobQueue is a blocking priority queue: higher-priority jobs pop first,
+// equal priorities pop in submission order. Close stops intake but lets
+// consumers drain what is already queued — the graceful-shutdown path.
+type jobQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	heap   jobHeap
+	closed bool
+}
+
+func newJobQueue() *jobQueue {
+	q := &jobQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push enqueues a job; it reports false after Close.
+func (q *jobQueue) Push(j *job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	heap.Push(&q.heap, j)
+	q.cond.Signal()
+	return true
+}
+
+// Pop blocks until a job is available or the queue is closed and empty; the
+// second return is false only in the latter case.
+func (q *jobQueue) Pop() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.heap) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.heap) == 0 {
+		return nil, false
+	}
+	return heap.Pop(&q.heap).(*job), true
+}
+
+// Close stops intake and wakes all blocked consumers.
+func (q *jobQueue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// Len returns the number of queued jobs.
+func (q *jobQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.heap)
+}
+
+// jobHeap orders by (priority desc, seq asc).
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	if h[i].spec.priority != h[j].spec.priority {
+		return h[i].spec.priority > h[j].spec.priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h jobHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x interface{}) { *h = append(*h, x.(*job)) }
+func (h *jobHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}

@@ -1,0 +1,397 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"snake/internal/config"
+	"snake/internal/core"
+	"snake/internal/harness"
+	"snake/internal/prefetch"
+	"snake/internal/workloads"
+)
+
+// Options configures a Service.
+type Options struct {
+	// Workers sizes the simulation pool (default: GOMAXPROCS).
+	Workers int
+	// GPU is the default hardware configuration (default: Scaled(4, 64)).
+	GPU *config.GPU
+	// Scale is the default workload scale (default: DefaultScale).
+	Scale *workloads.Scale
+}
+
+// ErrDraining rejects submissions during graceful shutdown.
+var ErrDraining = errors.New("service: shutting down")
+
+// Service is the snaked core: job registry, priority queue, worker pool,
+// result cache, and metrics. Wrap Handler in an http.Server to expose it.
+type Service struct {
+	gpu     config.GPU
+	scale   workloads.Scale
+	queue   *jobQueue
+	cache   *resultCache
+	metrics *metrics
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	sweeps    map[string]*sweep
+	nextJob   int64
+	nextSweep int64
+	draining  bool
+
+	benchSet map[string]bool
+}
+
+// sweep groups the jobs of one POST /v1/sweeps submission.
+type sweep struct {
+	id     string
+	jobIDs []string
+}
+
+// New starts a service with its worker pool running.
+func New(opt Options) *Service {
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	gpu := config.Scaled(4, 64)
+	if opt.GPU != nil {
+		gpu = *opt.GPU
+	}
+	scale := workloads.DefaultScale()
+	if opt.Scale != nil {
+		scale = *opt.Scale
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		gpu:        gpu,
+		scale:      scale,
+		queue:      newJobQueue(),
+		cache:      newResultCache(),
+		metrics:    newMetrics(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*job),
+		sweeps:     make(map[string]*sweep),
+		benchSet:   make(map[string]bool),
+	}
+	for _, b := range workloads.Names() {
+		s.benchSet[b] = true
+	}
+	s.wg.Add(opt.Workers)
+	for i := 0; i < opt.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Shutdown stops intake and drains: queued and running jobs complete
+// normally. If ctx expires first, running simulations are aborted through
+// their contexts and ctx.Err is returned.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		s.queue.Close()
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// normalize validates a RunRequest against the registries and fills
+// defaults.
+func (s *Service) normalize(req RunRequest) (spec, error) {
+	sp := spec{
+		bench:    req.Bench,
+		mech:     req.Mech,
+		priority: req.Priority,
+		gpu:      s.gpu,
+		scale:    s.scale,
+	}
+	if !s.benchSet[req.Bench] {
+		return spec{}, fmt.Errorf("unknown benchmark %q (known: %v)", req.Bench, workloads.Names())
+	}
+	if req.Snake != nil {
+		snake := *req.Snake
+		sp.snake = &snake
+		sp.mech = "snake:custom"
+		sp.factory = func(int) prefetch.Prefetcher { return core.New(snake) }
+	} else {
+		f, err := harness.Mechanism(req.Mech)
+		if err != nil {
+			return spec{}, err
+		}
+		sp.factory = f
+	}
+	if req.GPU != nil {
+		if err := req.GPU.Validate(); err != nil {
+			return spec{}, err
+		}
+		sp.gpu = *req.GPU
+	}
+	if req.Scale != nil {
+		sp.scale = *req.Scale
+	}
+	if req.TimeoutMS < 0 {
+		return spec{}, errors.New("timeout_ms must be non-negative")
+	}
+	sp.timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	return sp, nil
+}
+
+// Submit validates and enqueues one job.
+func (s *Service) Submit(req RunRequest) (*job, error) {
+	sp, err := s.normalize(req)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.enqueueLocked(sp, "")
+}
+
+// enqueueLocked creates and queues a job; the caller holds s.mu.
+func (s *Service) enqueueLocked(sp spec, sweepID string) (*job, error) {
+	if s.draining {
+		return nil, ErrDraining
+	}
+	s.nextJob++
+	j := &job{
+		id:      fmt.Sprintf("r%06d", s.nextJob),
+		seq:     s.nextJob,
+		spec:    sp,
+		key:     sp.key(),
+		sweepID: sweepID,
+		status:  StatusQueued,
+		done:    make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	s.metrics.jobSubmitted()
+	if !s.queue.Push(j) {
+		// Close raced ahead of the draining flag; undo.
+		delete(s.jobs, j.id)
+		return nil, ErrDraining
+	}
+	return j, nil
+}
+
+// SubmitSweep validates and enqueues a bench×mech grid.
+func (s *Service) SubmitSweep(req SweepRequest) (*sweep, []*job, error) {
+	mechs := req.Mechs
+	if req.Snake != nil {
+		mechs = []string{""}
+	}
+	if len(req.Benches) == 0 || len(mechs) == 0 {
+		return nil, nil, errors.New("sweep needs at least one benchmark and one mechanism (or a snake config)")
+	}
+	var specs []spec
+	for _, b := range req.Benches {
+		for _, m := range mechs {
+			sp, err := s.normalize(RunRequest{
+				Bench: b, Mech: m, Snake: req.Snake,
+				GPU: req.GPU, Scale: req.Scale,
+				Priority: req.Priority, TimeoutMS: req.TimeoutMS,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			specs = append(specs, sp)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextSweep++
+	sw := &sweep{id: fmt.Sprintf("s%04d", s.nextSweep)}
+	jobs := make([]*job, 0, len(specs))
+	for _, sp := range specs {
+		j, err := s.enqueueLocked(sp, sw.id)
+		if err != nil {
+			return nil, nil, err
+		}
+		sw.jobIDs = append(sw.jobIDs, j.id)
+		jobs = append(jobs, j)
+	}
+	s.sweeps[sw.id] = sw
+	return sw, jobs, nil
+}
+
+// Job looks up a job by ID.
+func (s *Service) Job(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Handler returns the HTTP API.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancelRun)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
+	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	return mux
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.render(w, s.queue.Len(), s.cache.Entries())
+}
+
+func (s *Service) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
+	full := workloads.FullNames()
+	v := BenchmarksView{Mechanisms: harness.MechanismNames()}
+	for _, b := range workloads.Names() {
+		v.Benchmarks = append(v.Benchmarks, BenchInfo{Name: b, FullName: full[b]})
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Service) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.Submit(req)
+	if err != nil {
+		writeErr(w, submitErrCode(err), err)
+		return
+	}
+	if r.URL.Query().Get("wait") == "" {
+		writeJSON(w, http.StatusAccepted, j.view())
+		return
+	}
+	// Synchronous mode: the client holding the connection is the job's
+	// owner, so a disconnect cancels the simulation.
+	select {
+	case <-j.done:
+		writeJSON(w, http.StatusOK, j.view())
+	case <-r.Context().Done():
+		s.cancelJob(j)
+		<-j.done
+	}
+}
+
+func (s *Service) handleGetRun(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no such run %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Service) handleCancelRun(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no such run %q", r.PathValue("id")))
+		return
+	}
+	s.cancelJob(j)
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Service) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sw, jobs, err := s.SubmitSweep(req)
+	if err != nil {
+		writeErr(w, submitErrCode(err), err)
+		return
+	}
+	v := SweepView{ID: sw.id, Total: len(jobs), Pending: len(jobs)}
+	for _, j := range jobs {
+		v.Jobs = append(v.Jobs, j.view())
+	}
+	writeJSON(w, http.StatusAccepted, v)
+}
+
+func (s *Service) handleGetSweep(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	sw, ok := s.sweeps[r.PathValue("id")]
+	var jobs []*job
+	if ok {
+		jobs = make([]*job, 0, len(sw.jobIDs))
+		for _, id := range sw.jobIDs {
+			jobs = append(jobs, s.jobs[id])
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no such sweep %q", r.PathValue("id")))
+		return
+	}
+	v := SweepView{ID: sw.id, Total: len(jobs)}
+	for _, j := range jobs {
+		jv := j.view()
+		if !jv.Status.Terminal() {
+			v.Pending++
+		}
+		v.Jobs = append(v.Jobs, jv)
+	}
+	v.Done = v.Pending == 0
+	writeJSON(w, http.StatusOK, v)
+}
+
+// submitErrCode maps submission errors to HTTP statuses.
+func submitErrCode(err error) int {
+	if errors.Is(err, ErrDraining) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func decodeJSON(r *http.Request, v interface{}) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

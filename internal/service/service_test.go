@@ -1,0 +1,416 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"snake/internal/config"
+	"snake/internal/workloads"
+)
+
+// tinyService builds a service over a small GPU and workload scale so the
+// 32-job grid stays fast even under -race.
+func tinyService(workers int) *Service {
+	gpu := config.Scaled(2, 16)
+	scale := workloads.Scale{CTAs: 4, WarpsPerCTA: 2, Iters: 2}
+	return New(Options{Workers: workers, GPU: &gpu, Scale: &scale})
+}
+
+// bigScale runs for several seconds on the tiny GPU (measured ~7s without
+// -race), so the test reliably observes it mid-simulation and cancels it.
+var bigScale = workloads.Scale{CTAs: 1024, WarpsPerCTA: 8, Iters: 128}
+
+func postJSON(t *testing.T, url string, body interface{}) (*http.Response, []byte) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, out
+}
+
+func getRun(t *testing.T, base, id string) RunView {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/runs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v RunView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func waitRun(t *testing.T, base, id string, pred func(RunView) bool, what string) RunView {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	var last RunView
+	for time.Now().Before(deadline) {
+		last = getRun(t, base, id)
+		if pred(last) {
+			return last
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for run %s to be %s (last: %+v)", id, what, last)
+	return RunView{}
+}
+
+// metricValue scrapes one un-labelled metric from the /metrics text.
+func metricValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		var v float64
+		if _, err := fmt.Sscanf(line, name+" %f", &v); err == nil &&
+			strings.HasPrefix(line, name+" ") {
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, body)
+	return 0
+}
+
+// TestServiceEndToEnd is the acceptance scenario: ≥32 concurrent jobs over a
+// 4-worker pool, a cache hit for a duplicate config, a mid-simulation
+// context cancellation, metrics consistency, and a graceful shutdown drain.
+func TestServiceEndToEnd(t *testing.T) {
+	svc := tinyService(4)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	benches := workloads.Names()
+	mechs := []string{"baseline", "intra", "inter"}
+
+	// The long-running victim goes first at top priority so it is running
+	// while the tiny grid queues behind it.
+	resp, body := postJSON(t, ts.URL+"/v1/runs", RunRequest{
+		Bench: "lps", Mech: "baseline", Scale: &bigScale, Priority: 100,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit long job: %d %s", resp.StatusCode, body)
+	}
+	var longJob RunView
+	if err := json.Unmarshal(body, &longJob); err != nil {
+		t.Fatal(err)
+	}
+
+	// 30 distinct (bench, mech) combos plus one duplicate of the first at
+	// the lowest priority, so it pops after its twin completed → cache hit.
+	var ids []string
+	for i := 0; i < 30; i++ {
+		req := RunRequest{Bench: benches[i%len(benches)], Mech: mechs[i/len(benches)]}
+		resp, body := postJSON(t, ts.URL+"/v1/runs", req)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %d: %d %s", i, resp.StatusCode, body)
+		}
+		var v RunView
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/runs", RunRequest{
+		Bench: benches[0], Mech: mechs[0], Priority: -10,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit duplicate: %d %s", resp.StatusCode, body)
+	}
+	var dup RunView
+	if err := json.Unmarshal(body, &dup); err != nil {
+		t.Fatal(err)
+	}
+	ids = append(ids, dup.ID)
+
+	// Cancel the long job once it is actually simulating.
+	waitRun(t, ts.URL, longJob.ID, func(v RunView) bool { return v.Status == StatusRunning }, "running")
+	creq, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+longJob.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cresp, err := http.DefaultClient.Do(creq); err != nil {
+		t.Fatal(err)
+	} else {
+		cresp.Body.Close()
+	}
+	victim := waitRun(t, ts.URL, longJob.ID,
+		func(v RunView) bool { return v.Status.Terminal() }, "terminal")
+	if victim.Status != StatusCanceled {
+		t.Errorf("long job status = %s, want canceled (error %q)", victim.Status, victim.Error)
+	}
+	if victim.Status == StatusCanceled && !strings.Contains(victim.Error, "context canceled") {
+		t.Errorf("canceled job error = %q, want a context cancellation", victim.Error)
+	}
+
+	// Drain the grid.
+	for _, id := range ids {
+		v := waitRun(t, ts.URL, id, func(v RunView) bool { return v.Status.Terminal() }, "terminal")
+		if v.Status != StatusDone {
+			t.Errorf("job %s: status %s (error %q)", id, v.Status, v.Error)
+		}
+	}
+	dupDone := getRun(t, ts.URL, dup.ID)
+	if !dupDone.Cached {
+		t.Errorf("duplicate job was not served from cache: %+v", dupDone)
+	}
+	if dupDone.Key == "" || dupDone.Key != getRun(t, ts.URL, ids[0]).Key {
+		t.Errorf("duplicate job key %q does not match its twin", dupDone.Key)
+	}
+
+	// Metrics must be consistent with the completed work: 32 submissions,
+	// all terminal, ≥1 cache hit, nothing queued or running.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	m := string(mbody)
+	if got := metricValue(t, m, "snaked_jobs_submitted_total"); got != 32 {
+		t.Errorf("submitted = %v, want 32", got)
+	}
+	completed := metricValue(t, m, "snaked_jobs_completed_total")
+	failed := metricValue(t, m, "snaked_jobs_failed_total")
+	canceled := metricValue(t, m, "snaked_jobs_canceled_total")
+	if completed+failed+canceled != 32 {
+		t.Errorf("terminal jobs = %v+%v+%v, want 32", completed, failed, canceled)
+	}
+	if canceled < 1 {
+		t.Errorf("canceled = %v, want ≥ 1", canceled)
+	}
+	if failed != 0 {
+		t.Errorf("failed = %v, want 0", failed)
+	}
+	if hits := metricValue(t, m, "snaked_cache_hits_total"); hits < 1 {
+		t.Errorf("cache hits = %v, want ≥ 1", hits)
+	}
+	if q := metricValue(t, m, "snaked_jobs_queued"); q != 0 {
+		t.Errorf("queued = %v, want 0", q)
+	}
+	if r := metricValue(t, m, "snaked_jobs_running"); r != 0 {
+		t.Errorf("running = %v, want 0", r)
+	}
+	if !strings.Contains(m, `snaked_sim_wall_ms_count{bench="`+benches[0]+`"}`) {
+		t.Errorf("per-benchmark wall histogram missing:\n%s", m)
+	}
+
+	// Graceful shutdown drains cleanly and then refuses new work.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/runs", RunRequest{Bench: "lps", Mech: "baseline"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit after shutdown: %d %s, want 503", resp.StatusCode, body)
+	}
+	s := svc.metrics.snap()
+	if s.Running != 0 || s.Completed+s.Failed+s.Canceled != s.Submitted {
+		t.Errorf("post-drain metrics inconsistent: %+v", s)
+	}
+}
+
+// TestWaitModeClientDisconnect verifies that a client abandoning a
+// synchronous POST /v1/runs?wait=1 cancels the in-flight simulation.
+func TestWaitModeClientDisconnect(t *testing.T) {
+	svc := tinyService(2)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+
+	b, err := json.Marshal(RunRequest{Bench: "mum", Mech: "baseline", Scale: &bigScale})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		ts.URL+"/v1/runs?wait=1", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errCh <- err
+	}()
+
+	// Find the job and wait until it is simulating, then drop the client.
+	var j *job
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		svc.mu.Lock()
+		for _, cand := range svc.jobs {
+			j = cand
+		}
+		svc.mu.Unlock()
+		if j != nil {
+			j.mu.Lock()
+			running := j.status == StatusRunning
+			j.mu.Unlock()
+			if running {
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if j == nil {
+		t.Fatal("job never appeared")
+	}
+	cancel()
+	if err := <-errCh; err == nil {
+		t.Error("request unexpectedly succeeded after client disconnect")
+	}
+	select {
+	case <-j.done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("job did not terminate after client disconnect")
+	}
+	j.mu.Lock()
+	st := j.status
+	j.mu.Unlock()
+	if st != StatusCanceled {
+		t.Errorf("job status = %s, want canceled", st)
+	}
+
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel2()
+	if err := svc.Shutdown(ctx2); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestQueueOrdering checks priority-then-FIFO pop order.
+func TestQueueOrdering(t *testing.T) {
+	q := newJobQueue()
+	mk := func(id string, prio int, seq int64) *job {
+		return &job{id: id, seq: seq, spec: spec{priority: prio}, done: make(chan struct{})}
+	}
+	q.Push(mk("low", -1, 1))
+	q.Push(mk("a", 0, 2))
+	q.Push(mk("b", 0, 3))
+	q.Push(mk("high", 7, 4))
+	var got []string
+	for i := 0; i < 4; i++ {
+		j, ok := q.Pop()
+		if !ok {
+			t.Fatal("queue closed early")
+		}
+		got = append(got, j.id)
+	}
+	want := []string{"high", "a", "b", "low"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+	q.Close()
+	if _, ok := q.Pop(); ok {
+		t.Error("Pop after Close on empty queue returned a job")
+	}
+	if q.Push(mk("x", 0, 9)) {
+		t.Error("Push after Close succeeded")
+	}
+}
+
+// TestSweepRollup submits a small sweep over HTTP and polls it to done.
+func TestSweepRollup(t *testing.T) {
+	svc := tinyService(4)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := svc.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	resp, body := postJSON(t, ts.URL+"/v1/sweeps", SweepRequest{
+		Benches: []string{"cp", "lps"}, Mechs: []string{"baseline", "snake"},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit sweep: %d %s", resp.StatusCode, body)
+	}
+	var sw SweepView
+	if err := json.Unmarshal(body, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Total != 4 {
+		t.Fatalf("sweep total = %d, want 4", sw.Total)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/sweeps/" + sw.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v SweepView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if v.Done {
+			for _, jv := range v.Jobs {
+				if jv.Status != StatusDone {
+					t.Errorf("sweep job %s: %s (%s)", jv.ID, jv.Status, jv.Error)
+				}
+				if jv.Result == nil || jv.Result.IPC <= 0 {
+					t.Errorf("sweep job %s: missing result", jv.ID)
+				}
+			}
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatal("sweep did not finish")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSubmitValidation rejects unknown benchmarks, mechanisms, and fields.
+func TestSubmitValidation(t *testing.T) {
+	svc := tinyService(1)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+	}()
+
+	for name, req := range map[string]RunRequest{
+		"unknown bench": {Bench: "nope", Mech: "baseline"},
+		"unknown mech":  {Bench: "lps", Mech: "nope"},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/runs", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: %d %s, want 400", name, resp.StatusCode, body)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/v1/runs", "application/json",
+		strings.NewReader(`{"bench":"lps","mech":"baseline","bogus":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: %d, want 400", resp.StatusCode)
+	}
+}

@@ -1,0 +1,154 @@
+// Package service is the snaked simulation server: an HTTP/JSON API that
+// accepts simulation and sweep jobs, executes them on a bounded worker pool
+// with a priority-ordered queue, memoizes results in a content-addressed
+// cache keyed by harness.RunKey, and exposes metrics and health endpoints.
+//
+// Endpoints:
+//
+//	POST   /v1/runs        submit one job (?wait=1 blocks until completion)
+//	GET    /v1/runs/{id}   job status and result
+//	DELETE /v1/runs/{id}   cancel a queued or running job
+//	POST   /v1/sweeps      submit a bench×mech grid of jobs
+//	GET    /v1/sweeps/{id} sweep roll-up
+//	GET    /v1/benchmarks  benchmark and mechanism inventory
+//	GET    /metrics        Prometheus-style text metrics
+//	GET    /healthz        liveness
+package service
+
+import (
+	"time"
+
+	"snake/internal/config"
+	"snake/internal/core"
+	"snake/internal/harness"
+	"snake/internal/stats"
+	"snake/internal/workloads"
+)
+
+// RunRequest submits one simulation job.
+type RunRequest struct {
+	// Bench names a registry benchmark (GET /v1/benchmarks lists them).
+	Bench string `json:"bench"`
+	// Mech names a registry mechanism; ignored when Snake is set.
+	Mech string `json:"mech"`
+	// Snake, when set, runs a custom Snake configuration instead of Mech.
+	Snake *core.Config `json:"snake,omitempty"`
+	// GPU overrides the server's default hardware configuration.
+	GPU *config.GPU `json:"gpu,omitempty"`
+	// Scale overrides the server's default workload scale.
+	Scale *workloads.Scale `json:"scale,omitempty"`
+	// Priority orders the queue: higher runs first (default 0); ties are
+	// FIFO.
+	Priority int `json:"priority,omitempty"`
+	// TimeoutMS bounds the simulation wall clock; 0 means no limit.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// SweepRequest submits the cross product of benches × mechs as one sweep.
+type SweepRequest struct {
+	Benches   []string         `json:"benches"`
+	Mechs     []string         `json:"mechs"`
+	Snake     *core.Config     `json:"snake,omitempty"` // replaces Mechs when set
+	GPU       *config.GPU      `json:"gpu,omitempty"`
+	Scale     *workloads.Scale `json:"scale,omitempty"`
+	Priority  int              `json:"priority,omitempty"`
+	TimeoutMS int64            `json:"timeout_ms,omitempty"`
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle states.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Result summarizes a completed simulation.
+type Result struct {
+	Cycles    int64   `json:"cycles"`
+	Insts     int64   `json:"insts"`
+	Loads     int64   `json:"loads"`
+	IPC       float64 `json:"ipc"`
+	Coverage  float64 `json:"coverage"`
+	Accuracy  float64 `json:"accuracy"`
+	L1HitRate float64 `json:"l1_hit_rate"`
+}
+
+// summarize extracts the wire summary from full simulation stats.
+func summarize(st *stats.Sim) *Result {
+	return &Result{
+		Cycles:    st.Cycles,
+		Insts:     st.Insts,
+		Loads:     st.Loads,
+		IPC:       st.IPC(),
+		Coverage:  st.Coverage(),
+		Accuracy:  st.Accuracy(),
+		L1HitRate: st.L1HitRate(),
+	}
+}
+
+// RunView is the wire representation of a job.
+type RunView struct {
+	ID     string  `json:"id"`
+	Bench  string  `json:"bench"`
+	Mech   string  `json:"mech"`
+	Key    string  `json:"key"` // content address (harness.RunKey hash)
+	Status Status  `json:"status"`
+	Cached bool    `json:"cached"`
+	Error  string  `json:"error,omitempty"`
+	WallMS float64 `json:"wall_ms,omitempty"`
+	Result *Result `json:"result,omitempty"`
+}
+
+// SweepView is the wire representation of a sweep.
+type SweepView struct {
+	ID      string    `json:"id"`
+	Done    bool      `json:"done"`
+	Total   int       `json:"total"`
+	Pending int       `json:"pending"`
+	Jobs    []RunView `json:"jobs"`
+}
+
+// BenchmarksView is the GET /v1/benchmarks payload.
+type BenchmarksView struct {
+	Benchmarks []BenchInfo `json:"benchmarks"`
+	Mechanisms []string    `json:"mechanisms"`
+}
+
+// BenchInfo describes one registry benchmark.
+type BenchInfo struct {
+	Name     string `json:"name"`
+	FullName string `json:"full_name"`
+}
+
+// spec is a normalized, validated job specification.
+type spec struct {
+	bench    string
+	mech     string // display name; "snake:custom" for custom configs
+	snake    *core.Config
+	gpu      config.GPU
+	scale    workloads.Scale
+	priority int
+	timeout  time.Duration
+	factory  harness.Factory
+}
+
+// key returns the job's content address.
+func (sp *spec) key() string {
+	return harness.RunKey{
+		Bench: sp.bench,
+		Mech:  sp.mech,
+		Snake: sp.snake,
+		GPU:   sp.gpu,
+		Scale: sp.scale,
+	}.Hash()
+}

@@ -1,0 +1,163 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"snake/internal/sim"
+	"snake/internal/stats"
+	"snake/internal/workloads"
+)
+
+// job is one queued/running/completed simulation.
+type job struct {
+	id      string
+	seq     int64
+	spec    spec
+	key     string
+	sweepID string
+
+	mu         sync.Mutex
+	status     Status
+	cached     bool
+	st         *stats.Sim
+	err        error
+	cancel     context.CancelFunc // non-nil while running
+	startedAt  time.Time
+	finishedAt time.Time
+
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+}
+
+// view snapshots the job for the wire.
+func (j *job) view() RunView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := RunView{
+		ID:     j.id,
+		Bench:  j.spec.bench,
+		Mech:   j.spec.mech,
+		Key:    j.key,
+		Status: j.status,
+		Cached: j.cached,
+	}
+	if j.err != nil {
+		v.Error = j.err.Error()
+	}
+	if j.status == StatusDone && j.st != nil {
+		v.Result = summarize(j.st)
+	}
+	if !j.finishedAt.IsZero() && !j.startedAt.IsZero() {
+		v.WallMS = float64(j.finishedAt.Sub(j.startedAt)) / float64(time.Millisecond)
+	}
+	return v
+}
+
+// worker is one pool goroutine: pop jobs until the queue closes and drains.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		j, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job: cache lookup first, then a cancellable
+// simulation whose result feeds the content-addressed cache.
+func (s *Service) runJob(j *job) {
+	j.mu.Lock()
+	if j.status != StatusQueued { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.status = StatusRunning
+	j.startedAt = time.Now()
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if j.spec.timeout > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, j.spec.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(s.baseCtx)
+	}
+	j.cancel = cancel
+	j.mu.Unlock()
+	s.metrics.jobStarted()
+	defer cancel()
+
+	if st, ok := s.cache.Get(j.key); ok {
+		s.metrics.cacheHit()
+		s.finish(j, st, nil, true)
+		return
+	}
+	s.metrics.cacheMiss()
+	st, err := s.simulate(ctx, &j.spec)
+	if err == nil {
+		s.cache.Put(j.key, st)
+	}
+	s.finish(j, st, err, false)
+}
+
+// simulate builds the workload and runs the cycle-level simulation under ctx.
+func (s *Service) simulate(ctx context.Context, sp *spec) (*stats.Sim, error) {
+	k, err := workloads.Build(sp.bench, sp.scale)
+	if err != nil {
+		return nil, err
+	}
+	out, err := sim.Run(k, sim.Options{
+		Config:        sp.gpu,
+		NewPrefetcher: sp.factory,
+		Context:       ctx,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &out.Stats, nil
+}
+
+// finish moves a running job to its terminal state and updates metrics.
+func (s *Service) finish(j *job, st *stats.Sim, err error, cached bool) {
+	j.mu.Lock()
+	j.finishedAt = time.Now()
+	j.st, j.err, j.cached = st, err, cached
+	switch {
+	case err == nil:
+		j.status = StatusDone
+	case errors.Is(err, context.Canceled):
+		j.status = StatusCanceled
+	default:
+		j.status = StatusFailed
+	}
+	status := j.status
+	wall := j.finishedAt.Sub(j.startedAt)
+	j.mu.Unlock()
+	s.metrics.jobFinished(status)
+	if err == nil && !cached {
+		s.metrics.observeWall(j.spec.bench, float64(wall)/float64(time.Millisecond))
+	}
+	close(j.done)
+}
+
+// cancelJob cancels a queued or running job; terminal jobs are left alone.
+func (s *Service) cancelJob(j *job) {
+	j.mu.Lock()
+	switch j.status {
+	case StatusQueued:
+		j.status = StatusCanceled
+		j.err = context.Canceled
+		j.mu.Unlock()
+		s.metrics.jobDroppedQueued()
+		close(j.done)
+	case StatusRunning:
+		cancel := j.cancel
+		j.mu.Unlock()
+		cancel() // runJob observes the aborted sim and finishes the job
+	default:
+		j.mu.Unlock()
+	}
+}

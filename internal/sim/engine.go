@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -18,6 +19,10 @@ import (
 // Options configures a simulation run.
 type Options struct {
 	Config config.GPU
+	// Context, when non-nil, is polled periodically inside the cycle loop;
+	// cancellation aborts the run with the context's error. A nil Context
+	// runs to completion.
+	Context context.Context
 	// NewPrefetcher constructs the per-SM prefetcher; nil runs the baseline.
 	NewPrefetcher func(smID int) prefetch.Prefetcher
 	// MaxCycles aborts runaway simulations (default 20,000,000).
@@ -71,6 +76,11 @@ type storePkt struct {
 // Run simulates the kernel under the given options and returns aggregated
 // statistics.
 func Run(k *trace.Kernel, opt Options) (*Result, error) {
+	if opt.Context != nil {
+		if err := opt.Context.Err(); err != nil {
+			return nil, fmt.Errorf("sim: aborted before start: %w", err)
+		}
+	}
 	if err := k.Validate(); err != nil {
 		return nil, err
 	}
@@ -146,11 +156,20 @@ func (e *engine) enqueueStore(sm int, addr uint64) {
 	e.stores = append(e.stores, storePkt{sm: sm, addr: addr})
 }
 
+// ctxCheckInterval is how often (in cycles) the engine polls for
+// cancellation; a power of two so the check is a cheap mask.
+const ctxCheckInterval = 4096
+
 func (e *engine) run() error {
 	e.fillSMs()
 	idle := int64(0)
 	for e.cycle < e.opt.MaxCycles {
 		e.cycle++
+		if e.opt.Context != nil && e.cycle&(ctxCheckInterval-1) == 0 {
+			if err := e.opt.Context.Err(); err != nil {
+				return fmt.Errorf("sim: aborted at cycle %d: %w", e.cycle, err)
+			}
+		}
 		e.net.tick(e.cycle)
 		e.processEvents()
 		e.drainResponses()
