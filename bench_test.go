@@ -153,24 +153,45 @@ func BenchmarkAblationHeadColumns(b *testing.B) {
 	benchVariant(b, "abl-singlehead", cfg)
 }
 
-// Raw simulator throughput: simulated cycles per wall-clock second.
+// Raw simulator throughput: simulated cycles per wall-clock second, under
+// the Snake prefetcher. The noskip variant disables event-driven
+// fast-forwarding (Options.DisableSkip) to expose the per-cycle cost alone;
+// the ratio of lps to lps-noskip is the fast-forward speedup recorded in
+// BENCH_sim.json.
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	k, err := workloads.Build("lps", workloads.Scale{CTAs: 12, WarpsPerCTA: 8, Iters: 8})
-	if err != nil {
-		b.Fatal(err)
+	cases := []struct {
+		name        string
+		bench       string
+		disableSkip bool
+	}{
+		{"lps", "lps", false},
+		{"mum", "mum", false},
+		{"nw", "nw", false},
+		{"lps-noskip", "lps", true},
 	}
-	cfg := config.Scaled(4, 64)
-	b.ResetTimer()
-	var cycles int64
-	for i := 0; i < b.N; i++ {
-		res, err := sim.Run(k, sim.Options{
-			Config:        cfg,
-			NewPrefetcher: func(int) prefetch.Prefetcher { return core.NewSnake() },
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			k, err := workloads.Build(c.bench, workloads.Scale{CTAs: 12, WarpsPerCTA: 8, Iters: 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := config.Scaled(4, 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(k, sim.Options{
+					Config:        cfg,
+					NewPrefetcher: func(int) prefetch.Prefetcher { return core.NewSnake() },
+					DisableSkip:   c.disableSkip,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Stats.Cycles
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
 		})
-		if err != nil {
-			b.Fatal(err)
-		}
-		cycles += res.Stats.Cycles
 	}
-	b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "cycles/s")
 }

@@ -6,6 +6,7 @@
 //	snakebench -exp fig16,fig17    # several
 //	snakebench -all                # everything (can take several minutes)
 //	snakebench -list               # list experiment IDs
+//	snakebench -json               # write the BENCH_sim.json perf trajectory
 package main
 
 import (
@@ -16,23 +17,43 @@ import (
 	"time"
 
 	"snake/internal/harness"
+	"snake/internal/profiling"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "comma-separated experiment IDs (fig3..fig25, table1..table3)")
-		all    = flag.Bool("all", false, "run every experiment")
-		list   = flag.Bool("list", false, "list experiment IDs")
-		sms    = flag.Int("sms", 4, "number of SMs")
-		warps  = flag.Int("warps", 64, "warp slots per SM")
-		ctas   = flag.Int("ctas", 0, "CTA count (0: default scale)")
-		iters  = flag.Int("iters", 0, "loop-depth multiplier (0: default scale)")
-		format = flag.String("format", "text", "output format: text, csv, json")
+		exp        = flag.String("exp", "", "comma-separated experiment IDs (fig3..fig25, table1..table3)")
+		all        = flag.Bool("all", false, "run every experiment")
+		list       = flag.Bool("list", false, "list experiment IDs")
+		sms        = flag.Int("sms", 4, "number of SMs")
+		warps      = flag.Int("warps", 64, "warp slots per SM")
+		ctas       = flag.Int("ctas", 0, "CTA count (0: default scale)")
+		iters      = flag.Int("iters", 0, "loop-depth multiplier (0: default scale)")
+		format     = flag.String("format", "text", "output format: text, csv, json")
+		simJSON    = flag.Bool("json", false, "run the simulator throughput benchmark and write BENCH_sim.json")
+		jsonOut    = flag.String("json-out", "BENCH_sim.json", "output path for -json")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(harness.ExperimentIDs(), " "))
+		return
+	}
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snakebench:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
+
+	if *simJSON {
+		if err := writeSimBench(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "snakebench:", err)
+			os.Exit(1)
+		}
 		return
 	}
 	ids := harness.ExperimentIDs()

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"snake/internal/config"
+	"snake/internal/core"
+	"snake/internal/prefetch"
+	"snake/internal/sim"
+	"snake/internal/workloads"
+)
+
+// simBenchEntry is one row of BENCH_sim.json: the measured throughput of
+// sim.Run on one workload, with or without event-driven cycle skipping.
+type simBenchEntry struct {
+	Name         string  `json:"name"`
+	Bench        string  `json:"bench"`
+	DisableSkip  bool    `json:"disable_skip"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+}
+
+// simBenchFile is the machine-readable perf trajectory CI uploads per PR.
+type simBenchFile struct {
+	GeneratedAt string             `json:"generated_at"`
+	GoVersion   string             `json:"go_version"`
+	Entries     []simBenchEntry    `json:"entries"`
+	SkipSpeedup map[string]float64 `json:"skip_speedup"`
+}
+
+// simBenchCases mirrors BenchmarkSimulatorThroughput in bench_test.go: each
+// workload under the Snake prefetcher, with fast-forwarding on and off.
+var simBenchCases = []struct {
+	name        string
+	bench       string
+	disableSkip bool
+}{
+	{"lps", "lps", false},
+	{"mum", "mum", false},
+	{"nw", "nw", false},
+	{"lps-noskip", "lps", true},
+	{"mum-noskip", "mum", true},
+	{"nw-noskip", "nw", true},
+}
+
+// writeSimBench measures simulator throughput and writes path.
+func writeSimBench(path string) error {
+	out := simBenchFile{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		SkipSpeedup: make(map[string]float64),
+	}
+	nsPerOp := make(map[string]int64)
+	for _, c := range simBenchCases {
+		k, err := workloads.Build(c.bench, workloads.Scale{CTAs: 12, WarpsPerCTA: 8, Iters: 8})
+		if err != nil {
+			return err
+		}
+		cfg := config.Scaled(4, 64)
+		disable := c.disableSkip
+		var cycles int64
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			cycles = 0
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(k, sim.Options{
+					Config:        cfg,
+					NewPrefetcher: func(int) prefetch.Prefetcher { return core.NewSnake() },
+					DisableSkip:   disable,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += res.Stats.Cycles
+			}
+		})
+		e := simBenchEntry{
+			Name:         c.name,
+			Bench:        c.bench,
+			DisableSkip:  c.disableSkip,
+			NsPerOp:      r.NsPerOp(),
+			CyclesPerSec: float64(cycles) / r.T.Seconds(),
+			AllocsPerOp:  r.AllocsPerOp(),
+			BytesPerOp:   r.AllocedBytesPerOp(),
+		}
+		out.Entries = append(out.Entries, e)
+		nsPerOp[c.name] = e.NsPerOp
+		fmt.Fprintf(os.Stderr, "snakebench: %-12s %12d ns/op %12.0f cycles/s %8d allocs/op\n",
+			c.name, e.NsPerOp, e.CyclesPerSec, e.AllocsPerOp)
+	}
+	for _, c := range simBenchCases {
+		if c.disableSkip {
+			continue
+		}
+		if slow, ok := nsPerOp[c.name+"-noskip"]; ok && nsPerOp[c.name] > 0 {
+			out.SkipSpeedup[c.name] = float64(slow) / float64(nsPerOp[c.name])
+		}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "snakebench: wrote %s\n", path)
+	return nil
+}

@@ -14,22 +14,32 @@ import (
 
 	"snake/internal/config"
 	"snake/internal/harness"
+	"snake/internal/profiling"
 	"snake/internal/sim"
 	"snake/internal/workloads"
 )
 
 func main() {
 	var (
-		bench = flag.String("bench", "lps", "benchmark name (see -list)")
-		pf    = flag.String("pf", "baseline", "prefetching mechanism (see -list)")
-		sms   = flag.Int("sms", 4, "number of SMs")
-		warps = flag.Int("warps", 32, "warp slots per SM")
-		ctas  = flag.Int("ctas", 0, "CTA count (0: default scale)")
-		wpc   = flag.Int("wpc", 0, "warps per CTA (0: default scale)")
-		iters = flag.Int("iters", 0, "loop-depth multiplier (0: default scale)")
-		list  = flag.Bool("list", false, "list benchmarks and mechanisms")
+		bench      = flag.String("bench", "lps", "benchmark name (see -list)")
+		pf         = flag.String("pf", "baseline", "prefetching mechanism (see -list)")
+		sms        = flag.Int("sms", 4, "number of SMs")
+		warps      = flag.Int("warps", 32, "warp slots per SM")
+		ctas       = flag.Int("ctas", 0, "CTA count (0: default scale)")
+		wpc        = flag.Int("wpc", 0, "warps per CTA (0: default scale)")
+		iters      = flag.Int("iters", 0, "loop-depth multiplier (0: default scale)")
+		list       = flag.Bool("list", false, "list benchmarks and mechanisms")
+		noskip     = flag.Bool("noskip", false, "disable event-driven cycle skipping (same stats, slower)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	if *list {
 		fmt.Println("benchmarks:", workloads.Names())
@@ -49,6 +59,7 @@ func main() {
 	res, err := sim.Run(k, sim.Options{
 		Config:        config.Scaled(*sms, *warps),
 		NewPrefetcher: factory,
+		DisableSkip:   *noskip,
 	})
 	if err != nil {
 		fatal(err)

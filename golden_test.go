@@ -1,0 +1,103 @@
+package repro_test
+
+import (
+	"reflect"
+	"testing"
+
+	"snake/internal/config"
+	"snake/internal/harness"
+	"snake/internal/sim"
+	"snake/internal/workloads"
+)
+
+// TestSkipEquivalenceGolden is the tentpole invariant of the event-driven
+// fast-forward: simulating with cycle skipping enabled must produce
+// bit-identical statistics to executing every cycle (Options.DisableSkip).
+// It runs the full Table 2 benchmark suite under both the baseline and the
+// Snake prefetcher and compares Result.Stats and every per-SM counter block
+// with reflect.DeepEqual — any divergence, down to a single stall cycle,
+// fails the test.
+func TestSkipEquivalenceGolden(t *testing.T) {
+	cfg := config.Scaled(2, 8)
+	sc := workloads.Tiny()
+	for _, bench := range workloads.Names() {
+		for _, mech := range []string{"baseline", "snake"} {
+			bench, mech := bench, mech
+			t.Run(bench+"/"+mech, func(t *testing.T) {
+				t.Parallel()
+				assertSkipEquivalent(t, bench, sc, cfg, mech)
+			})
+		}
+	}
+}
+
+// TestSkipEquivalenceMediumScale repeats the equivalence check at a larger
+// scale on two representative workloads (one stencil, one irregular), where
+// interconnect backpressure, MSHR pressure and Snake's throttle all engage,
+// and adds mechanisms with distinct per-cycle behaviour: the magic-fill
+// Ideal oracle and a Decoupled-wrapped MTA.
+func TestSkipEquivalenceMediumScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale equivalence runs take a few seconds")
+	}
+	cfg := config.Scaled(4, 32)
+	sc := workloads.Scale{CTAs: 16, WarpsPerCTA: 4, Iters: 6}
+	cases := []struct{ bench, mech string }{
+		{"lps", "snake"},
+		{"mum", "snake"},
+		{"lps", "ideal"},
+		{"mum", "mta+decoupled"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.bench+"/"+c.mech, func(t *testing.T) {
+			t.Parallel()
+			assertSkipEquivalent(t, c.bench, sc, cfg, c.mech)
+		})
+	}
+}
+
+// TestSkipEquivalenceGTOGreedyReset pins a regression: fast-forwarding must
+// replay the fruitless scheduler pass of every elided cycle (GTO forgets its
+// greedy warp), or after a skipped wait GTO resumes its greedy warp where
+// per-cycle execution picks the oldest ready one. This configuration —
+// default workload scale on 2 SMs x 16 warps — is one where the two choices
+// demonstrably diverge.
+func TestSkipEquivalenceGTOGreedyReset(t *testing.T) {
+	assertSkipEquivalent(t, "lps", workloads.Scale{}, config.Scaled(2, 16), "snake")
+}
+
+func assertSkipEquivalent(t *testing.T, bench string, sc workloads.Scale, cfg config.GPU, mech string) {
+	t.Helper()
+	k, err := workloads.Build(bench, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factory, err := harness.Mechanism(mech)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(disableSkip bool) *sim.Result {
+		res, err := sim.Run(k, sim.Options{
+			Config:        cfg,
+			NewPrefetcher: factory,
+			DisableSkip:   disableSkip,
+		})
+		if err != nil {
+			t.Fatalf("disableSkip=%v: %v", disableSkip, err)
+		}
+		return res
+	}
+	fast := run(false)
+	slow := run(true)
+	if !reflect.DeepEqual(fast.Stats, slow.Stats) {
+		t.Errorf("aggregate stats diverge with skipping enabled:\n skip: %+v\n full: %+v", fast.Stats, slow.Stats)
+	}
+	if !reflect.DeepEqual(fast.PerSM, slow.PerSM) {
+		for i := range fast.PerSM {
+			if !reflect.DeepEqual(fast.PerSM[i], slow.PerSM[i]) {
+				t.Errorf("SM %d stats diverge:\n skip: %+v\n full: %+v", i, fast.PerSM[i], slow.PerSM[i])
+			}
+		}
+	}
+}

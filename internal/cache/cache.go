@@ -12,6 +12,8 @@ package cache
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 
 	"snake/internal/config"
 )
@@ -36,13 +38,37 @@ type line struct {
 	touched  bool  // demanded at least once since fill (for useful-prefetch accounting)
 }
 
-// Cache is a set-associative cache with per-line class flags.
+// Cache is a set-associative cache with per-line class flags. Lines are
+// stored in one contiguous array (set s occupies lines[s*ways:(s+1)*ways])
+// so set scans — the simulator's hottest loop — walk sequential memory with
+// a single bounds check instead of chasing per-set slice headers.
 type Cache struct {
 	geom     config.CacheGeom
-	sets     [][]line
+	lines    []line
+	ways     int
 	setShift uint
 	setBits  uint
 	setMask  uint64
+
+	// idx maps a line's set+tag key to its position in lines, so lookups are
+	// O(1) instead of an O(ways) set scan — the unified L1 is 256-way, so
+	// scans dominated the simulator's CPU profile. It holds exactly the
+	// lines that are valid or reserved.
+	idx lineIdx
+
+	// occ is a per-set bitmap of occupied (valid or reserved) ways; bits
+	// beyond ways in a set's last word are permanently set so a zero bit
+	// always names a free way. occWPS is words per set.
+	occ    []uint64
+	occWPS int
+
+	// vkeys/vgroups shadow each line's victim-selection state so Reserve's
+	// full-set LRU scan reads 9 bytes per way instead of the line struct:
+	// vkeys[i] is lines[i].lastUse and vgroups[i] is a one-hot group bit
+	// (class<<1|touched), zero while the line is invalid or reserved and
+	// therefore never an LRU victim.
+	vkeys   []int64
+	vgroups []uint8
 
 	// Occupancy counters for the decoupling policy.
 	nData     int
@@ -68,17 +94,63 @@ func New(geom config.CacheGeom) *Cache {
 	for 1<<shift < ls {
 		shift++
 	}
+	wps := (geom.Ways + 63) / 64
 	c := &Cache{
 		geom:     geom,
-		sets:     make([][]line, nsets),
+		lines:    make([]line, nsets*geom.Ways),
+		ways:     geom.Ways,
 		setShift: shift,
 		setBits:  uint(len2(nsets)),
 		setMask:  uint64(nsets - 1),
+		occ:      make([]uint64, nsets*wps),
+		occWPS:   wps,
+		vkeys:    make([]int64, nsets*geom.Ways),
+		vgroups:  make([]uint8, nsets*geom.Ways),
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]line, geom.Ways)
-	}
+	c.idx.init(len(c.lines))
+	c.resetOcc()
 	return c
+}
+
+// resetOcc clears the occupancy bitmap, re-marking the padding bits past the
+// last way of each set as permanently occupied.
+func (c *Cache) resetOcc() {
+	for i := range c.occ {
+		c.occ[i] = 0
+	}
+	if r := c.ways & 63; r != 0 {
+		pad := ^uint64(0) << uint(r)
+		nsets := len(c.lines) / c.ways
+		for s := 0; s < nsets; s++ {
+			c.occ[(s+1)*c.occWPS-1] |= pad
+		}
+	}
+}
+
+func (c *Cache) occMark(s, w int, occupied bool) {
+	bit := uint64(1) << (uint(w) & 63)
+	word := &c.occ[s*c.occWPS+(w>>6)]
+	if occupied {
+		*word |= bit
+	} else {
+		*word &^= bit
+	}
+}
+
+// firstFree returns the lowest unoccupied way of set s, or -1 when full.
+func (c *Cache) firstFree(s int) int {
+	base := s * c.occWPS
+	for wi := 0; wi < c.occWPS; wi++ {
+		if free := ^c.occ[base+wi]; free != 0 {
+			return wi<<6 + bits.TrailingZeros64(free)
+		}
+	}
+	return -1
+}
+
+// set returns the ways of set s as a slice of the contiguous line array.
+func (c *Cache) set(s int) []line {
+	return c.lines[s*c.ways : (s+1)*c.ways]
 }
 
 // LineAddr returns addr truncated to its cache-line base address.
@@ -111,16 +183,107 @@ func len2(n int) int {
 	return k
 }
 
-// lookup finds the way holding addr, or -1.
-func (c *Cache) lookup(addr uint64) (set, way int) {
-	s, tag := c.index(addr)
-	for w := range c.sets[s] {
-		ln := &c.sets[s][w]
-		if (ln.valid || ln.reserved) && ln.tag == tag {
-			return s, w
+// lineIdx is an open-addressing hash table from a line's set+tag key
+// (addr >> setShift) to its position in Cache.lines. Linear probing;
+// deletion backward-shifts the probe chain so no tombstones accumulate.
+// Capacity is fixed at ≥2× the line count (occupancy is bounded by the
+// number of lines), so the load factor never exceeds 1/2.
+type lineIdx struct {
+	keys  []uint64 // stored as key+1; 0 marks an empty slot
+	vals  []int32
+	mask  uint32
+	shift uint
+}
+
+func (t *lineIdx) init(lines int) {
+	size := 4
+	for size < 2*lines {
+		size <<= 1
+	}
+	t.keys = make([]uint64, size)
+	t.vals = make([]int32, size)
+	t.mask = uint32(size - 1)
+	t.shift = uint(64 - len2(size))
+}
+
+func (t *lineIdx) slot(key uint64) uint32 {
+	return uint32(key * 0x9E3779B97F4A7C15 >> t.shift)
+}
+
+// get returns the stored position for key, or -1.
+func (t *lineIdx) get(key uint64) int32 {
+	k := key + 1
+	for i := t.slot(key); ; i = (i + 1) & t.mask {
+		switch t.keys[i] {
+		case k:
+			return t.vals[i]
+		case 0:
+			return -1
 		}
 	}
-	return s, -1
+}
+
+func (t *lineIdx) put(key uint64, val int32) {
+	k := key + 1
+	for i := t.slot(key); ; i = (i + 1) & t.mask {
+		if t.keys[i] == 0 || t.keys[i] == k {
+			t.keys[i] = k
+			t.vals[i] = val
+			return
+		}
+	}
+}
+
+func (t *lineIdx) del(key uint64) {
+	k := key + 1
+	i := t.slot(key)
+	for t.keys[i] != k {
+		if t.keys[i] == 0 {
+			return
+		}
+		i = (i + 1) & t.mask
+	}
+	// Backward-shift deletion: pull each later entry of the probe chain into
+	// the hole unless its home slot lies cyclically within (hole, entry].
+	j := i
+	for {
+		j = (j + 1) & t.mask
+		if t.keys[j] == 0 {
+			break
+		}
+		h := t.slot(t.keys[j] - 1)
+		if i < j {
+			if i < h && h <= j {
+				continue
+			}
+		} else if h > i || h <= j {
+			continue
+		}
+		t.keys[i], t.vals[i] = t.keys[j], t.vals[j]
+		i = j
+	}
+	t.keys[i] = 0
+}
+
+func (t *lineIdx) reset() {
+	for i := range t.keys {
+		t.keys[i] = 0
+	}
+}
+
+// findPos returns the index in lines of the line holding addr (valid or
+// reserved), or -1.
+func (c *Cache) findPos(addr uint64) int32 {
+	return c.idx.get(addr >> c.setShift)
+}
+
+// findLine returns the line holding addr (valid or reserved), or nil.
+func (c *Cache) findLine(addr uint64) *line {
+	pos := c.findPos(addr)
+	if pos < 0 {
+		return nil
+	}
+	return &c.lines[pos]
 }
 
 // ProbeResult describes the state of a looked-up line.
@@ -133,12 +296,27 @@ type ProbeResult struct {
 
 // Probe looks up addr without changing replacement state.
 func (c *Cache) Probe(addr uint64) ProbeResult {
-	s, w := c.lookup(addr)
-	if w < 0 {
+	ln := c.findLine(addr)
+	if ln == nil {
 		return ProbeResult{}
 	}
-	ln := &c.sets[s][w]
 	return ProbeResult{Present: ln.valid, Reserved: ln.reserved, Class: ln.class, Touched: ln.touched}
+}
+
+// touchLine applies Touch's demand-hit update to the valid line at pos.
+func (c *Cache) touchLine(pos int32, cycle int64) (transferred bool) {
+	ln := &c.lines[pos]
+	ln.lastUse = cycle
+	ln.touched = true
+	if ln.class == ClassPrefetch {
+		ln.class = ClassData
+		c.nPrefetch--
+		c.nData++
+		transferred = true
+	}
+	c.vkeys[pos] = cycle
+	c.vgroups[pos] = 1 << (uint8(ln.class)<<1 | 1)
+	return transferred
 }
 
 // Touch performs a demand hit on addr: updates LRU and marks touched. If the
@@ -146,20 +324,29 @@ func (c *Cache) Probe(addr uint64) ProbeResult {
 // flag flip of §3.2) and transferred=true is returned. ok is false when the
 // line is not present.
 func (c *Cache) Touch(addr uint64, cycle int64) (transferred, wasPrefetch, ok bool) {
-	s, w := c.lookup(addr)
-	if w < 0 || !c.sets[s][w].valid {
+	pos := c.findPos(addr)
+	if pos < 0 || !c.lines[pos].valid {
 		return false, false, false
 	}
-	ln := &c.sets[s][w]
-	ln.lastUse = cycle
-	ln.touched = true
-	if ln.class == ClassPrefetch {
-		ln.class = ClassData
-		c.nPrefetch--
-		c.nData++
-		return true, true, true
+	transferred = c.touchLine(pos, cycle)
+	return transferred, transferred, true
+}
+
+// Hit combines Probe and Touch in a single lookup — the demand-access fast
+// path. It returns the line's probe state as of before the call; when the
+// line is present the LRU/touched/class-transfer update of Touch is applied
+// in place.
+func (c *Cache) Hit(addr uint64, cycle int64) ProbeResult {
+	pos := c.findPos(addr)
+	if pos < 0 {
+		return ProbeResult{}
 	}
-	return false, false, true
+	ln := &c.lines[pos]
+	p := ProbeResult{Present: ln.valid, Reserved: ln.reserved, Class: ln.class, Touched: ln.touched}
+	if ln.valid {
+		c.touchLine(pos, cycle)
+	}
+	return p
 }
 
 // Occupancy returns the current line counts by state.
@@ -180,41 +367,55 @@ func (c *Cache) Occupancy() (data, prefetch, reserved, free int) {
 // line (early eviction, for accuracy accounting).
 func (c *Cache) Reserve(addr uint64, class Class, cycle int64, filter VictimFilter) (evicted EvictInfo, ok bool) {
 	s, tag := c.index(addr)
-	set := c.sets[s]
-	// Already present or reserved? Caller should have probed; treat as failure.
-	for w := range set {
-		if (set[w].valid || set[w].reserved) && set[w].tag == tag {
-			return EvictInfo{}, false
+	// Already present or reserved? Caller should have probed; treat as
+	// failure.
+	if c.idx.get(addr>>c.setShift) >= 0 {
+		return EvictInfo{}, false
+	}
+	// Invalid ways win over any victim; the bitmap gives the lowest one
+	// without touching line metadata.
+	if w := c.firstFree(s); w >= 0 {
+		c.install(s, w, tag, class)
+		return EvictInfo{}, true
+	}
+	// Set is full: LRU scan over the filter-permitted valid ways via the
+	// shadow victim arrays. The filter is a pure function of (class,
+	// touched), so its four possible answers collapse to a group bitmask
+	// computed up front; reserved lines carry group 0 and are never matched.
+	// The ascending scan with strict less-than keeps the lowest way index on
+	// lastUse ties, as the line-struct scan did.
+	allowed := uint8(0xF)
+	if filter != nil {
+		allowed = 0
+		for g := uint8(0); g < 4; g++ {
+			if filter(Class(g>>1), g&1 == 1) {
+				allowed |= 1 << g
+			}
 		}
 	}
-	// Invalid way first.
-	for w := range set {
-		if !set[w].valid && !set[w].reserved {
-			c.install(&set[w], tag, class)
-			return EvictInfo{}, true
-		}
-	}
-	// LRU among valid, unreserved, filter-permitted ways.
+	base := s * c.ways
+	vk := c.vkeys[base : base+c.ways]
+	vg := c.vgroups[base : base+c.ways][:len(vk)] // same-length hint for bounds-check elimination
 	victim := -1
-	var oldest int64
-	for w := range set {
-		ln := &set[w]
-		if !ln.valid || ln.reserved {
-			continue
-		}
-		if filter != nil && !filter(ln.class, ln.touched) {
-			continue
-		}
-		if victim < 0 || ln.lastUse < oldest {
-			victim = w
-			oldest = ln.lastUse
+	oldest := int64(math.MaxInt64)
+	for i := range vk {
+		// Branchless eligibility: g|-g has the sign bit set iff g != 0, so m
+		// is all-ones for an allowed way and key falls back to MaxInt64
+		// otherwise. The only branch left (a new minimum) is rarely taken.
+		g := int64(vg[i] & allowed)
+		m := (g | -g) >> 63
+		key := vk[i]&m | math.MaxInt64&^m
+		if key < oldest {
+			victim = i
+			oldest = key
 		}
 	}
 	if victim < 0 {
 		return EvictInfo{}, false
 	}
-	ev := c.evictAt(s, victim)
-	c.install(&set[victim], tag, class)
+	w := victim
+	ev := c.evictAt(s, w)
+	c.install(s, w, tag, class)
 	return ev, true
 }
 
@@ -226,17 +427,22 @@ type EvictInfo struct {
 	LineAddr uint64 // base address of the evicted line
 }
 
-func (c *Cache) install(ln *line, tag uint64, class Class) {
+func (c *Cache) install(set, way int, tag uint64, class Class) {
+	pos := set*c.ways + way
+	ln := &c.lines[pos]
 	ln.tag = tag
 	ln.valid = false
 	ln.reserved = true
 	ln.class = class
 	ln.touched = false
 	c.nReserved++
+	c.occMark(set, way, true)
+	c.vgroups[pos] = 0 // in flight: not an LRU victim
+	c.idx.put(tag<<c.setBits|uint64(set), int32(pos))
 }
 
 func (c *Cache) evictAt(set, way int) EvictInfo {
-	ln := &c.sets[set][way]
+	ln := &c.lines[set*c.ways+way]
 	ev := EvictInfo{Valid: true, Class: ln.class, Touched: ln.touched, LineAddr: c.addrOf(set, ln.tag)}
 	if ln.class == ClassPrefetch {
 		c.nPrefetch--
@@ -245,17 +451,20 @@ func (c *Cache) evictAt(set, way int) EvictInfo {
 	}
 	ln.valid = false
 	ln.reserved = false
+	c.occMark(set, way, false)
+	c.vgroups[set*c.ways+way] = 0
+	c.idx.del(ln.tag<<c.setBits | uint64(set))
 	return ev
 }
 
 // Fill completes an in-flight fill for addr. ok is false if no reservation
 // for addr exists (e.g. the reservation was squashed).
 func (c *Cache) Fill(addr uint64, cycle int64) bool {
-	s, w := c.lookup(addr)
-	if w < 0 {
+	pos := c.findPos(addr)
+	if pos < 0 {
 		return false
 	}
-	ln := &c.sets[s][w]
+	ln := &c.lines[pos]
 	if !ln.reserved {
 		return false
 	}
@@ -269,6 +478,8 @@ func (c *Cache) Fill(addr uint64, cycle int64) bool {
 	} else {
 		c.nData++
 	}
+	c.vkeys[pos] = cycle
+	c.vgroups[pos] = 1 << (uint8(ln.class) << 1) // untouched since fill
 	return true
 }
 
@@ -288,12 +499,10 @@ func (c *Cache) EvictLRUOfClass(class Class, n int) []EvictInfo {
 		lastUse int64
 	}
 	var cands []cand
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			ln := &c.sets[s][w]
-			if ln.valid && !ln.reserved && ln.class == class {
-				cands = append(cands, cand{s, w, ln.lastUse})
-			}
+	for i := range c.lines {
+		ln := &c.lines[i]
+		if ln.valid && !ln.reserved && ln.class == class {
+			cands = append(cands, cand{i / c.ways, i % c.ways, ln.lastUse})
 		}
 	}
 	// Partial selection sort for the n oldest (n is small relative to size).
@@ -318,10 +527,13 @@ func (c *Cache) EvictLRUOfClass(class Class, n int) []EvictInfo {
 
 // InvalidateAll clears the cache (used between kernels).
 func (c *Cache) InvalidateAll() {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			c.sets[s][w] = line{}
-		}
+	for i := range c.lines {
+		c.lines[i] = line{}
 	}
 	c.nData, c.nPrefetch, c.nReserved = 0, 0, 0
+	for i := range c.vgroups {
+		c.vgroups[i] = 0
+	}
+	c.resetOcc()
+	c.idx.reset()
 }

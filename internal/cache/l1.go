@@ -184,18 +184,17 @@ func (l *L1) Predict(addr uint64) {
 }
 
 func (l *L1) access(warp int, line uint64, cycle int64) stats.L1Outcome {
-	// Isolated prefetch buffer hit?
+	// Isolated prefetch buffer hit? (Hit probes and touches in one scan.)
 	if l.iso != nil {
-		if p := l.iso.Probe(line); p.Present {
-			l.iso.Touch(line, cycle)
+		if p := l.iso.Hit(line, cycle); p.Present {
 			if l.consumePending(line) {
 				return stats.L1HitPrefetch
 			}
 			return stats.L1Hit
 		}
 	}
-	if p := l.cache.Probe(line); p.Present {
-		l.cache.Touch(line, cycle) // flips prefetch-class lines to data class
+	if p := l.cache.Hit(line, cycle); p.Present {
+		// Hit already flipped prefetch-class lines to the data class.
 		if l.consumePending(line) {
 			return stats.L1HitPrefetch
 		}
@@ -429,13 +428,17 @@ func (l *L1) PopMiss() (MissRequest, bool) { return l.mq.Pop() }
 // PeekMiss returns the next outgoing request without removing it.
 func (l *L1) PeekMiss() (MissRequest, bool) { return l.mq.Peek() }
 
-// DrainPrefetch moves at most one staged prefetch request into the shared
-// miss queue per cycle, and only when the queue has a free slot. Prefetch
-// requests therefore occupy the same miss-queue slots as demand misses —
-// aggressive prefetching congests the queue and induces the demand
-// reservation fails that Snake's throttle exists to prevent (§2, §3.3).
+// PrefetchDrainPerCycle is how many staged prefetch requests trickle from
+// the low-priority prefetch queue into the shared miss queue each cycle.
+const PrefetchDrainPerCycle = 2
+
+// DrainPrefetch moves up to PrefetchDrainPerCycle staged prefetch requests
+// into the shared miss queue per cycle, and only while the queue has free
+// slots. Prefetch requests therefore occupy the same miss-queue slots as
+// demand misses — aggressive prefetching congests the queue and induces the
+// demand reservation fails that Snake's throttle exists to prevent (§2, §3.3).
 func (l *L1) DrainPrefetch(cycle int64) {
-	for k := 0; k < 2; k++ {
+	for k := 0; k < PrefetchDrainPerCycle; k++ {
 		if l.mq.Full() {
 			return
 		}
@@ -449,6 +452,18 @@ func (l *L1) DrainPrefetch(cycle int64) {
 
 // MissQueueLen returns the combined outgoing queue occupancy.
 func (l *L1) MissQueueLen() int { return l.mq.Len() + l.pfq.Len() }
+
+// DemandQueueLen returns the shared outgoing miss-queue occupancy (demand
+// misses plus already-drained prefetches).
+func (l *L1) DemandQueueLen() int { return l.mq.Len() }
+
+// DemandQueueFull reports whether the shared outgoing miss queue is full.
+func (l *L1) DemandQueueFull() bool { return l.mq.Full() }
+
+// PrefetchQueueLen returns the staged (not yet drained) prefetch-queue
+// occupancy. The engine's fast-forward must not skip cycles while staged
+// prefetches could trickle into a non-full miss queue.
+func (l *L1) PrefetchQueueLen() int { return l.pfq.Len() }
 
 // Fill completes the fill for lineAddr and returns the warps waiting on it.
 func (l *L1) Fill(lineAddr uint64, cycle int64) (waiters []int) {

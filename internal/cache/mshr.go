@@ -18,6 +18,9 @@ type MSHR struct {
 	entries  int
 	mergeCap int
 	inflight map[uint64]*mshrEntry
+	// freed recycles completed entries (and their waiter slices) so the
+	// steady-state miss path allocates nothing. Bounded by the entry count.
+	freed []*mshrEntry
 }
 
 type mshrEntry struct {
@@ -64,7 +67,18 @@ func (m *MSHR) Allocate(lineAddr uint64, warp int, cycle int64) MSHRResult {
 	if len(m.inflight) >= m.entries {
 		return MSHRFull
 	}
-	e := &mshrEntry{merged: 1, issuedAt: cycle, prefetch: warp == PrefetchWarp, origPrefetch: warp == PrefetchWarp}
+	var e *mshrEntry
+	if n := len(m.freed); n > 0 {
+		e = m.freed[n-1]
+		m.freed = m.freed[:n-1]
+		*e = mshrEntry{waiters: e.waiters[:0]}
+	} else {
+		e = &mshrEntry{}
+	}
+	e.merged = 1
+	e.issuedAt = cycle
+	e.prefetch = warp == PrefetchWarp
+	e.origPrefetch = e.prefetch
 	if warp >= 0 {
 		e.waiters = append(e.waiters, warp)
 	}
@@ -85,12 +99,17 @@ func (m *MSHR) Lookup(lineAddr uint64) (inflight, prefetchOnly bool) {
 // Complete removes the entry for lineAddr and returns the warps waiting on
 // it, whether the entry has had no demand merged (prefetchOnly), and whether
 // it was originally allocated by a prefetch.
+//
+// The returned waiters slice aliases a recycled entry and is only valid
+// until the next Allocate call; callers must consume it before allocating
+// again (the engine wakes waiters synchronously, before any further issue).
 func (m *MSHR) Complete(lineAddr uint64) (waiters []int, prefetchOnly, origPrefetch bool, ok bool) {
 	e, exists := m.inflight[lineAddr]
 	if !exists {
 		return nil, false, false, false
 	}
 	delete(m.inflight, lineAddr)
+	m.freed = append(m.freed, e)
 	return e.waiters, e.prefetch, e.origPrefetch, true
 }
 

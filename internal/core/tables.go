@@ -151,6 +151,9 @@ type tailTable struct {
 	// evictLRU selects the paper's combined policy (LRU group, then fewest
 	// warp-vector bits); false uses the popcount-only policy of Figure 22.
 	evictLRU bool
+	// lruScratch backs lruGroup's candidate list; the table evicts on every
+	// allocation once full, so the buffer keeps that path allocation-free.
+	lruScratch []int
 }
 
 func newTailTable(n int, evictLRU bool) *tailTable {
@@ -235,7 +238,10 @@ func (t *tailTable) allocate() *tailEntry {
 
 // lruGroup returns the indices of the n least-recently-used valid entries.
 func (t *tailTable) lruGroup(n int) []int {
-	idx := make([]int, 0, len(t.entries))
+	if cap(t.lruScratch) < len(t.entries) {
+		t.lruScratch = make([]int, 0, len(t.entries))
+	}
+	idx := t.lruScratch[:0]
 	for i := range t.entries {
 		if t.entries[i].valid {
 			idx = append(idx, i)

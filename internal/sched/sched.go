@@ -18,6 +18,11 @@ type Scheduler interface {
 	// age[i] is a monotonically increasing assignment stamp (smaller =
 	// older).
 	Pick(ready []bool, age []int64) int
+	// Idle is the fast path for a cycle with no issuable warp: it must leave
+	// the scheduler in exactly the state a Pick over a non-empty all-false
+	// ready slice would (GTO forgets its greedy warp; LRR and Oldest are
+	// untouched). Callers use it to avoid building the ready slice at all.
+	Idle()
 	// Name returns the policy name.
 	Name() string
 }
@@ -55,12 +60,19 @@ func (g *gto) Pick(ready []bool, age []int64) int {
 	return pick
 }
 
+// Idle implements Scheduler: with no ready warp, Pick's scan finds nothing
+// and clears the greedy pointer.
+func (g *gto) Idle() { g.last = -1 }
+
 // lrr is loose round-robin.
 type lrr struct {
 	next int
 }
 
 func (l *lrr) Name() string { return string(config.SchedLRR) }
+
+// Idle implements Scheduler: a fruitless round-robin scan leaves next as is.
+func (l *lrr) Idle() {}
 
 func (l *lrr) Pick(ready []bool, _ []int64) int {
 	n := len(ready)
@@ -81,6 +93,9 @@ func (l *lrr) Pick(ready []bool, _ []int64) int {
 type oldest struct{}
 
 func (oldest) Name() string { return string(config.SchedOldest) }
+
+// Idle implements Scheduler: oldest is stateless.
+func (oldest) Idle() {}
 
 func (oldest) Pick(ready []bool, age []int64) int {
 	pick := -1

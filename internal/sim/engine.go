@@ -38,8 +38,36 @@ type Options struct {
 	// (finite L2/DRAM queueing). When the cap is reached, L1 miss queues
 	// back up and demand accesses suffer reservation fails — the congestion
 	// behaviour §2 attributes to miss-queue pressure. Default:
-	// 24 × L2Partitions.
+	// 128 × L2Partitions (see withDefaults).
 	MaxInflightFills int
+	// DisableSkip forces the engine to execute every cycle individually
+	// instead of fast-forwarding over provably idle spans. Skipping is
+	// exact — Result.Stats is bit-identical either way (see DESIGN.md
+	// "Engine fast-forwarding" and the golden equivalence test) — so this
+	// exists as an escape hatch for debugging and for validating that
+	// equivalence.
+	DisableSkip bool
+}
+
+// withDefaults returns opt with zero-valued tunables replaced by their
+// defaults (shared by Run, RunSequence and the white-box tests).
+func (opt Options) withDefaults() Options {
+	if opt.MaxCycles <= 0 {
+		opt.MaxCycles = 20_000_000
+	}
+	if opt.StoreBytes <= 0 {
+		opt.StoreBytes = 32
+	}
+	if opt.RequestBytes <= 0 {
+		opt.RequestBytes = 8
+	}
+	if opt.MaxInflightFills <= 0 {
+		opt.MaxInflightFills = 128 * opt.Config.L2Partitions
+	}
+	if opt.MLPPerWarp <= 0 {
+		opt.MLPPerWarp = 2
+	}
+	return opt
 }
 
 // Result carries the outcome of a run.
@@ -63,7 +91,8 @@ type engine struct {
 	stores   []storePkt
 	ctaNext  int // next undispatched CTA index
 	ageCtr   int64
-	inflight int // outstanding fill requests in the memory system
+	inflight int   // outstanding fill requests in the memory system
+	skipped  int64 // cycles elided by event-driven fast-forwarding
 
 	perSM []stats.Sim
 }
@@ -87,21 +116,7 @@ func Run(k *trace.Kernel, opt Options) (*Result, error) {
 	if err := opt.Config.Validate(); err != nil {
 		return nil, err
 	}
-	if opt.MaxCycles <= 0 {
-		opt.MaxCycles = 20_000_000
-	}
-	if opt.StoreBytes <= 0 {
-		opt.StoreBytes = 32
-	}
-	if opt.RequestBytes <= 0 {
-		opt.RequestBytes = 8
-	}
-	if opt.MaxInflightFills <= 0 {
-		opt.MaxInflightFills = 128 * opt.Config.L2Partitions
-	}
-	if opt.MLPPerWarp <= 0 {
-		opt.MLPPerWarp = 2
-	}
+	opt = opt.withDefaults()
 	for _, cta := range k.CTAs {
 		if len(cta.Warps) > opt.Config.MaxWarpsPerSM {
 			return nil, fmt.Errorf("sim: CTA %d has %d warps, more than %d warp slots per SM",
@@ -158,7 +173,14 @@ func (e *engine) enqueueStore(sm int, addr uint64) {
 
 // ctxCheckInterval is how often (in cycles) the engine polls for
 // cancellation; a power of two so the check is a cheap mask.
-const ctxCheckInterval = 4096
+const (
+	ctxCheckShift    = 12
+	ctxCheckInterval = 1 << ctxCheckShift
+)
+
+// deadlockIdleCycles is how many consecutive no-progress, no-traffic cycles
+// the engine tolerates before declaring a deadlock.
+const deadlockIdleCycles = 1_000_000
 
 func (e *engine) run() error {
 	e.fillSMs()
@@ -185,15 +207,137 @@ func (e *engine) run() error {
 			// Deadlock guard: nothing retired and nothing in flight for a
 			// long time means a stuck warp (a bug, not a workload property).
 			idle++
-			if idle > 1_000_000 {
+			if idle > deadlockIdleCycles {
 				return errors.New("sim: deadlock: no progress and no in-flight traffic")
 			}
 		}
+		if e.opt.DisableSkip {
+			continue
+		}
+
+		// Event-driven fast-forward: if no component can act before some
+		// future cycle, jump there instead of idling through the gap. Every
+		// elided cycle is provably a no-op (see nextInteresting and DESIGN.md
+		// "Engine fast-forwarding"), except for three pieces of cycle-indexed
+		// state that are advanced by the whole span at once: the stall
+		// classification counters, the idle/deadlock counter, and the
+		// interconnect's sliding windows (rolled forward by net.tick at the
+		// next executed cycle).
+		target := e.nextInteresting()
+		if target >= 0 && target <= e.cycle+1 {
+			continue
+		}
+		if len(e.events) == 0 && len(e.resps) == 0 {
+			// Idle-counting mode: stop where the deadlock guard would fire so
+			// the error (if the target never arrives) lands on the same cycle
+			// per-cycle execution reports it.
+			if limit := e.cycle + (deadlockIdleCycles + 1 - idle); target < 0 || target > limit {
+				target = limit
+			}
+		}
+		if target > e.opt.MaxCycles+1 {
+			target = e.opt.MaxCycles + 1
+		}
+		span := target - 1 - e.cycle
+		if span <= 0 {
+			continue
+		}
+		if e.opt.Context != nil {
+			// The seed loop polls for cancellation every ctxCheckInterval
+			// cycles; preserve that wall-progress bound across jumps by
+			// polling whenever the span crosses a poll boundary.
+			if b := (e.cycle>>ctxCheckShift + 1) << ctxCheckShift; b < target {
+				if err := e.opt.Context.Err(); err != nil {
+					return fmt.Errorf("sim: aborted at cycle %d: %w", b, err)
+				}
+			}
+		}
+		for _, s := range e.sms {
+			// Warp states are frozen across the span, so each elided cycle
+			// would have classified identically.
+			s.classifyStallSpan(span)
+			// Every elided cycle issues nothing, so per-cycle execution would
+			// have run a fruitless scheduler pass each cycle; replay its
+			// (idempotent) state effect once.
+			s.idleSchedulers()
+		}
+		if len(e.events) == 0 && len(e.resps) == 0 {
+			idle += span
+		}
+		e.skipped += span
+		e.cycle = target - 1
 	}
 	if e.cycle >= e.opt.MaxCycles {
 		return fmt.Errorf("sim: exceeded MaxCycles=%d", e.opt.MaxCycles)
 	}
 	return nil
+}
+
+// nextInteresting returns the earliest future cycle at which any engine
+// component could possibly act, or -1 when nothing is pending at all (a
+// deadlock unless MaxCycles intervenes). Every returned bound is
+// conservative: cycles strictly between e.cycle and the returned value are
+// guaranteed to replay the current cycle's no-op exactly, so they can be
+// elided without changing any statistic. The candidates, mirroring the cycle
+// loop's order:
+//
+//   - the earliest scheduled event delivery (processEvents);
+//   - the earliest response send: its data-ready cycle and the response
+//     network's backlog-drain cycle (drainResponses);
+//   - the request network's backlog-drain cycle while stores are queued
+//     (drainStores) or any L1 holds drainable demand misses
+//     (drainMissQueues);
+//   - the next cycle outright when an L1 could trickle a staged prefetch
+//     into its miss queue, or when an SM's prefetcher does per-cycle work
+//     that may not be elided (Snake while throttled: halted-cycle accounting
+//     and hysteresis boundaries must fire cycle by cycle);
+//   - each SM's earliest ready-warp wake-up (issue).
+//
+// Warps waiting on memory or barriers wake only through those same events
+// and issues, so they impose no separate bound.
+func (e *engine) nextInteresting() int64 {
+	cur := e.cycle
+	best := int64(-1)
+	if c := e.events.nextCycle(); c >= 0 {
+		best = c
+	}
+	if r, ok := e.resps.peek(); ok {
+		c := e.net.nextRespAccept(cur)
+		if r.readyAt > c {
+			c = r.readyAt
+		}
+		if best < 0 || c < best {
+			best = c
+		}
+	}
+	if len(e.stores) > 0 {
+		if c := e.net.nextReqAccept(cur); best < 0 || c < best {
+			best = c
+		}
+	}
+	for _, s := range e.sms {
+		if s.pf != nil && !prefetch.CanSkipCycles(s.pf, cur) {
+			return cur + 1
+		}
+		if s.l1.PrefetchQueueLen() > 0 && !s.l1.DemandQueueFull() {
+			return cur + 1
+		}
+		if s.l1.DemandQueueLen() > 0 && e.inflight < e.opt.MaxInflightFills {
+			if c := e.net.nextReqAccept(cur); best < 0 || c < best {
+				best = c
+			}
+		}
+		if w := s.nextWake(); w >= 0 && (best < 0 || w < best) {
+			best = w
+		}
+		if best >= 0 && best <= cur+1 {
+			return cur + 1
+		}
+	}
+	if best >= 0 && best < cur+1 {
+		return cur + 1
+	}
+	return best
 }
 
 // fillSMs dispatches queued CTAs onto SMs with enough free slots.
@@ -256,13 +400,18 @@ func (e *engine) drainResponses() {
 	}
 }
 
-// drainMissQueues injects outgoing fill requests, up to two per SM per
-// cycle, subject to the in-flight cap (downstream queue capacity). Staged
-// prefetch requests trickle into each shared miss queue at one per cycle.
+// missInjectPerSM is how many outgoing fill requests each SM may inject into
+// the request network per cycle.
+const missInjectPerSM = 3
+
+// drainMissQueues injects outgoing fill requests, up to missInjectPerSM per
+// SM per cycle, subject to the in-flight cap (downstream queue capacity).
+// Staged prefetch requests trickle into each shared miss queue at
+// cache.PrefetchDrainPerCycle per cycle.
 func (e *engine) drainMissQueues() {
 	for _, s := range e.sms {
 		s.l1.DrainPrefetch(e.cycle)
-		for k := 0; k < 3; k++ {
+		for k := 0; k < missInjectPerSM; k++ {
 			if e.inflight >= e.opt.MaxInflightFills {
 				return
 			}
@@ -290,7 +439,12 @@ func (e *engine) drainStores() {
 		n++
 	}
 	if n > 0 {
-		e.stores = e.stores[n:]
+		// Compact in place rather than re-slicing (e.stores = e.stores[n:]):
+		// re-slicing strands the consumed prefix of the backing array, so
+		// append would grow a fresh array every time the queue cycled through
+		// its capacity instead of reusing the existing one.
+		m := copy(e.stores, e.stores[n:])
+		e.stores = e.stores[:m]
 	}
 }
 
@@ -307,7 +461,7 @@ func (e *engine) step() bool {
 		} else {
 			s.classifyStall(res.resFail)
 		}
-		if len(res.ctaFinished) > 0 {
+		if res.ctaFinished {
 			e.fillSMs()
 		}
 	}

@@ -1,7 +1,5 @@
 package sim
 
-import "container/heap"
-
 // eventKind distinguishes the two in-flight message types.
 type eventKind uint8
 
@@ -19,22 +17,55 @@ type event struct {
 	prefetch bool
 }
 
+// The two heaps below are hand-rolled rather than container/heap adapters:
+// heap.Push/heap.Pop box every element into an interface{}, which made each
+// in-flight request allocate on the hot path. The sift rules (strict-less
+// comparisons, swap-to-end pop) mirror container/heap exactly, so pop order
+// — ties included — is bit-identical to the seed engine's.
+
 // eventHeap is a min-heap of events ordered by delivery cycle.
 type eventHeap []event
 
-func (h eventHeap) Len() int            { return len(h) }
-func (h eventHeap) Less(i, j int) bool  { return h[i].cycle < h[j].cycle }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+func (h eventHeap) Len() int { return len(h) }
+
+func (h *eventHeap) push(e event) {
+	s := append(*h, e)
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(s[j].cycle < s[i].cycle) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+	*h = s
 }
 
-func (h *eventHeap) push(e event) { heap.Push(h, e) }
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	// Sift the new root down within s[:n].
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if r := j + 1; r < n && s[r].cycle < s[j].cycle {
+			j = r
+		}
+		if !(s[j].cycle < s[i].cycle) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	e := s[n]
+	*h = s[:n]
+	return e
+}
 
 // popDue removes and returns the earliest event if it is due at or before
 // cycle.
@@ -42,7 +73,7 @@ func (h *eventHeap) popDue(cycle int64) (event, bool) {
 	if len(*h) == 0 || (*h)[0].cycle > cycle {
 		return event{}, false
 	}
-	return heap.Pop(h).(event), true
+	return h.pop(), true
 }
 
 // nextCycle returns the earliest scheduled cycle, or -1 when empty.
@@ -65,19 +96,21 @@ type resp struct {
 // respHeap is a min-heap of responses ordered by data-ready cycle.
 type respHeap []resp
 
-func (h respHeap) Len() int            { return len(h) }
-func (h respHeap) Less(i, j int) bool  { return h[i].readyAt < h[j].readyAt }
-func (h respHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *respHeap) Push(x interface{}) { *h = append(*h, x.(resp)) }
-func (h *respHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
+func (h respHeap) Len() int { return len(h) }
 
-func (h *respHeap) push(r resp) { heap.Push(h, r) }
+func (h *respHeap) push(r resp) {
+	s := append(*h, r)
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(s[j].readyAt < s[i].readyAt) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+	*h = s
+}
 
 func (h *respHeap) peek() (resp, bool) {
 	if len(*h) == 0 {
@@ -86,4 +119,26 @@ func (h *respHeap) peek() (resp, bool) {
 	return (*h)[0], true
 }
 
-func (h *respHeap) pop() resp { return heap.Pop(h).(resp) }
+func (h *respHeap) pop() resp {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if r := j + 1; r < n && s[r].readyAt < s[j].readyAt {
+			j = r
+		}
+		if !(s[j].readyAt < s[i].readyAt) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	r := s[n]
+	*h = s[:n]
+	return r
+}

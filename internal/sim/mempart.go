@@ -31,8 +31,7 @@ func (m *memPartition) access(lineAddr uint64, cycle int64) int64 {
 	if ra, ok := m.inflight[lineAddr]; ok && ra > cycle {
 		return ra // merge with the in-flight fetch
 	}
-	if p := m.l2.Probe(lineAddr); p.Present {
-		m.l2.Touch(lineAddr, cycle)
+	if p := m.l2.Hit(lineAddr, cycle); p.Present {
 		return cycle + m.latency
 	}
 	readyAt := m.dramCtl.Access(lineAddr, cycle+m.latency)

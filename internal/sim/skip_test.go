@@ -1,0 +1,188 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"snake/internal/workloads"
+)
+
+func TestSkipFastForwards(t *testing.T) {
+	k := workloads.StreamMicro(workloads.Scale{CTAs: 4, WarpsPerCTA: 2, Iters: 16}, 4096)
+	opt := Options{Config: tinyCfg()}.withDefaults()
+	e := newEngine(k, opt)
+	if err := e.run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.skipped == 0 {
+		t.Fatal("memory-bound kernel skipped no cycles")
+	}
+	// Most of a memory-bound kernel's cycles are DRAM waits; the fast-forward
+	// must elide a substantial fraction of them, not just the odd gap.
+	if e.skipped*4 < e.cycle {
+		t.Errorf("skipped %d of %d cycles; fast-forward barely engaged", e.skipped, e.cycle)
+	}
+	// Same kernel with skipping disabled: identical final cycle count and a
+	// zero skip counter.
+	opt.DisableSkip = true
+	d := newEngine(k, opt)
+	if err := d.run(); err != nil {
+		t.Fatal(err)
+	}
+	if d.skipped != 0 {
+		t.Errorf("DisableSkip run recorded %d skipped cycles", d.skipped)
+	}
+	if d.cycle != e.cycle {
+		t.Errorf("skip run finished at cycle %d, per-cycle run at %d", e.cycle, d.cycle)
+	}
+}
+
+func TestMissInjectPerSM(t *testing.T) {
+	k := workloads.StreamMicro(workloads.Tiny(), 256)
+	opt := Options{Config: tinyCfg()}.withDefaults()
+	e := newEngine(k, opt)
+	e.cycle = 1
+	e.net.tick(1)
+	// Queue one more demand miss than the per-cycle injection budget on SM 0
+	// (distinct lines, so no MSHR merging).
+	s := e.sms[0]
+	for i := 0; i < missInjectPerSM+1; i++ {
+		s.l1.Access(i, 0x1000_0000+uint64(i)*8192, e.cycle)
+	}
+	if got := s.l1.DemandQueueLen(); got != missInjectPerSM+1 {
+		t.Fatalf("staged %d demand misses, want %d", got, missInjectPerSM+1)
+	}
+	e.drainMissQueues()
+	if e.inflight != missInjectPerSM {
+		t.Errorf("injected %d fill requests in one cycle, want exactly missInjectPerSM=%d",
+			e.inflight, missInjectPerSM)
+	}
+	if got := s.l1.DemandQueueLen(); got != 1 {
+		t.Errorf("%d misses left queued after one drain, want 1", got)
+	}
+	// The next cycle's drain picks up the leftover.
+	e.cycle = 2
+	e.net.tick(2)
+	e.drainMissQueues()
+	if e.inflight != missInjectPerSM+1 || s.l1.DemandQueueLen() != 0 {
+		t.Errorf("after second drain: inflight=%d queued=%d, want %d and 0",
+			e.inflight, s.l1.DemandQueueLen(), missInjectPerSM+1)
+	}
+}
+
+func TestDrainStoresCompactsInPlace(t *testing.T) {
+	k := workloads.StreamMicro(workloads.Tiny(), 256)
+	opt := Options{Config: tinyCfg()}.withDefaults()
+	e := newEngine(k, opt)
+
+	const depth = 64
+	fill := func() {
+		for len(e.stores) < depth {
+			e.enqueueStore(0, uint64(len(e.stores))*128)
+		}
+	}
+	fill()
+	capInit := cap(e.stores)
+	drained := 0
+	for c := int64(1); c <= 200; c++ {
+		e.cycle = c
+		e.net.tick(c)
+		before := len(e.stores)
+		e.drainStores()
+		drained += before - len(e.stores)
+		fill()
+	}
+	if drained == 0 {
+		t.Fatal("no stores drained in 200 cycles")
+	}
+	// Compaction must reuse the backing array: the queue cycles through its
+	// capacity many times, yet never grows past the initial allocation.
+	if cap(e.stores) != capInit {
+		t.Errorf("store queue reallocated: cap %d -> %d", capInit, cap(e.stores))
+	}
+}
+
+// countdownCtx returns nil from Err for the first ok calls, then a canceled
+// error forever after. It makes the engine's poll sequence observable.
+type countdownCtx struct {
+	context.Context
+	calls int
+	ok    int
+}
+
+func (c *countdownCtx) Err() error {
+	c.calls++
+	if c.calls > c.ok {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestCancellationAcrossSkips(t *testing.T) {
+	// A kernel long enough that the engine reaches the first poll boundary.
+	k := workloads.StreamMicro(workloads.Scale{CTAs: 8, WarpsPerCTA: 4, Iters: 32}, 4096)
+	base, err := Run(k, Options{Config: tinyCfg()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats.Cycles <= ctxCheckInterval {
+		t.Fatalf("kernel finishes in %d cycles, need > %d for the poll to fire",
+			base.Stats.Cycles, ctxCheckInterval)
+	}
+	// Cancellation is visible from the first in-loop poll on. Whether the
+	// loop walks cycle by cycle (masked check) or jumps over the boundary in
+	// one skip (boundary check inside the jump), that first poll must land on
+	// the same cycle: the first ctxCheckInterval boundary.
+	want := fmt.Sprintf("aborted at cycle %d", int64(ctxCheckInterval))
+	for _, disable := range []bool{false, true} {
+		ctx := &countdownCtx{Context: context.Background(), ok: 0}
+		opt := Options{Config: tinyCfg(), Context: ctx, DisableSkip: disable}.withDefaults()
+		e := newEngine(k, opt)
+		err := e.run()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("DisableSkip=%v: err = %v, want context.Canceled", disable, err)
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("DisableSkip=%v: err = %q, want abort at the first poll boundary (%q)",
+				disable, err, want)
+		}
+		// The first failing poll aborts immediately: no further Err calls.
+		if ctx.calls != 1 {
+			t.Errorf("DisableSkip=%v: %d Err calls, want 1 (abort on the first poll)", disable, ctx.calls)
+		}
+		if !disable && e.skipped == 0 {
+			t.Error("skip-enabled cancellation run never fast-forwarded")
+		}
+	}
+}
+
+func TestSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc measurement is slow")
+	}
+	// The cycle loop must not allocate in steady state: lengthening a run 8x
+	// must not raise the per-run allocation count, because everything beyond
+	// engine construction reuses pooled or pre-sized storage. Measured on the
+	// baseline so the count isolates the engine; Snake's chain tables grow
+	// with the number of distinct lines touched (tracked separately by the
+	// throughput benchmark's allocs/op).
+	measure := func(iters int) float64 {
+		k := workloads.StreamMicro(workloads.Scale{CTAs: 4, WarpsPerCTA: 2, Iters: iters}, 256)
+		return testing.AllocsPerRun(5, func() {
+			if _, err := Run(k, Options{Config: tinyCfg()}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	short := measure(4)
+	long := measure(32)
+	// Tiny slack for run-to-run GC noise; per-cycle allocation would show up
+	// as thousands of extra allocations on the 8x run.
+	if long > short+8 {
+		t.Errorf("8x longer run allocates %.0f vs %.0f per run; cycle loop is allocating in steady state",
+			long, short)
+	}
+}

@@ -9,6 +9,10 @@ import (
 	"snake/internal/trace"
 )
 
+// neverReady is the readyAt sentinel for slots that cannot issue regardless
+// of cycle (free, done, waiting on memory or a barrier).
+const neverReady = int64(1)<<62 - 1
+
 // warpState is the lifecycle state of a warp slot.
 type warpState uint8
 
@@ -52,13 +56,27 @@ type sm struct {
 	warps  []warpCtx
 	st     *stats.Sim
 
-	// Scratch per-scheduler slices reused across cycles.
-	readyBuf [][]bool
-	ageBuf   [][]int64
-	slotBuf  [][]int
-	lineBuf  []uint64 // coalescer scratch
+	// Per-scheduler warp membership (slot indices and ages), cached across
+	// cycles and rebuilt only when membership changes (dispatch, warp
+	// completion) — see refreshSched. readyBuf is per-cycle scratch.
+	readyBuf   [][]bool
+	ageBuf     [][]int64
+	slotBuf    [][]int
+	schedDirty bool
+	lineBuf    []uint64 // coalescer scratch
 
 	resident int // live (non-free) warp slots
+	// Warp-state occupancy counts, maintained incrementally at every state
+	// transition so stall classification and issue-cycle detection are O(1)
+	// instead of scanning every warp slot.
+	nReady   int // wsReady (issuable once busyUntil passes)
+	nWaitMem int // wsWaitMem
+	nBarrier int // wsBarrier
+	// readyAt shadows each slot's issue-readiness cycle: busyUntil while the
+	// warp is wsReady, neverReady otherwise. The issue scan and nextWake read
+	// this one contiguous array instead of hopping across the ~100-byte
+	// warpCtx structs; every state/busyUntil transition keeps it in sync.
+	readyAt  []int64
 	env      prefetch.Env
 	kernel   *trace.Kernel // set by the engine before the run
 	mlp      int           // per-warp MLP window (outstanding loads before blocking)
@@ -89,12 +107,16 @@ func newSM(id int, cfg config.GPU, pf prefetch.Prefetcher, st *stats.Sim, mlp in
 		MissQueueSize: cfg.MissQueueSize,
 	}
 	s := &sm{
-		id:    id,
-		cfg:   cfg,
-		pf:    pf,
-		st:    st,
-		warps: make([]warpCtx, cfg.MaxWarpsPerSM),
-		mlp:   mlp,
+		id:      id,
+		cfg:     cfg,
+		pf:      pf,
+		st:      st,
+		warps:   make([]warpCtx, cfg.MaxWarpsPerSM),
+		readyAt: make([]int64, cfg.MaxWarpsPerSM),
+		mlp:     mlp,
+	}
+	for i := range s.readyAt {
+		s.readyAt[i] = neverReady
 	}
 	if pf != nil {
 		s.oracle = prefetch.WantsOracle(pf)
@@ -156,12 +178,15 @@ func (s *sm) dispatchCTA(k *trace.Kernel, ctaIdx int, age *int64) {
 		if s.oracle {
 			w.futPCs, w.futAddrs = loadStream(w.prog)
 		}
+		s.readyAt[slot] = 0
 		s.resident++
+		s.nReady++
 		wi++
 	}
 	if wi != len(cta.Warps) {
 		panic("sim: dispatched CTA without enough free slots")
 	}
+	s.schedDirty = true
 }
 
 // loadStream extracts the PC/address stream of a warp's loads.
@@ -179,7 +204,28 @@ func loadStream(p *trace.WarpProgram) (pcs, addrs []uint64) {
 type issueResult struct {
 	retired     int
 	resFail     bool
-	ctaFinished []int // CTA indices that completed this cycle
+	ctaFinished bool // a CTA completed this cycle (slots freed)
+}
+
+// refreshSched rebuilds the per-scheduler slot/age lists from the warp
+// array. Membership (every warp not free and not done) only changes on CTA
+// dispatch and warp completion, so the lists are cached between those points.
+func (s *sm) refreshSched() {
+	nSched := len(s.scheds)
+	for si := 0; si < nSched; si++ {
+		slots := s.slotBuf[si][:0]
+		ages := s.ageBuf[si][:0]
+		for slot := si; slot < len(s.warps); slot += nSched {
+			w := &s.warps[slot]
+			if w.state == wsFree || w.state == wsDone {
+				continue
+			}
+			slots = append(slots, slot)
+			ages = append(ages, w.age)
+		}
+		s.slotBuf[si], s.ageBuf[si] = slots, ages
+	}
+	s.schedDirty = false
 }
 
 // issue runs all scheduler slices for one cycle. eng provides memory-system
@@ -187,24 +233,39 @@ type issueResult struct {
 func (s *sm) issue(cycle int64, eng *engine) issueResult {
 	var res issueResult
 	nSched := len(s.scheds)
-	for si := 0; si < nSched; si++ {
-		ready := s.readyBuf[si][:0]
-		ages := s.ageBuf[si][:0]
-		slots := s.slotBuf[si][:0]
-		for slot := si; slot < len(s.warps); slot += nSched {
-			w := &s.warps[slot]
-			if w.state == wsFree || w.state == wsDone {
-				continue
-			}
-			slots = append(slots, slot)
-			ready = append(ready, w.state == wsReady && w.busyUntil <= cycle)
-			ages = append(ages, w.age)
+	if s.nReady == 0 {
+		// Every resident warp is blocked on memory or a barrier: no scheduler
+		// can pick, so skip the per-warp scans. GTO must still forget its
+		// greedy warp exactly as a full no-ready scan would (Idle), but only
+		// for slices that own at least one live warp — Pick is never reached
+		// for an empty slice.
+		if s.schedDirty {
+			s.refreshSched()
 		}
-		s.readyBuf[si], s.ageBuf[si], s.slotBuf[si] = ready, ages, slots
+		for si := 0; si < nSched; si++ {
+			if len(s.slotBuf[si]) > 0 {
+				s.scheds[si].Idle()
+			}
+		}
+		return res
+	}
+	for si := 0; si < nSched; si++ {
+		if s.schedDirty {
+			// execute may have completed a warp (or dispatched CTAs onto this
+			// SM via fillSMs); later slices must see the updated membership,
+			// exactly as the per-cycle rebuild did.
+			s.refreshSched()
+		}
+		slots := s.slotBuf[si]
 		if len(slots) == 0 {
 			continue
 		}
-		pick := s.scheds[si].Pick(ready, ages)
+		ready := s.readyBuf[si][:0]
+		for _, slot := range slots {
+			ready = append(ready, s.readyAt[slot] <= cycle)
+		}
+		s.readyBuf[si] = ready
+		pick := s.scheds[si].Pick(ready, s.ageBuf[si])
 		if pick < 0 {
 			continue
 		}
@@ -220,6 +281,7 @@ func (s *sm) execute(slot int, cycle int64, eng *engine, res *issueResult) {
 	switch in.Op {
 	case trace.OpCompute:
 		w.busyUntil = cycle + int64(in.Lat)
+		s.readyAt[slot] = w.busyUntil
 		w.pc++
 		s.st.Insts++
 		res.retired++
@@ -227,6 +289,7 @@ func (s *sm) execute(slot int, cycle int64, eng *engine, res *issueResult) {
 	case trace.OpStore:
 		eng.enqueueStore(s.id, in.Addr)
 		w.busyUntil = cycle + 1
+		s.readyAt[slot] = w.busyUntil
 		w.pc++
 		s.st.Insts++
 		s.st.Stores++
@@ -234,6 +297,9 @@ func (s *sm) execute(slot int, cycle int64, eng *engine, res *issueResult) {
 
 	case trace.OpBarrier:
 		w.state = wsBarrier
+		s.readyAt[slot] = neverReady
+		s.nReady--
+		s.nBarrier++
 		w.pc++
 		s.st.Insts++
 		res.retired++
@@ -244,15 +310,21 @@ func (s *sm) execute(slot int, cycle int64, eng *engine, res *issueResult) {
 			// Drain in-flight loads before retiring so a freed slot can
 			// never receive a stale wake-up.
 			w.state = wsWaitMem
+			s.readyAt[slot] = neverReady
+			s.nReady--
+			s.nWaitMem++
 			return
 		}
 		w.state = wsDone
+		s.readyAt[slot] = neverReady
+		s.nReady--
+		s.schedDirty = true
 		s.st.Insts++
 		res.retired++
 		s.maybeReleaseBarrier(w.ctaIdx, cycle)
 		if s.ctaLiveWarps(w.ctaIdx) == 0 {
 			s.retireCTA(w.ctaIdx)
-			res.ctaFinished = append(res.ctaFinished, w.ctaIdx)
+			res.ctaFinished = true
 		}
 
 	case trace.OpLoad:
@@ -270,18 +342,24 @@ func (s *sm) execute(slot int, cycle int64, eng *engine, res *issueResult) {
 			// The replay takes a few cycles to come around the access
 			// pipeline again.
 			w.busyUntil = cycle + 4
+			s.readyAt[slot] = w.busyUntil
 			res.resFail = true
 			return
 		case stats.L1Hit, stats.L1HitPrefetch:
 			w.busyUntil = cycle + int64(s.cfg.Unified.Latency)
+			s.readyAt[slot] = w.busyUntil
 		default:
 			// Miss or merged: the load is in flight. The warp keeps issuing
 			// until its MLP window fills, then blocks until a fill drains it.
 			w.outstanding++
 			if w.outstanding >= s.mlp {
 				w.state = wsWaitMem
+				s.readyAt[slot] = neverReady
+				s.nReady--
+				s.nWaitMem++
 			} else {
 				w.busyUntil = cycle + 2 // issue occupancy only
+				s.readyAt[slot] = w.busyUntil
 			}
 		}
 		for _, line := range s.lineBuf[1:] {
@@ -378,7 +456,10 @@ func (s *sm) maybeReleaseBarrier(ctaIdx int, cycle int64) {
 		w := &s.warps[i]
 		if w.ctaIdx == ctaIdx && w.state == wsBarrier {
 			w.state = wsReady
+			s.nBarrier--
+			s.nReady++
 			w.busyUntil = cycle + 1
+			s.readyAt[i] = w.busyUntil
 		}
 	}
 }
@@ -396,7 +477,27 @@ func (s *sm) wake(slots []int, cycle int64) {
 		}
 		if w.state == wsWaitMem && w.outstanding < s.mlp {
 			w.state = wsReady
+			s.nWaitMem--
+			s.nReady++
 			w.busyUntil = cycle
+			s.readyAt[slot] = cycle
+		}
+	}
+}
+
+// idleSchedulers applies one cycle's worth of no-issue scheduler updates: for
+// every slice owning at least one live warp, the state change of a fruitless
+// Pick (GTO forgets its greedy warp; LRR and Oldest are untouched). The
+// update is idempotent, so the engine's fast-forward calls this once per
+// skipped span to reproduce what per-cycle execution would have done to
+// scheduler state on every elided cycle.
+func (s *sm) idleSchedulers() {
+	if s.schedDirty {
+		s.refreshSched()
+	}
+	for si := range s.scheds {
+		if len(s.slotBuf[si]) > 0 {
+			s.scheds[si].Idle()
 		}
 	}
 }
@@ -410,22 +511,42 @@ func (s *sm) classifyStall(resFail bool) {
 		s.st.StallMemory++
 		return
 	}
-	waitMem, other := 0, 0
-	for i := range s.warps {
-		switch s.warps[i].state {
-		case wsWaitMem:
-			waitMem++
-		case wsReady:
-			other++ // busy on compute latency
-		case wsBarrier:
-			other++
+	s.classifyStallSpan(1)
+}
+
+// classifyStallSpan records n cycles of issue-free stall classification in
+// one step, using the incrementally-maintained state counts: a stall is
+// memory-bound when at least one warp waits on memory and none is ready or
+// at a barrier. Warp states are frozen across an idle span (nothing issues,
+// wakes, or releases a barrier), so the per-cycle classification is constant
+// and the engine's fast-forward can account a whole skipped span at once,
+// keeping the stall counters bit-identical to per-cycle execution.
+func (s *sm) classifyStallSpan(n int64) {
+	if s.resident == 0 {
+		return
+	}
+	if s.nWaitMem > 0 && s.nReady == 0 && s.nBarrier == 0 {
+		s.st.StallMemory += n
+	} else {
+		s.st.StallOther += n
+	}
+}
+
+// nextWake returns the earliest cycle at which one of the SM's ready warps
+// can issue, or -1 when no warp is in the ready state. Warps waiting on
+// memory or a barrier wake only through fill events or issue-side barrier
+// releases, so they impose no time bound of their own.
+func (s *sm) nextWake() int64 {
+	if s.nReady == 0 {
+		return -1
+	}
+	wake := neverReady
+	for _, r := range s.readyAt {
+		if r < wake {
+			wake = r
 		}
 	}
-	if waitMem > 0 && other == 0 {
-		s.st.StallMemory++
-	} else {
-		s.st.StallOther++
-	}
+	return wake
 }
 
 // done reports whether every slot is free.
