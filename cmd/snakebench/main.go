@@ -32,6 +32,8 @@ func main() {
 		format     = flag.String("format", "text", "output format: text, csv, json")
 		simJSON    = flag.Bool("json", false, "run the simulator throughput benchmark and write BENCH_sim.json")
 		jsonOut    = flag.String("json-out", "BENCH_sim.json", "output path for -json")
+		baseline   = flag.String("baseline", "", "with -json: committed BENCH_sim.json to guard against throughput regressions (>20% fails)")
+		parallel   = flag.Int("parallel", 1, "SM-shard workers per experiment run (same results at any value)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -50,7 +52,7 @@ func main() {
 	defer stopProf()
 
 	if *simJSON {
-		if err := writeSimBench(*jsonOut); err != nil {
+		if err := writeSimBench(*jsonOut, *baseline); err != nil {
 			fmt.Fprintln(os.Stderr, "snakebench:", err)
 			os.Exit(1)
 		}
@@ -66,6 +68,7 @@ func main() {
 	}
 
 	r := newRunner(*sms, *warps, *ctas, *iters)
+	r.Parallelism = *parallel
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		e, ok := harness.Experiments[id]

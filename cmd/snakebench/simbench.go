@@ -12,15 +12,18 @@ import (
 	"snake/internal/core"
 	"snake/internal/prefetch"
 	"snake/internal/sim"
+	"snake/internal/trace"
 	"snake/internal/workloads"
 )
 
 // simBenchEntry is one row of BENCH_sim.json: the measured throughput of
-// sim.Run on one workload, with or without event-driven cycle skipping.
+// sim.Run on one workload, with or without event-driven cycle skipping and
+// at a given shard parallelism.
 type simBenchEntry struct {
 	Name         string  `json:"name"`
 	Bench        string  `json:"bench"`
 	DisableSkip  bool    `json:"disable_skip"`
+	Parallelism  int     `json:"parallelism,omitempty"`
 	NsPerOp      int64   `json:"ns_per_op"`
 	CyclesPerSec float64 `json:"cycles_per_sec"`
 	AllocsPerOp  int64   `json:"allocs_per_op"`
@@ -29,42 +32,72 @@ type simBenchEntry struct {
 
 // simBenchFile is the machine-readable perf trajectory CI uploads per PR.
 type simBenchFile struct {
-	GeneratedAt string             `json:"generated_at"`
-	GoVersion   string             `json:"go_version"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	// MaxProcs records the measuring machine's GOMAXPROCS: parallel entries
+	// are only meaningful relative to it (a 1-core machine cannot show
+	// parallel speedup, however correct the executor).
+	MaxProcs    int                `json:"max_procs"`
 	Entries     []simBenchEntry    `json:"entries"`
 	SkipSpeedup map[string]float64 `json:"skip_speedup"`
+	// ParallelSpeedup is serial ns/op ÷ parallel ns/op per parallel case.
+	ParallelSpeedup map[string]float64 `json:"parallel_speedup,omitempty"`
 }
 
-// simBenchCases mirrors BenchmarkSimulatorThroughput in bench_test.go: each
-// workload under the Snake prefetcher, with fast-forwarding on and off.
-var simBenchCases = []struct {
+// simBenchCase is one measured configuration. Skip cases run the standard
+// 4×64 experiment machine; parallel cases run a medium-scale 8-SM machine
+// (more CTAs, wider GPU) where per-cycle shard work is large enough for the
+// barrier overhead to amortize — the configuration the -parallel flag
+// targets in practice.
+type simBenchCase struct {
 	name        string
 	bench       string
 	disableSkip bool
-}{
-	{"lps", "lps", false},
-	{"mum", "mum", false},
-	{"nw", "nw", false},
-	{"lps-noskip", "lps", true},
-	{"mum-noskip", "mum", true},
-	{"nw-noskip", "nw", true},
+	parallelism int // 0: serial engine (Parallelism 1)
+	midScale    bool
 }
 
-// writeSimBench measures simulator throughput and writes path.
-func writeSimBench(path string) error {
+var simBenchCases = []simBenchCase{
+	{name: "lps", bench: "lps"},
+	{name: "mum", bench: "mum"},
+	{name: "nw", bench: "nw"},
+	{name: "lps-noskip", bench: "lps", disableSkip: true},
+	{name: "mum-noskip", bench: "mum", disableSkip: true},
+	{name: "nw-noskip", bench: "nw", disableSkip: true},
+	{name: "lps-par1", bench: "lps", midScale: true, parallelism: 1},
+	{name: "lps-par4", bench: "lps", midScale: true, parallelism: 4},
+	{name: "mum-par1", bench: "mum", midScale: true, parallelism: 1},
+	{name: "mum-par4", bench: "mum", midScale: true, parallelism: 4},
+}
+
+// caseSetup returns the kernel and GPU configuration for one case.
+func caseSetup(c simBenchCase) (*trace.Kernel, config.GPU, error) {
+	if c.midScale {
+		k, err := workloads.Build(c.bench, workloads.Scale{CTAs: 24, WarpsPerCTA: 8, Iters: 8})
+		return k, config.Scaled(8, 48), err
+	}
+	k, err := workloads.Build(c.bench, workloads.Scale{CTAs: 12, WarpsPerCTA: 8, Iters: 8})
+	return k, config.Scaled(4, 64), err
+}
+
+// writeSimBench measures simulator throughput and writes path. When
+// baselinePath is non-empty, the new numbers are also checked against the
+// committed baseline and an error is returned if any case's throughput
+// dropped by more than regressionTolerance.
+func writeSimBench(path, baselinePath string) error {
 	out := simBenchFile{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoVersion:   runtime.Version(),
-		SkipSpeedup: make(map[string]float64),
+		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
+		GoVersion:       runtime.Version(),
+		MaxProcs:        runtime.GOMAXPROCS(0),
+		SkipSpeedup:     make(map[string]float64),
+		ParallelSpeedup: make(map[string]float64),
 	}
 	nsPerOp := make(map[string]int64)
 	for _, c := range simBenchCases {
-		k, err := workloads.Build(c.bench, workloads.Scale{CTAs: 12, WarpsPerCTA: 8, Iters: 8})
+		k, cfg, err := caseSetup(c)
 		if err != nil {
 			return err
 		}
-		cfg := config.Scaled(4, 64)
-		disable := c.disableSkip
 		var cycles int64
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
@@ -73,7 +106,8 @@ func writeSimBench(path string) error {
 				res, err := sim.Run(k, sim.Options{
 					Config:        cfg,
 					NewPrefetcher: func(int) prefetch.Prefetcher { return core.NewSnake() },
-					DisableSkip:   disable,
+					DisableSkip:   c.disableSkip,
+					Parallelism:   c.parallelism,
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -85,6 +119,7 @@ func writeSimBench(path string) error {
 			Name:         c.name,
 			Bench:        c.bench,
 			DisableSkip:  c.disableSkip,
+			Parallelism:  c.parallelism,
 			NsPerOp:      r.NsPerOp(),
 			CyclesPerSec: float64(cycles) / r.T.Seconds(),
 			AllocsPerOp:  r.AllocsPerOp(),
@@ -96,11 +131,20 @@ func writeSimBench(path string) error {
 			c.name, e.NsPerOp, e.CyclesPerSec, e.AllocsPerOp)
 	}
 	for _, c := range simBenchCases {
-		if c.disableSkip {
+		if c.disableSkip || c.parallelism != 0 {
 			continue
 		}
 		if slow, ok := nsPerOp[c.name+"-noskip"]; ok && nsPerOp[c.name] > 0 {
 			out.SkipSpeedup[c.name] = float64(slow) / float64(nsPerOp[c.name])
+		}
+	}
+	for _, c := range simBenchCases {
+		if c.parallelism <= 1 {
+			continue
+		}
+		serialName := fmt.Sprintf("%s-par1", c.bench)
+		if serial, ok := nsPerOp[serialName]; ok && nsPerOp[c.name] > 0 {
+			out.ParallelSpeedup[c.name] = float64(serial) / float64(nsPerOp[c.name])
 		}
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
@@ -112,5 +156,52 @@ func writeSimBench(path string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "snakebench: wrote %s\n", path)
+	if baselinePath != "" {
+		return checkRegression(baselinePath, out)
+	}
+	return nil
+}
+
+// regressionTolerance is the allowed throughput drop vs the committed
+// baseline before the bench-regression guard fails: new ns/op may be at most
+// 1.25× the old (a >20% throughput drop).
+const regressionTolerance = 1.25
+
+// checkRegression compares the fresh measurements against the committed
+// BENCH_sim.json. Only cases present in both files are compared, so adding
+// or renaming cases does not break the guard; wholly missing baselines pass
+// (first run on a new schema).
+func checkRegression(baselinePath string, fresh simBenchFile) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("bench regression baseline: %w", err)
+	}
+	var base simBenchFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench regression baseline %s: %w", baselinePath, err)
+	}
+	old := make(map[string]int64, len(base.Entries))
+	for _, e := range base.Entries {
+		old[e.Name] = e.NsPerOp
+	}
+	var regressions []string
+	for _, e := range fresh.Entries {
+		o, ok := old[e.Name]
+		if !ok || o <= 0 {
+			continue
+		}
+		if float64(e.NsPerOp) > float64(o)*regressionTolerance {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d ns/op vs baseline %d (%.2fx, tolerance %.2fx)",
+					e.Name, e.NsPerOp, o, float64(e.NsPerOp)/float64(o), regressionTolerance))
+		}
+	}
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "snakebench: REGRESSION "+r)
+		}
+		return fmt.Errorf("throughput regressed on %d case(s) vs %s", len(regressions), baselinePath)
+	}
+	fmt.Fprintf(os.Stderr, "snakebench: no regressions vs %s\n", baselinePath)
 	return nil
 }

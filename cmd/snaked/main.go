@@ -34,13 +34,14 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "simulation worker pool size (default: GOMAXPROCS)")
-		numSM   = flag.Int("sms", 4, "simulated SMs in the default GPU config")
-		warps   = flag.Int("warps", 64, "warps per SM in the default GPU config")
-		ctas    = flag.Int("ctas", 0, "default workload scale: CTAs (0: paper default)")
-		iters   = flag.Int("iters", 0, "default workload scale: loop iterations (0: paper default)")
-		drain   = flag.Duration("draintimeout", 2*time.Minute, "graceful shutdown drain budget")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "concurrent job limit (default: GOMAXPROCS; CPU use is bounded by the shared budget, not this)")
+		parallel = flag.Int("parallel", 1, "default per-run SM-shard workers (jobs may override; draws from the shared CPU budget)")
+		numSM    = flag.Int("sms", 4, "simulated SMs in the default GPU config")
+		warps    = flag.Int("warps", 64, "warps per SM in the default GPU config")
+		ctas     = flag.Int("ctas", 0, "default workload scale: CTAs (0: paper default)")
+		iters    = flag.Int("iters", 0, "default workload scale: loop iterations (0: paper default)")
+		drain    = flag.Duration("draintimeout", 2*time.Minute, "graceful shutdown drain budget")
 	)
 	flag.Parse()
 
@@ -53,7 +54,7 @@ func main() {
 		scale.Iters = *iters
 	}
 
-	svc := service.New(service.Options{Workers: *workers, GPU: &gpu, Scale: &scale})
+	svc := service.New(service.Options{Workers: *workers, GPU: &gpu, Scale: &scale, Parallelism: *parallel})
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
 	errCh := make(chan error, 1)

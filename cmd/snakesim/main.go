@@ -30,6 +30,7 @@ func main() {
 		iters      = flag.Int("iters", 0, "loop-depth multiplier (0: default scale)")
 		list       = flag.Bool("list", false, "list benchmarks and mechanisms")
 		noskip     = flag.Bool("noskip", false, "disable event-driven cycle skipping (same stats, slower)")
+		parallel   = flag.Int("parallel", 1, "SM-shard workers per simulated cycle (same stats at any value)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -60,6 +61,7 @@ func main() {
 		Config:        config.Scaled(*sms, *warps),
 		NewPrefetcher: factory,
 		DisableSkip:   *noskip,
+		Parallelism:   *parallel,
 	})
 	if err != nil {
 		fatal(err)

@@ -48,11 +48,12 @@ func knobNames() []string {
 
 func main() {
 	var (
-		knob   = flag.String("knob", "chaindepth", "parameter to sweep (see -listknobs)")
-		values = flag.String("values", "1,2,4,8", "comma-separated integer values")
-		bench  = flag.String("bench", "", "comma-separated benchmarks (default: all)")
-		format = flag.String("format", "text", "output format: text, csv, json")
-		lk     = flag.Bool("listknobs", false, "list sweepable knobs")
+		knob     = flag.String("knob", "chaindepth", "parameter to sweep (see -listknobs)")
+		values   = flag.String("values", "1,2,4,8", "comma-separated integer values")
+		bench    = flag.String("bench", "", "comma-separated benchmarks (default: all)")
+		format   = flag.String("format", "text", "output format: text, csv, json")
+		lk       = flag.Bool("listknobs", false, "list sweepable knobs")
+		parallel = flag.Int("parallel", 1, "SM-shard workers per run (same results at any value)")
 	)
 	flag.Parse()
 
@@ -78,6 +79,7 @@ func main() {
 	}
 
 	r := harness.NewRunner()
+	r.Parallelism = *parallel
 	t := &harness.Table{
 		ID:      "sweep-" + *knob,
 		Title:   fmt.Sprintf("Snake sensitivity to %s (means over %d benchmarks)", *knob, len(benches)),

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -10,33 +11,35 @@ import (
 	"snake/internal/workloads"
 )
 
-// TestSkipEquivalenceGolden is the tentpole invariant of the event-driven
-// fast-forward: simulating with cycle skipping enabled must produce
-// bit-identical statistics to executing every cycle (Options.DisableSkip).
-// It runs the full Table 2 benchmark suite under both the baseline and the
-// Snake prefetcher and compares Result.Stats and every per-SM counter block
-// with reflect.DeepEqual — any divergence, down to a single stall cycle,
-// fails the test.
-func TestSkipEquivalenceGolden(t *testing.T) {
-	cfg := config.Scaled(2, 8)
+// TestGoldenEquivalence is the tentpole invariant of the engine's two
+// execution strategies: event-driven fast-forwarding (Options.DisableSkip)
+// and sharded parallel execution (Options.Parallelism) must each produce
+// statistics bit-identical to plain serial per-cycle simulation — and so
+// must their combination. It runs the full Table 2 benchmark suite under
+// both the baseline and the Snake prefetcher, simulates every (skip ×
+// parallelism) variant, and compares Result.Stats and every per-SM counter
+// block with reflect.DeepEqual — any divergence, down to a single stall
+// cycle on one SM, fails the test.
+func TestGoldenEquivalence(t *testing.T) {
+	cfg := config.Scaled(4, 8) // 4 SMs: Parallelism=4 genuinely shards
 	sc := workloads.Tiny()
 	for _, bench := range workloads.Names() {
 		for _, mech := range []string{"baseline", "snake"} {
 			bench, mech := bench, mech
 			t.Run(bench+"/"+mech, func(t *testing.T) {
 				t.Parallel()
-				assertSkipEquivalent(t, bench, sc, cfg, mech)
+				assertEngineEquivalent(t, bench, sc, cfg, mech)
 			})
 		}
 	}
 }
 
-// TestSkipEquivalenceMediumScale repeats the equivalence check at a larger
+// TestGoldenEquivalenceMediumScale repeats the equivalence check at a larger
 // scale on two representative workloads (one stencil, one irregular), where
 // interconnect backpressure, MSHR pressure and Snake's throttle all engage,
 // and adds mechanisms with distinct per-cycle behaviour: the magic-fill
 // Ideal oracle and a Decoupled-wrapped MTA.
-func TestSkipEquivalenceMediumScale(t *testing.T) {
+func TestGoldenEquivalenceMediumScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("medium-scale equivalence runs take a few seconds")
 	}
@@ -52,7 +55,7 @@ func TestSkipEquivalenceMediumScale(t *testing.T) {
 		c := c
 		t.Run(c.bench+"/"+c.mech, func(t *testing.T) {
 			t.Parallel()
-			assertSkipEquivalent(t, c.bench, sc, cfg, c.mech)
+			assertEngineEquivalent(t, c.bench, sc, cfg, c.mech)
 		})
 	}
 }
@@ -64,10 +67,14 @@ func TestSkipEquivalenceMediumScale(t *testing.T) {
 // default workload scale on 2 SMs x 16 warps — is one where the two choices
 // demonstrably diverge.
 func TestSkipEquivalenceGTOGreedyReset(t *testing.T) {
-	assertSkipEquivalent(t, "lps", workloads.Scale{}, config.Scaled(2, 16), "snake")
+	assertEngineEquivalent(t, "lps", workloads.Scale{}, config.Scaled(2, 16), "snake")
 }
 
-func assertSkipEquivalent(t *testing.T, bench string, sc workloads.Scale, cfg config.GPU, mech string) {
+// assertEngineEquivalent runs bench/mech under every engine strategy — per
+// cycle vs fast-forwarded, serial vs parallel shards — and demands
+// bit-identical results. The reference is the plainest configuration:
+// serial, no skipping.
+func assertEngineEquivalent(t *testing.T, bench string, sc workloads.Scale, cfg config.GPU, mech string) {
 	t.Helper()
 	k, err := workloads.Build(bench, sc)
 	if err != nil {
@@ -77,26 +84,39 @@ func assertSkipEquivalent(t *testing.T, bench string, sc workloads.Scale, cfg co
 	if err != nil {
 		t.Fatal(err)
 	}
-	run := func(disableSkip bool) *sim.Result {
+	run := func(disableSkip bool, parallelism int) *sim.Result {
 		res, err := sim.Run(k, sim.Options{
 			Config:        cfg,
 			NewPrefetcher: factory,
 			DisableSkip:   disableSkip,
+			Parallelism:   parallelism,
 		})
 		if err != nil {
-			t.Fatalf("disableSkip=%v: %v", disableSkip, err)
+			t.Fatalf("disableSkip=%v parallelism=%d: %v", disableSkip, parallelism, err)
 		}
 		return res
 	}
-	fast := run(false)
-	slow := run(true)
-	if !reflect.DeepEqual(fast.Stats, slow.Stats) {
-		t.Errorf("aggregate stats diverge with skipping enabled:\n skip: %+v\n full: %+v", fast.Stats, slow.Stats)
-	}
-	if !reflect.DeepEqual(fast.PerSM, slow.PerSM) {
-		for i := range fast.PerSM {
-			if !reflect.DeepEqual(fast.PerSM[i], slow.PerSM[i]) {
-				t.Errorf("SM %d stats diverge:\n skip: %+v\n full: %+v", i, fast.PerSM[i], slow.PerSM[i])
+	ref := run(true, 1)
+	for _, v := range []struct {
+		disableSkip bool
+		parallelism int
+	}{
+		{false, 1}, // fast-forwarding
+		{true, 4},  // parallel shards
+		{false, 4}, // both composed
+	} {
+		got := run(v.disableSkip, v.parallelism)
+		label := fmt.Sprintf("skip=%v parallelism=%d", !v.disableSkip, v.parallelism)
+		if !reflect.DeepEqual(got.Stats, ref.Stats) {
+			t.Errorf("%s: aggregate stats diverge from serial per-cycle run:\n got: %+v\n ref: %+v",
+				label, got.Stats, ref.Stats)
+		}
+		if !reflect.DeepEqual(got.PerSM, ref.PerSM) {
+			for i := range got.PerSM {
+				if !reflect.DeepEqual(got.PerSM[i], ref.PerSM[i]) {
+					t.Errorf("%s: SM %d stats diverge:\n got: %+v\n ref: %+v",
+						label, i, got.PerSM[i], ref.PerSM[i])
+				}
 			}
 		}
 	}

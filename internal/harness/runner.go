@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"snake/internal/config"
@@ -20,16 +19,24 @@ import (
 // bounded worker pool, since the figure experiments share most of their
 // underlying runs (e.g. Figures 16–19 all read the same eleven×ten grid).
 //
-// Successful runs are memoized forever (the simulations are deterministic);
-// failed runs are never cached, so callers can retry transient failures such
-// as context cancellation.
+// Successful runs are memoized forever (the simulations are deterministic,
+// and sim.Options.Parallelism does not change results, so the cache is keyed
+// without it); failed runs are never cached, so callers can retry transient
+// failures such as context cancellation.
 type Runner struct {
 	Cfg   config.GPU
 	Scale workloads.Scale
+	// Parallelism is the sim.Options.Parallelism for each run (default 1).
+	// Each running simulation holds that many Budget slots, so concurrency ×
+	// parallelism never exceeds the budget.
+	Parallelism int
+	// Budget bounds this runner's CPU use; NewRunner wires the process-wide
+	// SharedBudget so runner pools and the snaked service cannot
+	// oversubscribe the host between them.
+	Budget *Budget
 
 	mu    sync.Mutex
 	cache map[string]*runResult
-	sem   chan struct{}
 }
 
 // runResult is one in-flight or completed simulation. The creating goroutine
@@ -47,10 +54,10 @@ type runResult struct {
 // 4 SMs × 64 warps, default workload scale.
 func NewRunner() *Runner {
 	return &Runner{
-		Cfg:   config.Scaled(4, 64),
-		Scale: workloads.DefaultScale(),
-		cache: make(map[string]*runResult),
-		sem:   make(chan struct{}, runtime.GOMAXPROCS(0)),
+		Cfg:    config.Scaled(4, 64),
+		Scale:  workloads.DefaultScale(),
+		Budget: SharedBudget(),
+		cache:  make(map[string]*runResult),
 	}
 }
 
@@ -130,16 +137,20 @@ func (r *Runner) run(ctx context.Context, key, label, mech string, factory Facto
 	}
 }
 
-// execute performs the simulation for one cache entry, bounded by the
-// worker-pool semaphore.
+// execute performs the simulation for one cache entry. It draws Parallelism
+// slots from the CPU budget for the run's duration, so the runner's
+// concurrent callers and the run's internal workers spend the same slots.
 func (r *Runner) execute(ctx context.Context, res *runResult, label, mech string, factory Factory, build func() (*trace.Kernel, error)) {
-	select {
-	case r.sem <- struct{}{}:
-	case <-ctx.Done():
-		res.err = ctx.Err()
+	budget := r.Budget
+	if budget == nil {
+		budget = SharedBudget()
+	}
+	granted, err := budget.Acquire(ctx, max(r.Parallelism, 1))
+	if err != nil {
+		res.err = err
 		return
 	}
-	defer func() { <-r.sem }()
+	defer budget.Release(granted)
 	f := factory
 	if f == nil {
 		if f, res.err = Mechanism(mech); res.err != nil {
@@ -151,7 +162,7 @@ func (r *Runner) execute(ctx context.Context, res *runResult, label, mech string
 		res.err = err
 		return
 	}
-	out, err := sim.Run(k, sim.Options{Config: r.Cfg, NewPrefetcher: f, Context: ctx})
+	out, err := sim.Run(k, sim.Options{Config: r.Cfg, NewPrefetcher: f, Context: ctx, Parallelism: granted})
 	if err != nil {
 		res.err = fmt.Errorf("%s: %w", label, err)
 		return

@@ -72,7 +72,7 @@ func (h jobHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h jobHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h jobHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *jobHeap) Push(x interface{}) { *h = append(*h, x.(*job)) }
 func (h *jobHeap) Pop() interface{} {
 	old := *h

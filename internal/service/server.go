@@ -19,12 +19,22 @@ import (
 
 // Options configures a Service.
 type Options struct {
-	// Workers sizes the simulation pool (default: GOMAXPROCS).
+	// Workers sizes the job pool: how many jobs can be in flight at once
+	// (default: GOMAXPROCS). CPU use is governed by Budget, not Workers — a
+	// worker whose job cannot get budget slots waits its turn.
 	Workers int
 	// GPU is the default hardware configuration (default: Scaled(4, 64)).
 	GPU *config.GPU
 	// Scale is the default workload scale (default: DefaultScale).
 	Scale *workloads.Scale
+	// Parallelism is the default per-run SM-shard worker count for jobs that
+	// do not request one (default 1).
+	Parallelism int
+	// Budget is the CPU-slot budget simulations draw from (default: the
+	// process-wide harness.SharedBudget, shared with any harness.Runner in
+	// the same process so the two pools cannot oversubscribe the host
+	// together).
+	Budget *harness.Budget
 }
 
 // ErrDraining rejects submissions during graceful shutdown.
@@ -33,11 +43,13 @@ var ErrDraining = errors.New("service: shutting down")
 // Service is the snaked core: job registry, priority queue, worker pool,
 // result cache, and metrics. Wrap Handler in an http.Server to expose it.
 type Service struct {
-	gpu     config.GPU
-	scale   workloads.Scale
-	queue   *jobQueue
-	cache   *resultCache
-	metrics *metrics
+	gpu         config.GPU
+	scale       workloads.Scale
+	parallelism int
+	budget      *harness.Budget
+	queue       *jobQueue
+	cache       *resultCache
+	metrics     *metrics
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -72,18 +84,26 @@ func New(opt Options) *Service {
 	if opt.Scale != nil {
 		scale = *opt.Scale
 	}
+	if opt.Parallelism < 1 {
+		opt.Parallelism = 1
+	}
+	if opt.Budget == nil {
+		opt.Budget = harness.SharedBudget()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
-		gpu:        gpu,
-		scale:      scale,
-		queue:      newJobQueue(),
-		cache:      newResultCache(),
-		metrics:    newMetrics(),
-		baseCtx:    ctx,
-		baseCancel: cancel,
-		jobs:       make(map[string]*job),
-		sweeps:     make(map[string]*sweep),
-		benchSet:   make(map[string]bool),
+		gpu:         gpu,
+		scale:       scale,
+		parallelism: opt.Parallelism,
+		budget:      opt.Budget,
+		queue:       newJobQueue(),
+		cache:       newResultCache(),
+		metrics:     newMetrics(),
+		baseCtx:     ctx,
+		baseCancel:  cancel,
+		jobs:        make(map[string]*job),
+		sweeps:      make(map[string]*sweep),
+		benchSet:    make(map[string]bool),
 	}
 	for _, b := range workloads.Names() {
 		s.benchSet[b] = true
@@ -158,6 +178,13 @@ func (s *Service) normalize(req RunRequest) (spec, error) {
 		return spec{}, errors.New("timeout_ms must be non-negative")
 	}
 	sp.timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	if req.Parallelism < 0 {
+		return spec{}, errors.New("parallelism must be non-negative")
+	}
+	sp.parallelism = req.Parallelism
+	if sp.parallelism == 0 {
+		sp.parallelism = s.parallelism
+	}
 	return sp, nil
 }
 
@@ -213,6 +240,7 @@ func (s *Service) SubmitSweep(req SweepRequest) (*sweep, []*job, error) {
 				Bench: b, Mech: m, Snake: req.Snake,
 				GPU: req.GPU, Scale: req.Scale,
 				Priority: req.Priority, TimeoutMS: req.TimeoutMS,
+				Parallelism: req.Parallelism,
 			})
 			if err != nil {
 				return nil, nil, err

@@ -42,17 +42,24 @@ type RunRequest struct {
 	Priority int `json:"priority,omitempty"`
 	// TimeoutMS bounds the simulation wall clock; 0 means no limit.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Parallelism is the per-run SM-shard worker count (sim.Options
+	// .Parallelism): 0 uses the server default. Results are bit-identical at
+	// every value; the slots are drawn from the server's shared CPU budget,
+	// so a wide run trades against job concurrency rather than
+	// oversubscribing the host.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // SweepRequest submits the cross product of benches × mechs as one sweep.
 type SweepRequest struct {
-	Benches   []string         `json:"benches"`
-	Mechs     []string         `json:"mechs"`
-	Snake     *core.Config     `json:"snake,omitempty"` // replaces Mechs when set
-	GPU       *config.GPU      `json:"gpu,omitempty"`
-	Scale     *workloads.Scale `json:"scale,omitempty"`
-	Priority  int              `json:"priority,omitempty"`
-	TimeoutMS int64            `json:"timeout_ms,omitempty"`
+	Benches     []string         `json:"benches"`
+	Mechs       []string         `json:"mechs"`
+	Snake       *core.Config     `json:"snake,omitempty"` // replaces Mechs when set
+	GPU         *config.GPU      `json:"gpu,omitempty"`
+	Scale       *workloads.Scale `json:"scale,omitempty"`
+	Priority    int              `json:"priority,omitempty"`
+	TimeoutMS   int64            `json:"timeout_ms,omitempty"`
+	Parallelism int              `json:"parallelism,omitempty"`
 }
 
 // Status is a job's lifecycle state.
@@ -130,16 +137,18 @@ type BenchInfo struct {
 	FullName string `json:"full_name"`
 }
 
-// spec is a normalized, validated job specification.
+// spec is a normalized, validated job specification. parallelism is not part
+// of the content address: it changes wall clock, never results.
 type spec struct {
-	bench    string
-	mech     string // display name; "snake:custom" for custom configs
-	snake    *core.Config
-	gpu      config.GPU
-	scale    workloads.Scale
-	priority int
-	timeout  time.Duration
-	factory  harness.Factory
+	bench       string
+	mech        string // display name; "snake:custom" for custom configs
+	snake       *core.Config
+	gpu         config.GPU
+	scale       workloads.Scale
+	priority    int
+	timeout     time.Duration
+	parallelism int
+	factory     harness.Factory
 }
 
 // key returns the job's content address.

@@ -103,16 +103,26 @@ func (s *Service) runJob(j *job) {
 	s.finish(j, st, err, false)
 }
 
-// simulate builds the workload and runs the cycle-level simulation under ctx.
+// simulate builds the workload and runs the cycle-level simulation under
+// ctx. The run holds parallelism slots of the shared CPU budget for its
+// duration, so the worker pool's concurrency and each run's internal
+// parallelism spend one bounded currency (workers × parallelism can never
+// exceed the budget in CPU terms, whatever the pool size).
 func (s *Service) simulate(ctx context.Context, sp *spec) (*stats.Sim, error) {
 	k, err := workloads.Build(sp.bench, sp.scale)
 	if err != nil {
 		return nil, err
 	}
+	granted, err := s.budget.Acquire(ctx, sp.parallelism)
+	if err != nil {
+		return nil, err
+	}
+	defer s.budget.Release(granted)
 	out, err := sim.Run(k, sim.Options{
 		Config:        sp.gpu,
 		NewPrefetcher: sp.factory,
 		Context:       ctx,
+		Parallelism:   granted,
 	})
 	if err != nil {
 		return nil, err

@@ -3,6 +3,12 @@
 // queues, reservation fails), a bandwidth-limited interconnect, banked L2
 // partitions and DRAM timing. It substitutes for Accel-Sim in the Snake
 // reproduction; see DESIGN.md for the substitution argument.
+//
+// The engine is sharded: each SM (plus its warps, L1 and prefetcher) is a
+// shard that talks to the memory side (interconnect, L2 partitions, DRAM)
+// only through typed, cycle-stamped port queues, and shards may tick
+// concurrently (Options.Parallelism) with results bit-identical to serial
+// execution — see DESIGN.md "Parallel execution".
 package sim
 
 import (
@@ -11,6 +17,7 @@ import (
 	"fmt"
 
 	"snake/internal/config"
+	"snake/internal/icnt"
 	"snake/internal/prefetch"
 	"snake/internal/stats"
 	"snake/internal/trace"
@@ -40,6 +47,12 @@ type Options struct {
 	// behaviour §2 attributes to miss-queue pressure. Default:
 	// 128 × L2Partitions (see withDefaults).
 	MaxInflightFills int
+	// Parallelism is how many workers tick SM shards concurrently within
+	// each simulated cycle (default 1: serial). Results are bit-identical
+	// for every value — the shards exchange state with the memory side only
+	// at the cycle barrier, in a fixed merge order — so callers may pick
+	// purely on available cores. Clamped to the SM count.
+	Parallelism int
 	// DisableSkip forces the engine to execute every cycle individually
 	// instead of fast-forwarding over provably idle spans. Skipping is
 	// exact — Result.Stats is bit-identical either way (see DESIGN.md
@@ -67,6 +80,12 @@ func (opt Options) withDefaults() Options {
 	if opt.MLPPerWarp <= 0 {
 		opt.MLPPerWarp = 2
 	}
+	if opt.Parallelism <= 0 {
+		opt.Parallelism = 1
+	}
+	if opt.Parallelism > opt.Config.NumSM {
+		opt.Parallelism = opt.Config.NumSM
+	}
 	return opt
 }
 
@@ -76,30 +95,38 @@ type Result struct {
 	PerSM []stats.Sim // per-SM counters
 }
 
-// engine is the live simulation state.
+// engine is the live simulation state: the memory side (interconnect, L2
+// partitions, DRAM, in-flight message queues) plus one shard per SM. The
+// engine goroutine owns everything during the serial phases of a cycle;
+// during the parallel phase it owns only the memory side while each shard's
+// tick owns that shard.
 type engine struct {
 	cfg    config.GPU
 	opt    Options
 	kernel *trace.Kernel
 
-	cycle    int64
-	net      *icntNet
-	parts    []*memPartition
-	sms      []*sm
-	events   eventHeap
-	resps    respHeap
-	stores   []storePkt
+	cycle  int64
+	net    *icntNet
+	parts  []*memPartition
+	shards []*shard
+	group  *shardGroup // non-nil while Parallelism > 1 workers are running
+
+	// reqs is the SM→L2 ingress port: fill requests in flight across the
+	// request network, stamped with their arrival cycle at the partitions.
+	reqs icnt.Ingress[reqMsg]
+	// resps holds partition responses waiting for response-network
+	// bandwidth, ordered by data-ready cycle.
+	resps respHeap
+	// stores is the merged write-through store queue, in (smID, seq) order
+	// within each cycle.
+	stores []storeMsg
+
 	ctaNext  int // next undispatched CTA index
 	ageCtr   int64
 	inflight int   // outstanding fill requests in the memory system
 	skipped  int64 // cycles elided by event-driven fast-forwarding
 
-	perSM []stats.Sim
-}
-
-type storePkt struct {
-	sm   int
-	addr uint64
+	shStats *stats.Shards
 }
 
 // Run simulates the kernel under the given options and returns aggregated
@@ -133,25 +160,26 @@ func Run(k *trace.Kernel, opt Options) (*Result, error) {
 func newEngine(k *trace.Kernel, opt Options) *engine {
 	cfg := opt.Config
 	e := &engine{
-		cfg:    cfg,
-		opt:    opt,
-		kernel: k,
-		net:    newIcntNet(cfg),
-		perSM:  make([]stats.Sim, cfg.NumSM),
+		cfg:     cfg,
+		opt:     opt,
+		kernel:  k,
+		net:     newIcntNet(cfg),
+		shStats: stats.NewShards(cfg.NumSM),
 	}
 	e.parts = make([]*memPartition, cfg.L2Partitions)
 	for i := range e.parts {
 		e.parts[i] = newMemPartition(cfg)
 	}
-	e.sms = make([]*sm, cfg.NumSM)
-	for i := range e.sms {
+	e.shards = make([]*shard, cfg.NumSM)
+	for i := range e.shards {
 		var pf prefetch.Prefetcher
 		if opt.NewPrefetcher != nil {
 			pf = opt.NewPrefetcher(i)
 		}
-		e.sms[i] = newSM(i, cfg, pf, &e.perSM[i], opt.MLPPerWarp)
-		e.sms[i].kernel = k
-		e.sms[i].env = &smEnv{eng: e, sm: e.sms[i]}
+		s := newSM(i, cfg, pf, e.shStats.Shard(i), opt.MLPPerWarp)
+		s.kernel = k
+		s.env = &smEnv{eng: e, sm: s}
+		e.shards[i] = newShard(s)
 	}
 	return e
 }
@@ -165,12 +193,6 @@ func (e *engine) partOf(lineAddr uint64) int {
 	return int((row ^ (row >> 3) ^ (row >> 6) ^ (row >> 9)) % uint64(len(e.parts)))
 }
 
-// enqueueStore records write-through store traffic (non-blocking for the
-// warp; a simplification documented in DESIGN.md).
-func (e *engine) enqueueStore(sm int, addr uint64) {
-	e.stores = append(e.stores, storePkt{sm: sm, addr: addr})
-}
-
 // ctxCheckInterval is how often (in cycles) the engine polls for
 // cancellation; a power of two so the check is a cheap mask.
 const (
@@ -182,7 +204,23 @@ const (
 // the engine tolerates before declaring a deadlock.
 const deadlockIdleCycles = 1_000_000
 
+// run executes the cycle loop. Every executed cycle has the same shape:
+//
+//	serial memory phase:  net.tick → request arrivals at L2 → response
+//	                      sends → fill delivery into shard inboxes →
+//	                      request injection (pull, smID order) → stores
+//	parallel shard phase: every shard ticks (fills, prefetcher, issue),
+//	                      concurrently when Parallelism > 1
+//	serial merge phase:   egress merge in (smID, seq) order → CTA refill →
+//	                      termination / idle / fast-forward bookkeeping
 func (e *engine) run() error {
+	if e.opt.Parallelism > 1 {
+		e.group = startShardGroup(e.shards, e.opt.Parallelism)
+		defer func() {
+			e.group.stop()
+			e.group = nil
+		}()
+	}
 	e.fillSMs()
 	idle := int64(0)
 	for e.cycle < e.opt.MaxCycles {
@@ -193,15 +231,17 @@ func (e *engine) run() error {
 			}
 		}
 		e.net.tick(e.cycle)
-		e.processEvents()
+		e.arriveRequests()
 		e.drainResponses()
+		e.deliverFills()
 		e.drainMissQueues()
 		e.drainStores()
-		anyRetired := e.step()
+		anyRetired := e.tickShards()
 		if e.finished() {
 			break
 		}
-		if anyRetired || len(e.events) > 0 || len(e.resps) > 0 {
+		msgs := e.inFlightMsgs()
+		if anyRetired || msgs > 0 {
 			idle = 0
 		} else {
 			// Deadlock guard: nothing retired and nothing in flight for a
@@ -227,7 +267,7 @@ func (e *engine) run() error {
 		if target >= 0 && target <= e.cycle+1 {
 			continue
 		}
-		if len(e.events) == 0 && len(e.resps) == 0 {
+		if msgs == 0 {
 			// Idle-counting mode: stop where the deadlock guard would fire so
 			// the error (if the target never arrives) lands on the same cycle
 			// per-cycle execution reports it.
@@ -243,7 +283,7 @@ func (e *engine) run() error {
 			continue
 		}
 		if e.opt.Context != nil {
-			// The seed loop polls for cancellation every ctxCheckInterval
+			// The per-cycle loop polls for cancellation every ctxCheckInterval
 			// cycles; preserve that wall-progress bound across jumps by
 			// polling whenever the span crosses a poll boundary.
 			if b := (e.cycle>>ctxCheckShift + 1) << ctxCheckShift; b < target {
@@ -252,16 +292,13 @@ func (e *engine) run() error {
 				}
 			}
 		}
-		for _, s := range e.sms {
+		for _, sh := range e.shards {
 			// Warp states are frozen across the span, so each elided cycle
-			// would have classified identically.
-			s.classifyStallSpan(span)
-			// Every elided cycle issues nothing, so per-cycle execution would
-			// have run a fruitless scheduler pass each cycle; replay its
-			// (idempotent) state effect once.
-			s.idleSchedulers()
+			// would have classified identically; the fruitless scheduler pass
+			// of every elided cycle is replayed once (it is idempotent).
+			sh.skipSpan(span)
 		}
-		if len(e.events) == 0 && len(e.resps) == 0 {
+		if msgs == 0 {
 			idle += span
 		}
 		e.skipped += span
@@ -281,26 +318,24 @@ func (e *engine) run() error {
 // elided without changing any statistic. The candidates, mirroring the cycle
 // loop's order:
 //
-//   - the earliest scheduled event delivery (processEvents);
+//   - the earliest request arrival at the L2 partitions (arriveRequests);
 //   - the earliest response send: its data-ready cycle and the response
 //     network's backlog-drain cycle (drainResponses);
+//   - the earliest fill delivery into a shard's inbox (deliverFills);
 //   - the request network's backlog-drain cycle while stores are queued
-//     (drainStores) or any L1 holds drainable demand misses
-//     (drainMissQueues);
-//   - the next cycle outright when an L1 could trickle a staged prefetch
-//     into its miss queue, or when an SM's prefetcher does per-cycle work
+//     (drainStores) or any shard's request port holds drainable demand
+//     misses (drainMissQueues);
+//   - the next cycle outright when a shard could trickle a staged prefetch
+//     into its miss queue, or when its prefetcher does per-cycle work
 //     that may not be elided (Snake while throttled: halted-cycle accounting
 //     and hysteresis boundaries must fire cycle by cycle);
-//   - each SM's earliest ready-warp wake-up (issue).
+//   - each shard's earliest ready-warp wake-up (issue).
 //
-// Warps waiting on memory or barriers wake only through those same events
+// Warps waiting on memory or barriers wake only through those same fills
 // and issues, so they impose no separate bound.
 func (e *engine) nextInteresting() int64 {
 	cur := e.cycle
-	best := int64(-1)
-	if c := e.events.nextCycle(); c >= 0 {
-		best = c
-	}
+	best := e.reqs.NextCycle()
 	if r, ok := e.resps.peek(); ok {
 		c := e.net.nextRespAccept(cur)
 		if r.readyAt > c {
@@ -315,19 +350,19 @@ func (e *engine) nextInteresting() int64 {
 			best = c
 		}
 	}
-	for _, s := range e.sms {
-		if s.pf != nil && !prefetch.CanSkipCycles(s.pf, cur) {
+	for _, sh := range e.shards {
+		if sh.mustTickNext(cur) {
 			return cur + 1
 		}
-		if s.l1.PrefetchQueueLen() > 0 && !s.l1.DemandQueueFull() {
-			return cur + 1
-		}
-		if s.l1.DemandQueueLen() > 0 && e.inflight < e.opt.MaxInflightFills {
+		if sh.hasQueuedReq() && e.inflight < e.opt.MaxInflightFills {
 			if c := e.net.nextReqAccept(cur); best < 0 || c < best {
 				best = c
 			}
 		}
-		if w := s.nextWake(); w >= 0 && (best < 0 || w < best) {
+		if f := sh.nextFill(); f >= 0 && (best < 0 || f < best) {
+			best = f
+		}
+		if w := sh.nextWake(); w >= 0 && (best < 0 || w < best) {
 			best = w
 		}
 		if best >= 0 && best <= cur+1 {
@@ -344,13 +379,13 @@ func (e *engine) nextInteresting() int64 {
 func (e *engine) fillSMs() {
 	for {
 		progress := false
-		for _, s := range e.sms {
+		for _, sh := range e.shards {
 			if e.ctaNext >= len(e.kernel.CTAs) {
 				return
 			}
 			need := len(e.kernel.CTAs[e.ctaNext].Warps)
-			if s.freeSlots() >= need {
-				s.dispatchCTA(e.kernel, e.ctaNext, &e.ageCtr)
+			if sh.sm.freeSlots() >= need {
+				sh.sm.dispatchCTA(e.kernel, e.ctaNext, &e.ageCtr)
 				e.ctaNext++
 				progress = true
 			}
@@ -361,28 +396,23 @@ func (e *engine) fillSMs() {
 	}
 }
 
-// processEvents handles all deliveries due this cycle.
-func (e *engine) processEvents() {
+// arriveRequests services every fill request due at the L2 side this cycle,
+// in the deterministic ingress order (send order).
+func (e *engine) arriveRequests() {
 	for {
-		ev, ok := e.events.popDue(e.cycle)
+		r, ok := e.reqs.PopDue(e.cycle)
 		if !ok {
 			return
 		}
-		switch ev.kind {
-		case evReqAtL2:
-			p := e.partOf(ev.lineAddr)
-			readyAt := e.parts[p].access(ev.lineAddr, ev.cycle)
-			e.resps.push(resp{readyAt: readyAt, sm: ev.sm, lineAddr: ev.lineAddr, part: p, prefetch: ev.prefetch})
-		case evRespAtL1:
-			e.inflight--
-			s := e.sms[ev.sm]
-			waiters := s.l1.Fill(ev.lineAddr, e.cycle)
-			s.wake(waiters, e.cycle)
-		}
+		p := e.partOf(r.lineAddr)
+		readyAt := e.parts[p].access(r.lineAddr, e.cycle)
+		e.resps.push(resp{readyAt: readyAt, sm: r.sm, lineAddr: r.lineAddr, part: p, prefetch: r.prefetch})
 	}
 }
 
-// drainResponses sends ready memory responses back over the interconnect.
+// drainResponses sends ready memory responses back over the interconnect,
+// stamping each with its delivery cycle and queueing it on the destination
+// shard's ingress port.
 func (e *engine) drainResponses() {
 	lineBytes := e.cfg.Unified.LineSize
 	for {
@@ -396,7 +426,15 @@ func (e *engine) drainResponses() {
 		}
 		e.resps.pop()
 		e.parts[r.part].completeFill(r.lineAddr, e.cycle)
-		e.events.push(event{cycle: deliverAt, kind: evRespAtL1, sm: r.sm, lineAddr: r.lineAddr, prefetch: r.prefetch})
+		e.shards[r.sm].fills.Push(deliverAt, fillMsg{lineAddr: r.lineAddr, prefetch: r.prefetch})
+	}
+}
+
+// deliverFills moves due fills into each shard's inbox (smID order) and
+// releases their in-flight capacity, exactly when per-event delivery did.
+func (e *engine) deliverFills() {
+	for _, sh := range e.shards {
+		e.inflight -= sh.deliverDue(e.cycle)
 	}
 }
 
@@ -404,27 +442,29 @@ func (e *engine) drainResponses() {
 // the request network per cycle.
 const missInjectPerSM = 3
 
-// drainMissQueues injects outgoing fill requests, up to missInjectPerSM per
-// SM per cycle, subject to the in-flight cap (downstream queue capacity).
-// Staged prefetch requests trickle into each shared miss queue at
+// drainMissQueues pulls outgoing fill requests from each shard's request
+// port, up to missInjectPerSM per SM per cycle, subject to the in-flight cap
+// (downstream queue capacity). The pull order — shards in smID order — is
+// the deterministic merge order of the SM→memory request stream. Staged
+// prefetch requests trickle into each shared miss queue at
 // cache.PrefetchDrainPerCycle per cycle.
 func (e *engine) drainMissQueues() {
-	for _, s := range e.sms {
-		s.l1.DrainPrefetch(e.cycle)
+	for _, sh := range e.shards {
+		sh.drainStaged(e.cycle)
 		for k := 0; k < missInjectPerSM; k++ {
 			if e.inflight >= e.opt.MaxInflightFills {
 				return
 			}
-			if _, any := s.l1.PeekMiss(); !any {
+			if !sh.peekReq() {
 				break
 			}
 			deliverAt, sent := e.net.trySendReq(e.opt.RequestBytes)
 			if !sent {
 				return
 			}
-			req, _ := s.l1.PopMiss()
+			req, _ := sh.popReq()
 			e.inflight++
-			e.events.push(event{cycle: deliverAt, kind: evReqAtL2, sm: s.id, lineAddr: req.LineAddr, prefetch: req.Prefetch})
+			e.reqs.Push(deliverAt, req)
 		}
 	}
 }
@@ -448,24 +488,49 @@ func (e *engine) drainStores() {
 	}
 }
 
-// step runs one cycle of every SM and returns whether anything retired.
-func (e *engine) step() bool {
-	any := false
-	for _, s := range e.sms {
-		if s.pf != nil {
-			s.pf.OnCycle(e.cycle, s.env)
-		}
-		res := s.issue(e.cycle, e)
-		if res.retired > 0 {
-			any = true
-		} else {
-			s.classifyStall(res.resFail)
-		}
-		if res.ctaFinished {
-			e.fillSMs()
+// tickShards runs the parallel phase of the cycle — every shard ticks, on
+// the worker group when one is running — then performs the serial merge:
+// egress streams are appended to the memory-side queues in (smID, seq)
+// order and freed CTA slots are refilled. Returns whether any shard retired
+// an instruction.
+func (e *engine) tickShards() bool {
+	if e.group != nil {
+		e.group.runCycle(e.cycle)
+	} else {
+		for _, sh := range e.shards {
+			sh.tick(e.cycle)
 		}
 	}
+	any, refill := false, false
+	for _, sh := range e.shards {
+		if len(sh.out.stores) > 0 {
+			e.stores = append(e.stores, sh.out.stores...)
+			sh.out.stores = sh.out.stores[:0]
+		}
+		if sh.report.retired {
+			any = true
+		}
+		if sh.report.ctaFinished {
+			refill = true
+		}
+	}
+	if refill {
+		// CTAs freed during the parallel phase are redispatched at the
+		// barrier; the new warps first issue next cycle.
+		e.fillSMs()
+	}
 	return any
+}
+
+// inFlightMsgs counts cross-boundary messages in flight: requests crossing
+// to the L2 side, responses awaiting bandwidth, and fills not yet consumed
+// by their shard.
+func (e *engine) inFlightMsgs() int {
+	n := e.reqs.Len() + len(e.resps)
+	for _, sh := range e.shards {
+		n += sh.pendingFills()
+	}
+	return n
 }
 
 // finished reports whether all CTAs have been dispatched and completed and
@@ -474,12 +539,12 @@ func (e *engine) finished() bool {
 	if e.ctaNext < len(e.kernel.CTAs) {
 		return false
 	}
-	for _, s := range e.sms {
-		if !s.done() {
+	for _, sh := range e.shards {
+		if !sh.sm.done() {
 			return false
 		}
 	}
-	return len(e.events) == 0 && len(e.resps) == 0
+	return e.inFlightMsgs() == 0
 }
 
 // throttleReporter is implemented by prefetchers that track their halted
@@ -490,17 +555,17 @@ type throttleReporter interface {
 
 // result aggregates statistics (call once, after the final run).
 func (e *engine) result() *Result {
-	for i, s := range e.sms {
-		s.l1.FinishRun()
-		if tr, ok := s.pf.(throttleReporter); ok {
-			e.perSM[i].Pf.ThrottleCycles = tr.ThrottleCycles()
+	for i, sh := range e.shards {
+		sh.sm.l1.FinishRun()
+		if tr, ok := sh.sm.pf.(throttleReporter); ok {
+			e.shStats.Shard(i).Pf.ThrottleCycles = tr.ThrottleCycles()
 		}
 	}
-	res := &Result{PerSM: e.perSM}
-	for i := range e.perSM {
-		e.perSM[i].Cycles = e.cycle
-		res.Stats.Merge(&e.perSM[i])
+	perSM := e.shStats.Slice()
+	for i := range perSM {
+		perSM[i].Cycles = e.cycle
 	}
+	res := &Result{Stats: e.shStats.Total(), PerSM: perSM}
 	res.Stats.Cycles = e.cycle
 	res.Stats.IcntBytes = e.net.totalBytes()
 	res.Stats.IcntPeakBytes = e.net.peakBytes(e.cycle)
@@ -513,7 +578,10 @@ func (e *engine) result() *Result {
 	return res
 }
 
-// smEnv adapts engine state to the prefetch.Env interface for one SM.
+// smEnv adapts engine state to the prefetch.Env interface for one SM. The
+// engine-side reads are of memory-side state that is frozen during the
+// parallel phase (the serial phases mutate it, the barrier publishes it), so
+// concurrent shard ticks may call them safely.
 type smEnv struct {
 	eng *engine
 	sm  *sm

@@ -7,46 +7,6 @@ import (
 	"snake/internal/config"
 )
 
-func TestEventHeapOrdering(t *testing.T) {
-	var h eventHeap
-	for _, c := range []int64{50, 10, 30, 10, 90} {
-		h.push(event{cycle: c})
-	}
-	if h.nextCycle() != 10 {
-		t.Fatalf("nextCycle = %d", h.nextCycle())
-	}
-	var got []int64
-	for {
-		e, ok := h.popDue(100)
-		if !ok {
-			break
-		}
-		got = append(got, e.cycle)
-	}
-	for i := 1; i < len(got); i++ {
-		if got[i] < got[i-1] {
-			t.Fatalf("heap order broken: %v", got)
-		}
-	}
-	if len(got) != 5 {
-		t.Fatalf("popped %d events", len(got))
-	}
-}
-
-func TestEventHeapPopDueRespectsDeadline(t *testing.T) {
-	var h eventHeap
-	h.push(event{cycle: 100})
-	if _, ok := h.popDue(99); ok {
-		t.Error("popped a future event")
-	}
-	if _, ok := h.popDue(100); !ok {
-		t.Error("did not pop a due event")
-	}
-	if h.nextCycle() != -1 {
-		t.Error("empty heap nextCycle != -1")
-	}
-}
-
 func TestRespHeapOrdering(t *testing.T) {
 	f := func(times []int64) bool {
 		var h respHeap

@@ -1,90 +1,18 @@
 package sim
 
-// eventKind distinguishes the two in-flight message types.
-type eventKind uint8
-
-const (
-	evReqAtL2  eventKind = iota // fill request arrives at its L2 partition
-	evRespAtL1                  // fill response arrives back at the SM's L1
-)
-
-// event is one scheduled message delivery.
-type event struct {
-	cycle    int64
-	kind     eventKind
-	sm       int
-	lineAddr uint64
-	prefetch bool
-}
-
-// The two heaps below are hand-rolled rather than container/heap adapters:
-// heap.Push/heap.Pop box every element into an interface{}, which made each
-// in-flight request allocate on the hot path. The sift rules (strict-less
+// resp is a memory response waiting for response-network bandwidth.
+//
+// Responses are the one in-flight message class that still needs a heap:
+// DRAM row timing makes readyAt non-monotone in service order, so a FIFO
+// ring (icnt.Ingress) would mis-order them. Requests and fills ride
+// Ingress queues instead — the interconnect's serialized bandwidth stamps
+// them with non-decreasing delivery cycles, so send order is delivery order.
+//
+// The heap is hand-rolled rather than a container/heap adapter: heap.Push/
+// heap.Pop box every element into an interface{}, which made each in-flight
+// response allocate on the hot path. The sift rules (strict-less
 // comparisons, swap-to-end pop) mirror container/heap exactly, so pop order
 // — ties included — is bit-identical to the seed engine's.
-
-// eventHeap is a min-heap of events ordered by delivery cycle.
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h *eventHeap) push(e event) {
-	s := append(*h, e)
-	j := len(s) - 1
-	for j > 0 {
-		i := (j - 1) / 2
-		if !(s[j].cycle < s[i].cycle) {
-			break
-		}
-		s[i], s[j] = s[j], s[i]
-		j = i
-	}
-	*h = s
-}
-
-func (h *eventHeap) pop() event {
-	s := *h
-	n := len(s) - 1
-	s[0], s[n] = s[n], s[0]
-	// Sift the new root down within s[:n].
-	i := 0
-	for {
-		j := 2*i + 1
-		if j >= n {
-			break
-		}
-		if r := j + 1; r < n && s[r].cycle < s[j].cycle {
-			j = r
-		}
-		if !(s[j].cycle < s[i].cycle) {
-			break
-		}
-		s[i], s[j] = s[j], s[i]
-		i = j
-	}
-	e := s[n]
-	*h = s[:n]
-	return e
-}
-
-// popDue removes and returns the earliest event if it is due at or before
-// cycle.
-func (h *eventHeap) popDue(cycle int64) (event, bool) {
-	if len(*h) == 0 || (*h)[0].cycle > cycle {
-		return event{}, false
-	}
-	return h.pop(), true
-}
-
-// nextCycle returns the earliest scheduled cycle, or -1 when empty.
-func (h eventHeap) nextCycle() int64 {
-	if len(h) == 0 {
-		return -1
-	}
-	return h[0].cycle
-}
-
-// resp is a memory response waiting for response-network bandwidth.
 type resp struct {
 	readyAt  int64
 	sm       int
@@ -123,6 +51,7 @@ func (h *respHeap) pop() resp {
 	s := *h
 	n := len(s) - 1
 	s[0], s[n] = s[n], s[0]
+	// Sift the new root down within s[:n].
 	i := 0
 	for {
 		j := 2*i + 1

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// shardGroup runs SM-shard ticks across a bounded set of persistent workers,
+// one simulated cycle at a time, with a barrier on each side of the parallel
+// phase. The calling (engine) goroutine is participant 0 and ticks its own
+// stripe, so Parallelism=N uses N-1 extra goroutines.
+//
+// Determinism does not depend on the group at all: shards are data-disjoint
+// during ticks (see shard), so any interleaving computes the same state. The
+// group only has to provide the two happens-before edges of the cycle:
+//
+//	engine's serial writes → release (epoch increment, atomic) → worker ticks
+//	worker ticks → arrive (counter increment, atomic) → engine's serial reads
+//
+// Workers spin briefly and then yield while waiting; on a loaded or
+// single-core machine the yield path degrades to cooperative scheduling
+// rather than burning the core the engine needs.
+type shardGroup struct {
+	shards []*shard
+	n      int // participants, including the engine goroutine
+
+	// cycle and quit are plain fields: they are written by the engine before
+	// the epoch release and read by workers after observing it.
+	cycle int64
+	quit  bool
+
+	epoch   atomic.Uint64
+	arrived atomic.Int64
+}
+
+// startShardGroup launches n-1 workers over the shards. n must be ≥ 2 and
+// is capped by the caller at len(shards).
+func startShardGroup(shards []*shard, n int) *shardGroup {
+	g := &shardGroup{shards: shards, n: n}
+	for w := 1; w < n; w++ {
+		go g.worker(w)
+	}
+	return g
+}
+
+// runCycle ticks every shard for cycle c and returns after all of them
+// finished (the cycle barrier).
+func (g *shardGroup) runCycle(c int64) {
+	g.cycle = c
+	g.epoch.Add(1) // release: workers may start this cycle
+	for i := 0; i < len(g.shards); i += g.n {
+		g.shards[i].tick(c)
+	}
+	g.join()
+}
+
+// stop terminates the workers and waits for them to exit.
+func (g *shardGroup) stop() {
+	g.quit = true
+	g.epoch.Add(1)
+	g.join()
+}
+
+// join waits until every worker has arrived at the barrier, then resets the
+// arrival counter for the next epoch. Workers never touch the counter again
+// until they observe that next epoch, so the reset cannot race.
+func (g *shardGroup) join() {
+	await(&g.arrived, int64(g.n-1))
+	g.arrived.Store(0)
+}
+
+// worker ticks the stripe of shards with index ≡ w (mod n) each epoch.
+func (g *shardGroup) worker(w int) {
+	for epoch := uint64(1); ; epoch++ {
+		awaitEpoch(&g.epoch, epoch)
+		if g.quit {
+			g.arrived.Add(1)
+			return
+		}
+		c := g.cycle
+		for i := w; i < len(g.shards); i += g.n {
+			g.shards[i].tick(c)
+		}
+		g.arrived.Add(1)
+	}
+}
+
+// spinLimit is how many tight polls to attempt before yielding the
+// processor. Barriers open within nanoseconds when all participants are
+// running; the yield path exists for oversubscribed machines.
+const spinLimit = 128
+
+func awaitEpoch(v *atomic.Uint64, target uint64) {
+	for spins := 0; v.Load() < target; spins++ {
+		if spins > spinLimit {
+			runtime.Gosched()
+		}
+	}
+}
+
+func await(v *atomic.Int64, target int64) {
+	for spins := 0; v.Load() < target; spins++ {
+		if spins > spinLimit {
+			runtime.Gosched()
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package sim
+
+// This file defines the typed, cycle-stamped messages that cross the
+// SM-shard / memory-side boundary, and the per-shard egress buffer they are
+// staged in. After the port refactor these messages are the ONLY way state
+// moves across the boundary:
+//
+//	SM shard  --reqMsg-->   memory side   (fill requests, pulled from the
+//	                                       shard's request port at the
+//	                                       barrier, in smID order)
+//	SM shard  --storeMsg--> memory side   (write-through stores, staged in
+//	                                       the shard's egress during its
+//	                                       tick, merged at the barrier in
+//	                                       (smID, seq) order)
+//	memory side --fillMsg--> SM shard     (line fills, pushed into the
+//	                                       shard's cycle-stamped ingress
+//	                                       queue, delivered when due)
+//
+// Everything else an SM owns (warps, L1, MSHRs, prefetcher, statistics) is
+// shard-private, which is what lets shards tick concurrently; see DESIGN.md
+// "Parallel execution".
+
+// fillMsg is a completed memory response in flight toward an SM's L1. It is
+// delivered through the shard's icnt.Ingress queue, whose stamp carries the
+// delivery cycle.
+type fillMsg struct {
+	lineAddr uint64
+	prefetch bool
+}
+
+// reqMsg is a fill request in flight toward the L2 side. Its ingress stamp
+// carries the arrival cycle at the partition crossbar.
+type reqMsg struct {
+	sm       int
+	lineAddr uint64
+	prefetch bool
+}
+
+// storeMsg is one write-through store packet staged by a shard. seq is the
+// shard-local stamp assigned at issue; the barrier merge orders the global
+// store queue by (smID, seq), which reproduces the serial engine's
+// SM-iteration order exactly.
+type storeMsg struct {
+	sm   int
+	seq  int64
+	addr uint64
+}
+
+// egress buffers one shard's outbound messages for the cycle being ticked.
+// The shard appends during its (possibly concurrent) tick; the engine drains
+// it at the cycle barrier and it must be empty before the next tick starts.
+type egress struct {
+	sm     int
+	seq    int64 // monotonically increasing per-shard message stamp
+	stores []storeMsg
+}
+
+// addStore stages a write-through store packet.
+func (e *egress) addStore(addr uint64) {
+	e.seq++
+	e.stores = append(e.stores, storeMsg{sm: e.sm, seq: e.seq, addr: addr})
+}

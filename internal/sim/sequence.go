@@ -48,18 +48,7 @@ func RunSequence(kernels []*trace.Kernel, opt SequenceOptions) (*SequenceResult,
 	if base.MaxCycles <= 0 {
 		base.MaxCycles = 20_000_000 * int64(len(kernels))
 	}
-	if base.StoreBytes <= 0 {
-		base.StoreBytes = 32
-	}
-	if base.RequestBytes <= 0 {
-		base.RequestBytes = 8
-	}
-	if base.MaxInflightFills <= 0 {
-		base.MaxInflightFills = 128 * base.Config.L2Partitions
-	}
-	if base.MLPPerWarp <= 0 {
-		base.MLPPerWarp = 2
-	}
+	base = base.withDefaults()
 	if err := base.Config.Validate(); err != nil {
 		return nil, err
 	}
@@ -86,8 +75,8 @@ func RunSequence(kernels []*trace.Kernel, opt SequenceOptions) (*SequenceResult,
 			return nil, fmt.Errorf("sim: kernel %d (%s): %w", i, k.Name, err)
 		}
 		var insts int64
-		for j := range e.perSM {
-			insts += e.perSM[j].Insts
+		for _, s := range e.shStats.Slice() {
+			insts += s.Insts
 		}
 		out.Spans = append(out.Spans, KernelSpan{
 			Name:       k.Name,
@@ -105,7 +94,8 @@ func RunSequence(kernels []*trace.Kernel, opt SequenceOptions) (*SequenceResult,
 func (e *engine) prepareKernel(k *trace.Kernel, flushL1, resetPf bool) {
 	e.kernel = k
 	e.ctaNext = 0
-	for _, s := range e.sms {
+	for _, sh := range e.shards {
+		s := sh.sm
 		s.kernel = k
 		if flushL1 {
 			s.l1.Reset()

@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"snake/internal/icnt"
+	"snake/internal/prefetch"
+)
+
+// shard is one SM-side unit of parallel execution: the SM (warps, scheduler
+// slices, L1, MSHRs, statistics) plus its attached prefetcher, together with
+// the typed ports that are its only connection to the memory side.
+//
+// Ownership protocol (what makes parallel ticking deterministic and
+// race-free):
+//
+//   - During the parallel phase of a cycle, exactly one worker runs
+//     sh.tick, which touches only shard-private state, the inbox the serial
+//     phase filled, and the shard's egress buffer. It never reads another
+//     shard or writes memory-side state.
+//   - Between barriers (the serial phases), the engine goroutine owns the
+//     whole shard: it delivers ingress messages, pulls from the request
+//     port, merges the egress, and may dispatch CTAs.
+//
+// The barrier's synchronization establishes the happens-before edges between
+// the two phases, so the protocol is also what the race detector checks.
+type shard struct {
+	sm *sm
+
+	// fills is the memory→SM ingress port: completed responses in flight,
+	// stamped with their delivery cycle. The serial phase pushes (send order
+	// is non-decreasing in delivery cycle because the response network
+	// serializes bandwidth) and moves due messages to inbox; tick consumes.
+	fills icnt.Ingress[fillMsg]
+	// inbox holds the fills due this cycle, in stamp order, for tick.
+	inbox []fillMsg
+
+	// out is the SM→memory egress port, appended to during tick and merged
+	// by the engine at the cycle barrier in (smID, seq) order.
+	out egress
+
+	// report is tick's summary for the barrier merge.
+	report tickReport
+}
+
+// tickReport summarizes one shard tick for the serial merge phase.
+type tickReport struct {
+	retired     bool
+	ctaFinished bool
+}
+
+func newShard(s *sm) *shard {
+	return &shard{sm: s, out: egress{sm: s.id}}
+}
+
+// deliverDue moves ingress fills due at or before cycle into the inbox, in
+// stamp order, and returns how many it moved. Serial phase only: the engine
+// uses the count to release MaxInflightFills capacity before it arbitrates
+// this cycle's request injection, exactly when the serial engine's delivery
+// events released it.
+func (sh *shard) deliverDue(cycle int64) int {
+	n := 0
+	for {
+		f, ok := sh.fills.PopDue(cycle)
+		if !ok {
+			break
+		}
+		sh.inbox = append(sh.inbox, f)
+		n++
+	}
+	return n
+}
+
+// tick executes one cycle of this shard: apply delivered fills, run the
+// prefetcher's per-cycle hook, issue from the warp schedulers, and classify
+// the stall if nothing retired. Safe to run concurrently with other shards'
+// ticks; all cross-boundary output lands in sh.out and sh.report.
+func (sh *shard) tick(cycle int64) {
+	s := sh.sm
+	for _, f := range sh.inbox {
+		waiters := s.l1.Fill(f.lineAddr, cycle)
+		s.wake(waiters, cycle)
+	}
+	sh.inbox = sh.inbox[:0]
+	if s.pf != nil {
+		s.pf.OnCycle(cycle, s.env)
+	}
+	res := s.issue(cycle, &sh.out)
+	sh.report = tickReport{retired: res.retired > 0, ctaFinished: res.ctaFinished}
+	if res.retired == 0 {
+		s.classifyStall(res.resFail)
+	}
+}
+
+// --- request port (serial phase only) -----------------------------------
+//
+// The memory side pulls fill requests from the shard rather than the shard
+// pushing them: how many it may inject per cycle depends on global state
+// (request-network bandwidth, the in-flight cap) that only the memory side
+// sees. The pull happens at the barrier, in fixed smID order, which is the
+// deterministic merge order of the SM→memory request stream.
+
+// drainStaged trickles staged prefetch requests into the shared miss queue
+// (cache.PrefetchDrainPerCycle per cycle), the same rate-limit the serial
+// engine applied.
+func (sh *shard) drainStaged(cycle int64) { sh.sm.l1.DrainPrefetch(cycle) }
+
+// peekReq reports whether a fill request is ready to inject.
+func (sh *shard) peekReq() bool {
+	_, any := sh.sm.l1.PeekMiss()
+	return any
+}
+
+// popReq removes the next fill request from the port.
+func (sh *shard) popReq() (reqMsg, bool) {
+	r, ok := sh.sm.l1.PopMiss()
+	if !ok {
+		return reqMsg{}, false
+	}
+	return reqMsg{sm: sh.sm.id, lineAddr: r.LineAddr, prefetch: r.Prefetch}, true
+}
+
+// --- fast-forward bounds (serial phase only) ----------------------------
+
+// mustTickNext reports whether this shard has per-cycle work that may not be
+// elided: a prefetcher that forbids skipping right now (Snake while
+// throttled), or staged prefetches that could trickle into a non-full miss
+// queue.
+func (sh *shard) mustTickNext(cycle int64) bool {
+	s := sh.sm
+	if s.pf != nil && !prefetch.CanSkipCycles(s.pf, cycle) {
+		return true
+	}
+	return s.l1.PrefetchQueueLen() > 0 && !s.l1.DemandQueueFull()
+}
+
+// hasQueuedReq reports whether the request port has drainable demand work.
+func (sh *shard) hasQueuedReq() bool { return sh.sm.l1.DemandQueueLen() > 0 }
+
+// nextWake returns the earliest cycle a ready warp can issue (-1: none).
+func (sh *shard) nextWake() int64 { return sh.sm.nextWake() }
+
+// nextFill returns the earliest pending ingress delivery (-1: none).
+func (sh *shard) nextFill() int64 { return sh.fills.NextCycle() }
+
+// pendingFills returns in-flight plus delivered-but-unconsumed fills.
+func (sh *shard) pendingFills() int { return sh.fills.Len() + len(sh.inbox) }
+
+// skipSpan advances the shard over n provably idle cycles: span-sized stall
+// classification plus the idempotent no-issue scheduler update.
+func (sh *shard) skipSpan(n int64) {
+	sh.sm.classifyStallSpan(n)
+	sh.sm.idleSchedulers()
+}

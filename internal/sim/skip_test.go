@@ -48,7 +48,7 @@ func TestMissInjectPerSM(t *testing.T) {
 	e.net.tick(1)
 	// Queue one more demand miss than the per-cycle injection budget on SM 0
 	// (distinct lines, so no MSHR merging).
-	s := e.sms[0]
+	s := e.shards[0].sm
 	for i := 0; i < missInjectPerSM+1; i++ {
 		s.l1.Access(i, 0x1000_0000+uint64(i)*8192, e.cycle)
 	}
@@ -79,10 +79,15 @@ func TestDrainStoresCompactsInPlace(t *testing.T) {
 	e := newEngine(k, opt)
 
 	const depth = 64
+	// Stage stores through a shard egress and merge at once, as the cycle
+	// barrier does.
 	fill := func() {
-		for len(e.stores) < depth {
-			e.enqueueStore(0, uint64(len(e.stores))*128)
+		out := &e.shards[0].out
+		for n := depth - len(e.stores); n > 0; n-- {
+			out.addStore(uint64(len(out.stores)) * 128)
 		}
+		e.stores = append(e.stores, out.stores...)
+		out.stores = out.stores[:0]
 	}
 	fill()
 	capInit := cap(e.stores)

@@ -228,9 +228,10 @@ func (s *sm) refreshSched() {
 	s.schedDirty = false
 }
 
-// issue runs all scheduler slices for one cycle. eng provides memory-system
-// callbacks.
-func (s *sm) issue(cycle int64, eng *engine) issueResult {
+// issue runs all scheduler slices for one cycle. Outbound memory traffic is
+// staged into eg, the shard's egress port (never written to engine state
+// directly — issue may run concurrently with other shards' ticks).
+func (s *sm) issue(cycle int64, eg *egress) issueResult {
 	var res issueResult
 	nSched := len(s.scheds)
 	if s.nReady == 0 {
@@ -269,13 +270,13 @@ func (s *sm) issue(cycle int64, eng *engine) issueResult {
 		if pick < 0 {
 			continue
 		}
-		s.execute(slots[pick], cycle, eng, &res)
+		s.execute(slots[pick], cycle, eg, &res)
 	}
 	return res
 }
 
 // execute issues warp slot's next instruction.
-func (s *sm) execute(slot int, cycle int64, eng *engine, res *issueResult) {
+func (s *sm) execute(slot int, cycle int64, eg *egress, res *issueResult) {
 	w := &s.warps[slot]
 	in := &w.prog.Insts[w.pc]
 	switch in.Op {
@@ -287,7 +288,7 @@ func (s *sm) execute(slot int, cycle int64, eng *engine, res *issueResult) {
 		res.retired++
 
 	case trace.OpStore:
-		eng.enqueueStore(s.id, in.Addr)
+		eg.addStore(in.Addr)
 		w.busyUntil = cycle + 1
 		s.readyAt[slot] = w.busyUntil
 		w.pc++

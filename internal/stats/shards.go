@@ -1,0 +1,40 @@
+package stats
+
+// Shards is a set of per-shard Sim accumulators. The simulation engine gives
+// each SM shard its own accumulator so shards can count events concurrently
+// without sharing a cache line of logic (each shard writes only its own
+// entry), and merges them into one Sim at the end of the run.
+//
+// Merge (and therefore Total) is insensitive to how events were partitioned
+// across shards: every counter is a sum and Cycles is a max, so merging any
+// shard partition of an event stream yields the same totals as accumulating
+// the stream serially. TestShardsMergePartitionInvariant pins this property;
+// it is what makes the engine's parallel results bit-identical to serial
+// ones at the statistics layer.
+type Shards struct {
+	sims []Sim
+}
+
+// NewShards returns n zeroed per-shard accumulators.
+func NewShards(n int) *Shards {
+	return &Shards{sims: make([]Sim, n)}
+}
+
+// Shard returns the i-th accumulator for the owning shard to count into.
+func (s *Shards) Shard(i int) *Sim { return &s.sims[i] }
+
+// Len returns the number of shards.
+func (s *Shards) Len() int { return len(s.sims) }
+
+// Slice exposes the underlying accumulators (the engine's per-SM result
+// view). The caller must not grow it.
+func (s *Shards) Slice() []Sim { return s.sims }
+
+// Total merges every shard accumulator, in shard order, into one Sim.
+func (s *Shards) Total() Sim {
+	var out Sim
+	for i := range s.sims {
+		out.Merge(&s.sims[i])
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomSim fills every integer counter (recursively, including the L1
+// outcome array and the Prefetch block) with a random value, so the
+// partition-invariance property is checked over the whole schema and keeps
+// covering fields added later. Float fields stay zero: Merge deliberately
+// ignores EnergyJ (it is filled post-run), so random floats would only test
+// that both sides drop them.
+func randomSim(rng *rand.Rand) Sim {
+	var s Sim
+	fillRandom(reflect.ValueOf(&s).Elem(), rng)
+	return s
+}
+
+func fillRandom(v reflect.Value, rng *rand.Rand) {
+	switch v.Kind() {
+	case reflect.Int64:
+		v.SetInt(rng.Int63n(1_000_000))
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			fillRandom(v.Field(i), rng)
+		}
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			fillRandom(v.Index(i), rng)
+		}
+	}
+}
+
+// TestShardsMergePartitionInvariant is the property the parallel engine
+// rests on: partitioning a stream of stat events across any number of
+// shards, in any assignment, and merging the per-shard accumulators (in any
+// shard-count) equals accumulating the stream serially.
+func TestShardsMergePartitionInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		nEvents := 1 + rng.Intn(40)
+		events := make([]Sim, nEvents)
+		for i := range events {
+			events[i] = randomSim(rng)
+		}
+
+		// Serial reference: one accumulator sees every event in order.
+		var serial Sim
+		for i := range events {
+			serial.Merge(&events[i])
+		}
+
+		// Random shard partition: each event lands on a random shard, order
+		// preserved within a shard (as the engine's fixed smID assignment
+		// does), then shards merge in shard order.
+		nShards := 1 + rng.Intn(8)
+		sh := NewShards(nShards)
+		for i := range events {
+			sh.Shard(rng.Intn(nShards)).Merge(&events[i])
+		}
+		got := sh.Total()
+		if !reflect.DeepEqual(got, serial) {
+			t.Fatalf("trial %d: sharded total diverges from serial accumulation\n sharded: %+v\n serial:  %+v",
+				trial, got, serial)
+		}
+	}
+}
+
+func TestShardsAccessors(t *testing.T) {
+	sh := NewShards(3)
+	if sh.Len() != 3 || len(sh.Slice()) != 3 {
+		t.Fatalf("Len=%d Slice len=%d, want 3", sh.Len(), len(sh.Slice()))
+	}
+	sh.Shard(1).Insts = 7
+	if sh.Slice()[1].Insts != 7 {
+		t.Error("Shard(1) does not alias Slice()[1]")
+	}
+	if got := sh.Total(); got.Insts != 7 {
+		t.Errorf("Total().Insts = %d, want 7", got.Insts)
+	}
+}
