@@ -48,13 +48,17 @@ type simBenchFile struct {
 // 4×64 experiment machine; parallel cases run a medium-scale 8-SM machine
 // (more CTAs, wider GPU) where per-cycle shard work is large enough for the
 // barrier overhead to amortize — the configuration the -parallel flag
-// targets in practice.
+// targets in practice. Reuse cases re-run their base case on a persistent
+// warmed sim.Engine, the steady-state shape of sweep traffic through the
+// harness engine pool: their allocs/op and bytes/op measure only the per-run
+// residual, not arena construction.
 type simBenchCase struct {
 	name        string
 	bench       string
 	disableSkip bool
 	parallelism int // 0: serial engine (Parallelism 1)
 	midScale    bool
+	reuse       bool
 }
 
 var simBenchCases = []simBenchCase{
@@ -68,15 +72,20 @@ var simBenchCases = []simBenchCase{
 	{name: "lps-par4", bench: "lps", midScale: true, parallelism: 4},
 	{name: "mum-par1", bench: "mum", midScale: true, parallelism: 1},
 	{name: "mum-par4", bench: "mum", midScale: true, parallelism: 4},
+	{name: "lps-reuse", bench: "lps", reuse: true},
+	{name: "mum-reuse", bench: "mum", reuse: true},
+	{name: "nw-reuse", bench: "nw", reuse: true},
 }
 
-// caseSetup returns the kernel and GPU configuration for one case.
+// caseSetup returns the kernel and GPU configuration for one case. Kernels
+// come from the shared store, so cases measuring the same (bench, scale)
+// under different engine settings share one trace build.
 func caseSetup(c simBenchCase) (*trace.Kernel, config.GPU, error) {
 	if c.midScale {
-		k, err := workloads.Build(c.bench, workloads.Scale{CTAs: 24, WarpsPerCTA: 8, Iters: 8})
+		k, err := workloads.Shared().Kernel(c.bench, workloads.Scale{CTAs: 24, WarpsPerCTA: 8, Iters: 8})
 		return k, config.Scaled(8, 48), err
 	}
-	k, err := workloads.Build(c.bench, workloads.Scale{CTAs: 12, WarpsPerCTA: 8, Iters: 8})
+	k, err := workloads.Shared().Kernel(c.bench, workloads.Scale{CTAs: 12, WarpsPerCTA: 8, Iters: 8})
 	return k, config.Scaled(4, 64), err
 }
 
@@ -98,23 +107,45 @@ func writeSimBench(path, baselinePath string) error {
 		if err != nil {
 			return err
 		}
+		opt := sim.Options{
+			Config:        cfg,
+			NewPrefetcher: func(int) prefetch.Prefetcher { return core.NewSnake() },
+			DisableSkip:   c.disableSkip,
+			Parallelism:   c.parallelism,
+		}
 		var cycles int64
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			cycles = 0
-			for i := 0; i < b.N; i++ {
-				res, err := sim.Run(k, sim.Options{
-					Config:        cfg,
-					NewPrefetcher: func(int) prefetch.Prefetcher { return core.NewSnake() },
-					DisableSkip:   c.disableSkip,
-					Parallelism:   c.parallelism,
-				})
-				if err != nil {
-					b.Fatal(err)
-				}
-				cycles += res.Stats.Cycles
+		var r testing.BenchmarkResult
+		if c.reuse {
+			// Persistent engine, warmed before timing: the measured op is the
+			// steady-state reinitialize-and-run that pooled sweep traffic pays.
+			en := sim.NewEngine()
+			if _, err := en.RunTagged(k, opt, "snake"); err != nil {
+				return err
 			}
-		})
+			r = testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				cycles = 0
+				for i := 0; i < b.N; i++ {
+					res, err := en.RunTagged(k, opt, "snake")
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles += res.Stats.Cycles
+				}
+			})
+		} else {
+			r = testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				cycles = 0
+				for i := 0; i < b.N; i++ {
+					res, err := sim.Run(k, opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles += res.Stats.Cycles
+				}
+			})
+		}
 		e := simBenchEntry{
 			Name:         c.name,
 			Bench:        c.bench,
@@ -167,10 +198,23 @@ func writeSimBench(path, baselinePath string) error {
 // 1.25× the old (a >20% throughput drop).
 const regressionTolerance = 1.25
 
+// Allocation regressions use a tighter ratio: allocation counts are far less
+// noisy than wall time, so >20% growth in allocs/op or bytes/op is a real
+// code change, not jitter. Entries below the absolute floors are exempt —
+// at near-zero steady-state counts (a reuse case at ~2 allocs/op), one
+// incidental allocation would trip any ratio.
+const (
+	allocRegressionTolerance = 1.20
+	allocFloor               = 16       // allocs/op below this never flag
+	bytesFloor               = 16 << 10 // bytes/op below this never flag
+)
+
 // checkRegression compares the fresh measurements against the committed
-// BENCH_sim.json. Only cases present in both files are compared, so adding
-// or renaming cases does not break the guard; wholly missing baselines pass
-// (first run on a new schema).
+// BENCH_sim.json: wall time per op, and — for memory-cost regressions that
+// wall time hides on fast allocators — allocations and bytes per op. Only
+// cases present in both files are compared, so adding or renaming cases does
+// not break the guard; wholly missing baselines pass (first run on a new
+// schema).
 func checkRegression(baselinePath string, fresh simBenchFile) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -180,27 +224,35 @@ func checkRegression(baselinePath string, fresh simBenchFile) error {
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("bench regression baseline %s: %w", baselinePath, err)
 	}
-	old := make(map[string]int64, len(base.Entries))
+	old := make(map[string]simBenchEntry, len(base.Entries))
 	for _, e := range base.Entries {
-		old[e.Name] = e.NsPerOp
+		old[e.Name] = e
 	}
 	var regressions []string
+	flag := func(name, metric string, got, want int64, tol float64, floor int64) {
+		if want <= 0 || got <= floor {
+			return
+		}
+		if float64(got) > float64(want)*tol {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d %s vs baseline %d (%.2fx, tolerance %.2fx)",
+					name, got, metric, want, float64(got)/float64(want), tol))
+		}
+	}
 	for _, e := range fresh.Entries {
 		o, ok := old[e.Name]
-		if !ok || o <= 0 {
+		if !ok {
 			continue
 		}
-		if float64(e.NsPerOp) > float64(o)*regressionTolerance {
-			regressions = append(regressions,
-				fmt.Sprintf("%s: %d ns/op vs baseline %d (%.2fx, tolerance %.2fx)",
-					e.Name, e.NsPerOp, o, float64(e.NsPerOp)/float64(o), regressionTolerance))
-		}
+		flag(e.Name, "ns/op", e.NsPerOp, o.NsPerOp, regressionTolerance, 0)
+		flag(e.Name, "allocs/op", e.AllocsPerOp, o.AllocsPerOp, allocRegressionTolerance, allocFloor)
+		flag(e.Name, "bytes/op", e.BytesPerOp, o.BytesPerOp, allocRegressionTolerance, bytesFloor)
 	}
 	if len(regressions) > 0 {
 		for _, r := range regressions {
 			fmt.Fprintln(os.Stderr, "snakebench: REGRESSION "+r)
 		}
-		return fmt.Errorf("throughput regressed on %d case(s) vs %s", len(regressions), baselinePath)
+		return fmt.Errorf("performance regressed on %d case(s) vs %s", len(regressions), baselinePath)
 	}
 	fmt.Fprintf(os.Stderr, "snakebench: no regressions vs %s\n", baselinePath)
 	return nil

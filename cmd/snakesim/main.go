@@ -49,7 +49,7 @@ func main() {
 	}
 
 	sc := workloads.Scale{CTAs: *ctas, WarpsPerCTA: *wpc, Iters: *iters}
-	k, err := workloads.Build(*bench, sc)
+	k, err := workloads.Shared().Kernel(*bench, sc)
 	if err != nil {
 		fatal(err)
 	}

@@ -12,14 +12,20 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"snake/internal/chains"
 	"snake/internal/trace"
 	"snake/internal/workloads"
 )
+
+// out buffers stdout so per-line dumps don't pay a syscall per Fprintf;
+// main flushes it on every exit path.
+var out io.Writer = os.Stdout
 
 func main() {
 	var (
@@ -36,8 +42,12 @@ func main() {
 	)
 	flag.Parse()
 
+	bw := bufio.NewWriter(os.Stdout)
+	defer bw.Flush()
+	out = bw
+
 	if *list {
-		fmt.Println(workloads.Names())
+		fmt.Fprintln(out, workloads.Names())
 		return
 	}
 	var k *trace.Kernel
@@ -45,7 +55,7 @@ func main() {
 	if *load != "" {
 		k, err = trace.LoadFile(*load)
 	} else {
-		k, err = workloads.Build(*bench, workloads.Scale{CTAs: *ctas, Iters: *iters})
+		k, err = workloads.Shared().Kernel(*bench, workloads.Scale{CTAs: *ctas, Iters: *iters})
 	}
 	if err != nil {
 		fatal(err)
@@ -54,7 +64,7 @@ func main() {
 		if err := k.SaveFile(*save); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote %s (%d instructions)\n", *save, k.TotalInsts())
+		fmt.Fprintf(out, "wrote %s (%d instructions)\n", *save, k.TotalInsts())
 		return
 	}
 	if *dump {
@@ -69,7 +79,7 @@ func dumpWarp(k *trace.Kernel, cta, warp, limit int) {
 		fatal(fmt.Errorf("cta %d / warp %d out of range", cta, warp))
 	}
 	w := &k.CTAs[cta].Warps[warp]
-	fmt.Printf("%s CTA %d warp %d: %d instructions, %d loads\n",
+	fmt.Fprintf(out, "%s CTA %d warp %d: %d instructions, %d loads\n",
 		k.Name, cta, warp, len(w.Insts), len(w.Loads()))
 	var prev trace.Inst
 	havePrev := false
@@ -79,14 +89,14 @@ func dumpWarp(k *trace.Kernel, cta, warp, limit int) {
 			continue
 		}
 		if n >= limit {
-			fmt.Println("...")
+			fmt.Fprintln(out, "...")
 			break
 		}
 		delta := ""
 		if havePrev {
 			delta = fmt.Sprintf("  delta=%+d", int64(in.Addr)-int64(prev.Addr))
 		}
-		fmt.Printf("  pc=%#06x addr=%#010x%s\n", in.PC, in.Addr, delta)
+		fmt.Fprintf(out, "  pc=%#06x addr=%#010x%s\n", in.PC, in.Addr, delta)
 		prev, havePrev = in, true
 		n++
 	}
@@ -94,27 +104,30 @@ func dumpWarp(k *trace.Kernel, cta, warp, limit int) {
 
 func report(k *trace.Kernel) {
 	st := chains.Analyze(k)
-	fmt.Printf("benchmark            %s\n", k.Name)
-	fmt.Printf("total loads          %d\n", k.TotalLoads())
-	fmt.Printf("load PCs (rep warp)  %d\n", st.TotalPCs)
-	fmt.Printf("PCs in chains        %d (%.0f%%)  [paper fig 9: ~65%% avg]\n",
+	fmt.Fprintf(out, "benchmark            %s\n", k.Name)
+	fmt.Fprintf(out, "total loads          %d\n", k.TotalLoads())
+	fmt.Fprintf(out, "load PCs (rep warp)  %d\n", st.TotalPCs)
+	fmt.Fprintf(out, "PCs in chains        %d (%.0f%%)  [paper fig 9: ~65%% avg]\n",
 		st.ChainPCs, 100*st.PCFraction())
-	fmt.Printf("max chain repetition %d          [paper fig 10: ~35 avg]\n", st.MaxRepetition)
-	fmt.Printf("chain coverage       %.1f%%       [paper fig 11: ~70%% avg]\n", 100*st.ChainCoverage)
-	fmt.Printf("MTA coverage         %.1f%%       [paper fig 11: ~55%% avg]\n", 100*st.MTACoverage)
+	fmt.Fprintf(out, "max chain repetition %d          [paper fig 10: ~35 avg]\n", st.MaxRepetition)
+	fmt.Fprintf(out, "chain coverage       %.1f%%       [paper fig 11: ~70%% avg]\n", 100*st.ChainCoverage)
+	fmt.Fprintf(out, "MTA coverage         %.1f%%       [paper fig 11: ~55%% avg]\n", 100*st.MTACoverage)
 	if len(st.Links) > 0 {
-		fmt.Println("stable chain links (most frequent first):")
+		fmt.Fprintln(out, "stable chain links (most frequent first):")
 		max := len(st.Links)
 		if max > 10 {
 			max = 10
 		}
 		for _, l := range st.Links[:max] {
-			fmt.Printf("  %#06x -> %#06x  stride=%+d  x%d\n", l.PC1, l.PC2, l.Delta, l.Count)
+			fmt.Fprintf(out, "  %#06x -> %#06x  stride=%+d  x%d\n", l.PC1, l.PC2, l.Delta, l.Count)
 		}
 	}
 }
 
 func fatal(err error) {
+	if bw, ok := out.(*bufio.Writer); ok {
+		bw.Flush()
+	}
 	fmt.Fprintln(os.Stderr, "snaketrace:", err)
 	os.Exit(1)
 }

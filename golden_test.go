@@ -71,9 +71,9 @@ func TestSkipEquivalenceGTOGreedyReset(t *testing.T) {
 }
 
 // assertEngineEquivalent runs bench/mech under every engine strategy — per
-// cycle vs fast-forwarded, serial vs parallel shards — and demands
-// bit-identical results. The reference is the plainest configuration:
-// serial, no skipping.
+// cycle vs fast-forwarded, serial vs parallel shards, freshly constructed vs
+// a recycled engine — and demands bit-identical results. The reference is
+// the plainest configuration: serial, no skipping, fresh construction.
 func assertEngineEquivalent(t *testing.T, bench string, sc workloads.Scale, cfg config.GPU, mech string) {
 	t.Helper()
 	k, err := workloads.Build(bench, sc)
@@ -84,29 +84,53 @@ func assertEngineEquivalent(t *testing.T, bench string, sc workloads.Scale, cfg 
 	if err != nil {
 		t.Fatal(err)
 	}
-	run := func(disableSkip bool, parallelism int) *sim.Result {
-		res, err := sim.Run(k, sim.Options{
+	// The pooled engine is pre-dirtied with a different benchmark so every
+	// pooled variant below exercises true reinitialization, not first-run
+	// construction.
+	pooled := sim.NewEngine()
+	dirty := "cp"
+	if bench == "cp" {
+		dirty = "lps"
+	}
+	dk, err := workloads.Build(dirty, workloads.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pooled.RunTagged(dk, sim.Options{Config: cfg, NewPrefetcher: factory}, mech); err != nil {
+		t.Fatal(err)
+	}
+	run := func(disableSkip bool, parallelism int, reuse bool) *sim.Result {
+		opt := sim.Options{
 			Config:        cfg,
 			NewPrefetcher: factory,
 			DisableSkip:   disableSkip,
 			Parallelism:   parallelism,
-		})
+		}
+		var res *sim.Result
+		if reuse {
+			res, err = pooled.RunTagged(k, opt, mech)
+		} else {
+			res, err = sim.Run(k, opt)
+		}
 		if err != nil {
-			t.Fatalf("disableSkip=%v parallelism=%d: %v", disableSkip, parallelism, err)
+			t.Fatalf("disableSkip=%v parallelism=%d reuse=%v: %v", disableSkip, parallelism, reuse, err)
 		}
 		return res
 	}
-	ref := run(true, 1)
+	ref := run(true, 1, false)
 	for _, v := range []struct {
 		disableSkip bool
 		parallelism int
+		reuse       bool
 	}{
-		{false, 1}, // fast-forwarding
-		{true, 4},  // parallel shards
-		{false, 4}, // both composed
+		{false, 1, false}, // fast-forwarding
+		{true, 4, false},  // parallel shards
+		{false, 4, false}, // both composed
+		{true, 1, true},   // recycled engine, plain serial
+		{false, 4, true},  // recycled engine with both strategies composed
 	} {
-		got := run(v.disableSkip, v.parallelism)
-		label := fmt.Sprintf("skip=%v parallelism=%d", !v.disableSkip, v.parallelism)
+		got := run(v.disableSkip, v.parallelism, v.reuse)
+		label := fmt.Sprintf("skip=%v parallelism=%d reuse=%v", !v.disableSkip, v.parallelism, v.reuse)
 		if !reflect.DeepEqual(got.Stats, ref.Stats) {
 			t.Errorf("%s: aggregate stats diverge from serial per-cycle run:\n got: %+v\n ref: %+v",
 				label, got.Stats, ref.Stats)

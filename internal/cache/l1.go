@@ -59,7 +59,11 @@ const (
 type L1 struct {
 	cache *Cache
 	iso   *Cache // non-nil only for Isolated mode
-	mshr  *MSHR
+	// isoRetained keeps an isolated buffer alive across Reconfigure calls:
+	// the behaviour gates on iso being nil, so a controller recycled into a
+	// non-isolated organization parks the buffer here instead of freeing it.
+	isoRetained *Cache
+	mshr        *MSHR
 	mq    *MissQueue // demand misses
 	pfq   *MissQueue // prefetch requests (drained at lower priority)
 	opt   L1Options
@@ -97,28 +101,35 @@ func NewL1(geom config.CacheGeom, opt L1Options, st *stats.Sim) *L1 {
 		predicted: make(map[uint64]bool),
 	}
 	if opt.Isolated {
-		lines := opt.IsolatedLines
-		if lines <= 0 {
-			lines = geom.Lines() / 2
-		}
-		ways := 8
-		if lines < ways {
-			ways = lines
-		}
-		sets := lines / ways
-		// Round the line count down to a power-of-two set count.
-		p := 1
-		for p*2 <= sets {
-			p *= 2
-		}
-		l.iso = New(config.CacheGeom{
-			SizeBytes: p * ways * geom.LineSize,
-			Ways:      ways,
-			LineSize:  geom.LineSize,
-			Latency:   geom.Latency,
-		})
+		l.iso = buildIso(geom, opt.IsolatedLines)
+		l.isoRetained = l.iso
 	}
 	return l
+}
+
+// buildIso sizes and builds the isolated prefetch buffer for the given data
+// geometry (default: half the unified data space).
+func buildIso(geom config.CacheGeom, isolatedLines int) *Cache {
+	lines := isolatedLines
+	if lines <= 0 {
+		lines = geom.Lines() / 2
+	}
+	ways := 8
+	if lines < ways {
+		ways = lines
+	}
+	sets := lines / ways
+	// Round the line count down to a power-of-two set count.
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	return New(config.CacheGeom{
+		SizeBytes: p * ways * geom.LineSize,
+		Ways:      ways,
+		LineSize:  geom.LineSize,
+		Latency:   geom.Latency,
+	})
 }
 
 // LineAddr truncates addr to its line base address.
@@ -523,19 +534,42 @@ func (l *L1) FinishRun() {
 	l.st.Pf.Unused += int64(len(l.pending))
 }
 
-// Reset clears all cache and MSHR state (between kernels).
+// Reset clears all cache and MSHR state (between kernels and when an engine
+// is recycled for a new run). Everything is cleared in place — the cache
+// arrays, MSHR map buckets, queue arrays and tracking maps are all kept — so
+// a recycled controller allocates nothing and behaves bit-identically to a
+// freshly constructed one.
 func (l *L1) Reset() {
 	l.cache.InvalidateAll()
 	if l.iso != nil {
 		l.iso.InvalidateAll()
 	}
-	l.mshr = NewMSHR(l.opt.MSHREntries, l.opt.MergeCap)
-	l.mq = NewMissQueue(l.opt.MissQueueSize)
-	l.pfq = NewMissQueue(l.opt.PrefetchQueueSize)
+	l.mshr.Reset()
+	l.mq.Reset()
+	l.pfq.Reset()
 	l.trained = false
 	l.confineUntil = 0
 	l.pfFills = 0
 	l.pfTransferred = 0
-	l.pending = make(map[uint64]bool)
-	l.predicted = make(map[uint64]bool)
+	clear(l.pending)
+	clear(l.predicted)
+}
+
+// Reconfigure switches the controller's prefetch-storage organization (a
+// recycled engine may host a different mechanism than its previous run) and
+// clears all state. The isolated buffer is built lazily on first use and
+// retained across organizations, so flipping between mechanisms steady-state
+// allocates nothing.
+func (l *L1) Reconfigure(decoupled, isolated bool) {
+	l.opt.Decoupled = decoupled
+	l.opt.Isolated = isolated
+	if isolated {
+		if l.isoRetained == nil {
+			l.isoRetained = buildIso(l.cache.Geom(), l.opt.IsolatedLines)
+		}
+		l.iso = l.isoRetained
+	} else {
+		l.iso = nil
+	}
+	l.Reset()
 }

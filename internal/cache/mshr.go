@@ -113,6 +113,18 @@ func (m *MSHR) Complete(lineAddr uint64) (waiters []int, prefetchOnly, origPrefe
 	return e.waiters, e.prefetch, e.origPrefetch, true
 }
 
+// Reset abandons every in-flight entry, recycling it onto the freed list. A
+// finished run can leave entries behind — staged prefetches whose request
+// never drained out of the prefetch queue — and a recycled engine must not
+// see them. clear keeps the map's buckets, so the steady-state miss path of
+// the next run allocates nothing.
+func (m *MSHR) Reset() {
+	for _, e := range m.inflight {
+		m.freed = append(m.freed, e)
+	}
+	clear(m.inflight)
+}
+
 // InFlight returns the number of occupied entries.
 func (m *MSHR) InFlight() int { return len(m.inflight) }
 
@@ -138,6 +150,9 @@ type MissRequest struct {
 func NewMissQueue(capacity int) *MissQueue {
 	return &MissQueue{cap: capacity}
 }
+
+// Reset empties the queue, keeping its backing array for reuse.
+func (q *MissQueue) Reset() { q.queue = q.queue[:0] }
 
 // Full reports whether the queue has no free slot.
 func (q *MissQueue) Full() bool { return len(q.queue) >= q.cap }

@@ -78,6 +78,16 @@ func (c *Controller) Access(lineAddr uint64, cycle int64) int64 {
 	return dataAt
 }
 
+// Reset closes every bank's row and zeroes the counters, returning the
+// controller to its just-constructed state without reallocating the bank
+// array.
+func (c *Controller) Reset() {
+	clear(c.banks)
+	c.reads = 0
+	c.rowHits = 0
+	c.rowMisses = 0
+}
+
 // Stats returns read, row-hit and row-miss counts.
 func (c *Controller) Stats() (reads, rowHits, rowMisses int64) {
 	return c.reads, c.rowHits, c.rowMisses

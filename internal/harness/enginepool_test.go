@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"snake/internal/config"
+	"snake/internal/sim"
+	"snake/internal/workloads"
+)
+
+// TestPrefillSharesKernelBuild is the satellite proof that routing runs
+// through the kernel store amortizes trace generation: prefilling one
+// benchmark across several mechanisms builds its trace exactly once.
+func TestPrefillSharesKernelBuild(t *testing.T) {
+	r := tinyRunner()
+	r.Store = workloads.NewStore()
+	mechs := []string{"baseline", "snake", "mta", "ideal"}
+	if err := r.Prefill([]string{"lps"}, mechs); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Store.Builds(); got != 1 {
+		t.Errorf("Prefill of 1 bench x %d mechs built %d kernels, want 1", len(mechs), got)
+	}
+	// A second benchmark adds exactly one more build.
+	if err := r.Prefill([]string{"mum"}, mechs); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Store.Builds(); got != 2 {
+		t.Errorf("after second bench Builds() = %d, want 2", got)
+	}
+}
+
+// TestEnginePoolMatchesFresh runs a spread of (bench, mech) pairs through one
+// EnginePool — recycling engines between runs — and checks every Result
+// against a freshly constructed engine.
+func TestEnginePoolMatchesFresh(t *testing.T) {
+	cfg := config.Scaled(2, 16)
+	sc := workloads.Tiny()
+	p := NewEnginePool()
+	cases := []struct{ bench, mech string }{
+		{"lps", "snake"},
+		{"mum", "snake"},
+		{"lps", "baseline"},
+		{"lps", "snake"}, // repeat: this one draws a warm engine
+		{"hotspot", "mta"},
+	}
+	for _, c := range cases {
+		k, err := workloads.Build(c.bench, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := Mechanism(c.mech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := sim.Options{Config: cfg, NewPrefetcher: f}
+		want, err := sim.Run(k, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := p.Run(k, opt, c.mech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s/%s: pooled run diverges from fresh", c.bench, c.mech)
+		}
+	}
+}
+
+// TestEnginePoolConcurrent shares one pool across goroutines running the
+// same (kernel, mech) and checks each result against a fresh reference.
+// Under -race this doubles as the pool's publication-safety check.
+func TestEnginePoolConcurrent(t *testing.T) {
+	cfg := config.Scaled(2, 16)
+	k, err := workloads.Build("lps", workloads.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Mechanism("snake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := sim.Options{Config: cfg, NewPrefetcher: f}
+	want, err := sim.Run(k, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewEnginePool()
+	const n = 8
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 3; j++ {
+				got, err := p.Run(k, opt, "snake")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Error("concurrent pooled run diverged from fresh reference")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -34,6 +34,13 @@ type Runner struct {
 	// SharedBudget so runner pools and the snaked service cannot
 	// oversubscribe the host between them.
 	Budget *Budget
+	// Store interns built kernel traces; nil uses the process-wide
+	// workloads.Shared() store, so every runner (and the snaked service)
+	// builds each (bench, Scale) trace once and shares it read-only.
+	Store *workloads.Store
+	// Engines recycles simulation engines between runs; nil uses the
+	// process-wide SharedEnginePool().
+	Engines *EnginePool
 
 	mu    sync.Mutex
 	cache map[string]*runResult
@@ -89,7 +96,7 @@ func (r *Runner) RunWith(bench, mech string, factory Factory) (*stats.Sim, error
 // RunWithCtx is Run with a custom prefetcher factory and cancellation.
 func (r *Runner) RunWithCtx(ctx context.Context, bench, mech string, factory Factory) (*stats.Sim, error) {
 	return r.run(ctx, r.Key(bench, mech).Hash(), bench+"|"+mech, mech, factory, func() (*trace.Kernel, error) {
-		return workloads.Build(bench, r.Scale)
+		return r.store().Kernel(bench, r.Scale)
 	})
 }
 
@@ -162,12 +169,36 @@ func (r *Runner) execute(ctx context.Context, res *runResult, label, mech string
 		res.err = err
 		return
 	}
-	out, err := sim.Run(k, sim.Options{Config: r.Cfg, NewPrefetcher: f, Context: ctx, Parallelism: granted})
+	// Registry mechanisms carry their name as the engine-pool reuse tag so
+	// back-to-back runs of one mechanism recycle prefetcher state too; custom
+	// factories get the empty tag (their mech labels, e.g. "snake:"+key, are
+	// only unique within one runner's cache, not across the shared pool).
+	tag := mech
+	if factory != nil {
+		tag = ""
+	}
+	out, err := r.engines().Run(k, sim.Options{Config: r.Cfg, NewPrefetcher: f, Context: ctx, Parallelism: granted}, tag)
 	if err != nil {
 		res.err = fmt.Errorf("%s: %w", label, err)
 		return
 	}
 	res.st = &out.Stats
+}
+
+// store returns the runner's kernel store (the process-wide one when unset).
+func (r *Runner) store() *workloads.Store {
+	if r.Store != nil {
+		return r.Store
+	}
+	return workloads.Shared()
+}
+
+// engines returns the runner's engine pool (the process-wide one when unset).
+func (r *Runner) engines() *EnginePool {
+	if r.Engines != nil {
+		return r.Engines
+	}
+	return SharedEnginePool()
 }
 
 // Prefill launches the given (bench, mech) grid concurrently and waits; it

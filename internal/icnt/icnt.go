@@ -74,6 +74,19 @@ func (n *Network) Tick(cycle int64) {
 	}
 }
 
+// Reset restores the network to its just-constructed state — clock, booked
+// byte-slots, utilization window and byte counters all return to zero — so a
+// recycled engine can reuse the window buffer instead of reallocating it.
+func (n *Network) Reset() {
+	n.cycle = 0
+	n.nextFree = 0
+	clear(n.window)
+	n.windowSum = 0
+	n.windowPos = 0
+	n.usedThis = 0
+	n.totalBytes = 0
+}
+
 // TrySend attempts to inject size bytes. On success it returns the delivery
 // cycle (serialization time plus base latency) and true; when the link's
 // backlog bound is exceeded it returns false and the caller must retry.

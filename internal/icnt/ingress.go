@@ -89,3 +89,14 @@ func (q *Ingress[T]) NextCycle() int64 {
 
 // Len returns the number of queued messages.
 func (q *Ingress[T]) Len() int { return q.len }
+
+// Reset empties the queue and clears the stamp-monotonicity watermark while
+// keeping the ring's backing array, so a recycled queue starts a new run at
+// its steady-state capacity. Stale entries are zeroed in case T carries
+// references.
+func (q *Ingress[T]) Reset() {
+	clear(q.buf)
+	q.head = 0
+	q.len = 0
+	q.last = 0
+}

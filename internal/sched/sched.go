@@ -23,6 +23,10 @@ type Scheduler interface {
 	// ready slice would (GTO forgets its greedy warp; LRR and Oldest are
 	// untouched). Callers use it to avoid building the ready slice at all.
 	Idle()
+	// Reset restores the scheduler to its just-constructed state, so a
+	// recycled SM starts a new run with exactly the policy state a fresh New
+	// would give it.
+	Reset()
 	// Name returns the policy name.
 	Name() string
 }
@@ -64,6 +68,9 @@ func (g *gto) Pick(ready []bool, age []int64) int {
 // and clears the greedy pointer.
 func (g *gto) Idle() { g.last = -1 }
 
+// Reset implements Scheduler.
+func (g *gto) Reset() { g.last = -1 }
+
 // lrr is loose round-robin.
 type lrr struct {
 	next int
@@ -73,6 +80,9 @@ func (l *lrr) Name() string { return string(config.SchedLRR) }
 
 // Idle implements Scheduler: a fruitless round-robin scan leaves next as is.
 func (l *lrr) Idle() {}
+
+// Reset implements Scheduler.
+func (l *lrr) Reset() { l.next = 0 }
 
 func (l *lrr) Pick(ready []bool, _ []int64) int {
 	n := len(ready)
@@ -96,6 +106,9 @@ func (oldest) Name() string { return string(config.SchedOldest) }
 
 // Idle implements Scheduler: oldest is stateless.
 func (oldest) Idle() {}
+
+// Reset implements Scheduler.
+func (oldest) Reset() {}
 
 func (oldest) Pick(ready []bool, age []int64) int {
 	pick := -1

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"snake/internal/harness"
 	"snake/internal/sim"
 	"snake/internal/stats"
 	"snake/internal/workloads"
@@ -109,7 +110,7 @@ func (s *Service) runJob(j *job) {
 // parallelism spend one bounded currency (workers × parallelism can never
 // exceed the budget in CPU terms, whatever the pool size).
 func (s *Service) simulate(ctx context.Context, sp *spec) (*stats.Sim, error) {
-	k, err := workloads.Build(sp.bench, sp.scale)
+	k, err := workloads.Shared().Kernel(sp.bench, sp.scale)
 	if err != nil {
 		return nil, err
 	}
@@ -118,12 +119,19 @@ func (s *Service) simulate(ctx context.Context, sp *spec) (*stats.Sim, error) {
 		return nil, err
 	}
 	defer s.budget.Release(granted)
-	out, err := sim.Run(k, sim.Options{
+	// Registry mechanism names tag the pooled engine for prefetcher reuse;
+	// custom snake configs all normalize to mech "snake:custom", which does
+	// not identify one configuration, so they use the untagged path.
+	tag := sp.mech
+	if sp.snake != nil {
+		tag = ""
+	}
+	out, err := harness.SharedEnginePool().Run(k, sim.Options{
 		Config:        sp.gpu,
 		NewPrefetcher: sp.factory,
 		Context:       ctx,
 		Parallelism:   granted,
-	})
+	}, tag)
 	if err != nil {
 		return nil, err
 	}

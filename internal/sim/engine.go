@@ -130,31 +130,34 @@ type engine struct {
 }
 
 // Run simulates the kernel under the given options and returns aggregated
-// statistics.
+// statistics. Each call constructs a fresh engine; callers that simulate
+// repeatedly should hold an Engine (or draw from a pool of them) to recycle
+// the construction cost.
 func Run(k *trace.Kernel, opt Options) (*Result, error) {
+	var en Engine
+	return en.Run(k, opt)
+}
+
+// validateRun performs Run's pre-flight checks on a kernel/options pair.
+func validateRun(k *trace.Kernel, opt Options) error {
 	if opt.Context != nil {
 		if err := opt.Context.Err(); err != nil {
-			return nil, fmt.Errorf("sim: aborted before start: %w", err)
+			return fmt.Errorf("sim: aborted before start: %w", err)
 		}
 	}
 	if err := k.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	if err := opt.Config.Validate(); err != nil {
-		return nil, err
+		return err
 	}
-	opt = opt.withDefaults()
 	for _, cta := range k.CTAs {
 		if len(cta.Warps) > opt.Config.MaxWarpsPerSM {
-			return nil, fmt.Errorf("sim: CTA %d has %d warps, more than %d warp slots per SM",
+			return fmt.Errorf("sim: CTA %d has %d warps, more than %d warp slots per SM",
 				cta.ID, len(cta.Warps), opt.Config.MaxWarpsPerSM)
 		}
 	}
-	e := newEngine(k, opt)
-	if err := e.run(); err != nil {
-		return nil, err
-	}
-	return e.result(), nil
+	return nil
 }
 
 func newEngine(k *trace.Kernel, opt Options) *engine {
@@ -561,7 +564,11 @@ func (e *engine) result() *Result {
 			e.shStats.Shard(i).Pf.ThrottleCycles = tr.ThrottleCycles()
 		}
 	}
-	perSM := e.shStats.Slice()
+	// Copy the per-SM counters out of the shard accumulators: the Result must
+	// stay valid after the engine is recycled for another run, which resets
+	// the accumulators in place.
+	perSM := make([]stats.Sim, e.shStats.Len())
+	copy(perSM, e.shStats.Slice())
 	for i := range perSM {
 		perSM[i].Cycles = e.cycle
 	}

@@ -26,6 +26,12 @@ func newIcntNet(cfg config.GPU) *icntNet {
 	return &icntNet{req: mk(), resp: mk()}
 }
 
+// reset restores both directions to their just-constructed state.
+func (n *icntNet) reset() {
+	n.req.Reset()
+	n.resp.Reset()
+}
+
 func (n *icntNet) tick(cycle int64) {
 	n.req.Tick(cycle)
 	n.resp.Tick(cycle)

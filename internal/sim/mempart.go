@@ -25,6 +25,15 @@ func newMemPartition(cfg config.GPU) *memPartition {
 	}
 }
 
+// reset clears the partition for a new run on a recycled engine: the L2 is
+// invalidated in place, the DRAM banks and counters are zeroed, and the
+// in-flight merge map is emptied (keeping its buckets).
+func (m *memPartition) reset() {
+	m.l2.InvalidateAll()
+	m.dramCtl.Reset()
+	clear(m.inflight)
+}
+
 // access services a fill request arriving at the partition at cycle and
 // returns the cycle at which the line's data is ready to be sent back.
 func (m *memPartition) access(lineAddr uint64, cycle int64) int64 {

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"snake/internal/core"
+	"snake/internal/prefetch"
+	"snake/internal/workloads"
+)
+
+// reuseMechs extends the parallel-equivalence spread with the two storage
+// reconfiguration paths reinit must handle: decoupled unified storage and the
+// isolated prefetch buffer.
+func reuseMechs() map[string]func(int) prefetch.Prefetcher {
+	m := parMechs()
+	m["isolated-snake"] = func(int) prefetch.Prefetcher { return core.NewIsolatedSnake() }
+	m["mta+decoupled"] = func(int) prefetch.Prefetcher { return &prefetch.Decoupled{Inner: prefetch.NewMTA()} }
+	return m
+}
+
+// TestPooledEquivalenceMatrix is the arena-recycling half of the equivalence
+// guarantee: an Engine reused across every workload, skip setting and
+// parallelism must produce Results bit-identical to a fresh construction for
+// each run. One Engine per mechanism survives the whole matrix, so each run
+// reinitializes state dirtied by a different kernel.
+func TestPooledEquivalenceMatrix(t *testing.T) {
+	for mech, pf := range reuseMechs() {
+		en := NewEngine()
+		for _, name := range workloads.Names() {
+			k, err := workloads.Build(name, workloads.Tiny())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, skip := range []bool{false, true} {
+				for _, p := range []int{1, 4} {
+					opt := Options{Config: parCfg(), NewPrefetcher: pf, DisableSkip: !skip, Parallelism: p}
+					want, err := Run(k, opt)
+					if err != nil {
+						t.Fatalf("%s/%s fresh: %v", name, mech, err)
+					}
+					got, err := en.RunTagged(k, opt, mech)
+					if err != nil {
+						t.Fatalf("%s/%s pooled: %v", name, mech, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("%s/%s skip=%v P=%d: pooled engine diverges from fresh\n got:  %+v\n want: %+v",
+							name, mech, skip, p, got.Stats, want.Stats)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEngineReuseAcrossMechanisms cycles one Engine through mechanisms with
+// different prefetchers and L1 storage organizations (none, unified-decoupled,
+// isolated), checking each run against a fresh engine. This is the pool-miss
+// shape: the arenas recycle but the prefetchers and cache wiring must be
+// rebuilt per mechanism.
+func TestEngineReuseAcrossMechanisms(t *testing.T) {
+	k, err := workloads.Build("lps", workloads.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := NewEngine()
+	order := []string{"baseline", "snake", "isolated-snake", "mta+decoupled", "snake", "baseline", "ideal"}
+	mechs := reuseMechs()
+	for i, mech := range order {
+		opt := Options{Config: parCfg(), NewPrefetcher: mechs[mech]}
+		want, err := Run(k, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := en.RunTagged(k, opt, mech)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("step %d (%s): reused engine diverges from fresh\n got:  %+v\n want: %+v",
+				i, mech, got.Stats, want.Stats)
+		}
+	}
+}
+
+// TestEngineReuseUntaggedRebuildsPrefetchers pins the empty-tag contract:
+// without a tag the engine must call the factory every run, never recycle
+// prefetcher instances.
+func TestEngineReuseUntaggedRebuildsPrefetchers(t *testing.T) {
+	k, err := workloads.Build("lps", workloads.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := NewEngine()
+	calls := 0
+	opt := Options{Config: parCfg(), NewPrefetcher: func(int) prefetch.Prefetcher {
+		calls++
+		return core.NewSnake()
+	}}
+	if _, err := en.Run(k, opt); err != nil {
+		t.Fatal(err)
+	}
+	perRun := calls
+	if perRun == 0 {
+		t.Fatal("factory never called")
+	}
+	if _, err := en.Run(k, opt); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2*perRun {
+		t.Errorf("untagged rerun called factory %d times, want %d", calls-perRun, perRun)
+	}
+	if _, err := en.RunTagged(k, opt, "snake"); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3*perRun {
+		t.Errorf("first tagged run called factory %d times, want %d (tag changed)", calls-2*perRun, perRun)
+	}
+	if _, err := en.RunTagged(k, opt, "snake"); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3*perRun {
+		t.Errorf("matching tagged rerun called factory %d times, want 0", calls-3*perRun)
+	}
+}
+
+// TestRepeatedRunAllocs is the steady-state claim behind the engine pool:
+// once warm, re-running a kernel on a recycled Engine performs near-zero heap
+// allocations — the arenas (warp contexts, cache line index, MSHR files, port
+// rings, stats shards) are all reused in place. The bound leaves headroom for
+// the Result copy and the prefetcher's small per-run maps; a fresh engine
+// costs hundreds of allocations per run (see BENCH_sim.json).
+func TestRepeatedRunAllocs(t *testing.T) {
+	k, err := workloads.Build("lps", workloads.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := NewEngine()
+	opt := Options{Config: parCfg(), NewPrefetcher: func(int) prefetch.Prefetcher { return core.NewSnake() }}
+	run := func() {
+		if _, err := en.RunTagged(k, opt, "snake"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm: first run constructs everything
+	allocs := testing.AllocsPerRun(20, run)
+	t.Logf("steady-state allocs/run = %.1f", allocs)
+	if raceEnabled {
+		// The race detector allocates for its own bookkeeping; the loop above
+		// still provides race coverage of the reuse path.
+		return
+	}
+	const bound = 64
+	if allocs > bound {
+		t.Errorf("steady-state reuse allocates %.1f/run, want <= %d", allocs, bound)
+	}
+}

@@ -51,6 +51,17 @@ func newShard(s *sm) *shard {
 	return &shard{sm: s, out: egress{sm: s.id}}
 }
 
+// reset empties the shard's ports and report for a new run on a recycled
+// engine, keeping the ring and inbox backing arrays. The SM itself is reset
+// separately (sm.reset).
+func (sh *shard) reset() {
+	sh.fills.Reset()
+	sh.inbox = sh.inbox[:0]
+	sh.out.seq = 0
+	sh.out.stores = sh.out.stores[:0]
+	sh.report = tickReport{}
+}
+
 // deliverDue moves ingress fills due at or before cycle into the inbox, in
 // stamp order, and returns how many it moved. Serial phase only: the engine
 // uses the count to release MaxInflightFills capacity before it arbitrates

@@ -145,6 +145,56 @@ func newSM(id int, cfg config.GPU, pf prefetch.Prefetcher, st *stats.Sim, mlp in
 	return s
 }
 
+// reset restores the SM to its just-constructed state for a new run: warp
+// slots, scheduler slices, occupancy counters and the L1 are all cleared in
+// place. pf handling depends on reusePf: when true the SM keeps its existing
+// prefetcher instances (the caller guarantees the new run uses the same
+// mechanism configuration) and resets them; when false pf replaces them and
+// the L1's storage organization is re-derived from the new prefetcher. The
+// per-run statistics accumulator is reset by the engine (stats.Shards.Reset),
+// not here — s.st keeps pointing into it.
+func (s *sm) reset(pf prefetch.Prefetcher, k *trace.Kernel, mlp int, reusePf bool) {
+	clear(s.warps)
+	for i := range s.readyAt {
+		s.readyAt[i] = neverReady
+	}
+	for _, sc := range s.scheds {
+		sc.Reset()
+	}
+	for i := range s.slotBuf {
+		s.readyBuf[i] = s.readyBuf[i][:0]
+		s.ageBuf[i] = s.ageBuf[i][:0]
+		s.slotBuf[i] = s.slotBuf[i][:0]
+	}
+	s.schedDirty = true
+	s.resident = 0
+	s.nReady = 0
+	s.nWaitMem = 0
+	s.nBarrier = 0
+	s.kernel = k
+	s.mlp = mlp
+	if reusePf {
+		if s.pf != nil {
+			s.pf.Reset()
+		}
+		s.l1.Reset()
+		return
+	}
+	s.pf = pf
+	s.oracle = false
+	s.magic = false
+	s.observer = nil
+	if pf != nil {
+		s.oracle = prefetch.WantsOracle(pf)
+		s.magic = pf.Magic()
+		if ob, ok := pf.(prefetch.OutcomeObserver); ok {
+			s.observer = ob
+		}
+	}
+	dec, iso := prefetcherStorage(pf)
+	s.l1.Reconfigure(dec, iso)
+}
+
 func prefetcherStorage(p prefetch.Prefetcher) (decoupled, isolated bool) {
 	if h, ok := p.(prefetch.StorageHint); ok {
 		return h.Storage()

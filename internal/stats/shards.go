@@ -30,6 +30,12 @@ func (s *Shards) Len() int { return len(s.sims) }
 // view). The caller must not grow it.
 func (s *Shards) Slice() []Sim { return s.sims }
 
+// Reset zeroes every shard accumulator in place, so a recycled engine reuses
+// the backing array instead of allocating a fresh Shards per run.
+func (s *Shards) Reset() {
+	clear(s.sims)
+}
+
 // Total merges every shard accumulator, in shard order, into one Sim.
 func (s *Shards) Total() Sim {
 	var out Sim

@@ -1,0 +1,125 @@
+package workloads
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestStoreInternsPerKey checks the interning contract: repeated lookups of
+// one (bench, Scale) return the identical kernel pointer from a single
+// build, while distinct benches or scales build separately.
+func TestStoreInternsPerKey(t *testing.T) {
+	s := NewStore()
+	k1, err := s.Kernel("lps", Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := s.Kernel("lps", Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Error("second lookup returned a different kernel pointer")
+	}
+	if got := s.Builds(); got != 1 {
+		t.Errorf("Builds() = %d after two lookups of one key, want 1", got)
+	}
+	if _, err := s.Kernel("mum", Tiny()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Kernel("lps", Scale{CTAs: 2, WarpsPerCTA: 2, Iters: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Builds(); got != 3 {
+		t.Errorf("Builds() = %d across three distinct keys, want 3", got)
+	}
+	if got := s.Len(); got != 3 {
+		t.Errorf("Len() = %d, want 3", got)
+	}
+}
+
+// TestStoreNormalizesScale checks that the zero Scale and the explicit
+// default share one entry, like Build's withDefaults normalization.
+func TestStoreNormalizesScale(t *testing.T) {
+	s := NewStore()
+	k1, err := s.Kernel("cp", Scale{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := s.Kernel("cp", DefaultScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Error("Scale{} and DefaultScale() interned separately")
+	}
+	if got := s.Builds(); got != 1 {
+		t.Errorf("Builds() = %d, want 1", got)
+	}
+}
+
+// TestStoreUnknownBenchNotCached checks the failure path: an unknown
+// benchmark errors every time without growing the store.
+func TestStoreUnknownBenchNotCached(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 2; i++ {
+		if _, err := s.Kernel("no-such-bench", Tiny()); err == nil {
+			t.Fatal("unknown benchmark did not error")
+		}
+	}
+	if got := s.Len(); got != 0 {
+		t.Errorf("failed builds left %d entries in the store", got)
+	}
+	if got := s.Builds(); got != 0 {
+		t.Errorf("Builds() = %d after only failures, want 0", got)
+	}
+}
+
+// TestStoreConcurrentSingleflight hammers one key from many goroutines: all
+// callers must get the same kernel from exactly one build. Run under -race
+// this also checks the entry-publication discipline.
+func TestStoreConcurrentSingleflight(t *testing.T) {
+	s := NewStore()
+	const n = 16
+	kernels := make([]interface{}, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k, err := s.Kernel("hotspot", Tiny())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			kernels[i] = k
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if kernels[i] != kernels[0] {
+			t.Fatalf("goroutine %d got a different kernel", i)
+		}
+	}
+	if got := s.Builds(); got != 1 {
+		t.Errorf("Builds() = %d under %d concurrent callers, want 1", got, n)
+	}
+}
+
+// TestStoreMatchesBuild checks that interned kernels are the same content a
+// direct Build produces — interning changes sharing, never the trace.
+func TestStoreMatchesBuild(t *testing.T) {
+	s := NewStore()
+	got, err := s.Kernel("nw", Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Build("nw", Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("interned kernel differs from a direct Build")
+	}
+}
