@@ -31,6 +31,7 @@ func main() {
 		iters      = flag.Int("iters", 0, "loop-depth multiplier (0: default scale)")
 		format     = flag.String("format", "text", "output format: text, csv, json")
 		simJSON    = flag.Bool("json", false, "run the simulator throughput benchmark and write BENCH_sim.json")
+		phases     = flag.Bool("phases", false, "report the engine's per-phase wall clock and serial share (honors -parallel)")
 		jsonOut    = flag.String("json-out", "BENCH_sim.json", "output path for -json")
 		baseline   = flag.String("baseline", "", "with -json: committed BENCH_sim.json to guard against throughput regressions (>20% fails)")
 		parallel   = flag.Int("parallel", 1, "SM-shard workers per experiment run (same results at any value)")
@@ -53,6 +54,13 @@ func main() {
 
 	if *simJSON {
 		if err := writeSimBench(*jsonOut, *baseline); err != nil {
+			fmt.Fprintln(os.Stderr, "snakebench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *phases {
+		if err := reportPhases(*parallel); err != nil {
 			fmt.Fprintln(os.Stderr, "snakebench:", err)
 			os.Exit(1)
 		}

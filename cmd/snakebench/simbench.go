@@ -11,6 +11,7 @@ import (
 	"snake/internal/config"
 	"snake/internal/core"
 	"snake/internal/prefetch"
+	"snake/internal/profiling"
 	"snake/internal/sim"
 	"snake/internal/trace"
 	"snake/internal/workloads"
@@ -42,6 +43,17 @@ type simBenchFile struct {
 	SkipSpeedup map[string]float64 `json:"skip_speedup"`
 	// ParallelSpeedup is serial ns/op ÷ parallel ns/op per parallel case.
 	ParallelSpeedup map[string]float64 `json:"parallel_speedup,omitempty"`
+	// PhaseNs breaks one profiled run of each parallel case into the
+	// engine's wall-clock phases (nanoseconds, keyed by phase name); the
+	// profiled run is separate from the timed ops above, so profiling
+	// overhead never pollutes ns/op.
+	PhaseNs map[string]map[string]int64 `json:"phase_ns,omitempty"`
+	// SerialShare is the serial fraction (route + merge over total) of each
+	// profiled run. The regression guard watches the P>1 cases: the serial
+	// share is what bounds parallel speedup (Amdahl), so letting it grow
+	// silently would erode the executor without any single ns/op case
+	// tripping.
+	SerialShare map[string]float64 `json:"serial_share,omitempty"`
 }
 
 // simBenchCase is one measured configuration. Skip cases run the standard
@@ -100,6 +112,8 @@ func writeSimBench(path, baselinePath string) error {
 		MaxProcs:        runtime.GOMAXPROCS(0),
 		SkipSpeedup:     make(map[string]float64),
 		ParallelSpeedup: make(map[string]float64),
+		PhaseNs:         make(map[string]map[string]int64),
+		SerialShare:     make(map[string]float64),
 	}
 	nsPerOp := make(map[string]int64)
 	for _, c := range simBenchCases {
@@ -160,6 +174,17 @@ func writeSimBench(path, baselinePath string) error {
 		nsPerOp[c.name] = e.NsPerOp
 		fmt.Fprintf(os.Stderr, "snakebench: %-12s %12d ns/op %12.0f cycles/s %8d allocs/op\n",
 			c.name, e.NsPerOp, e.CyclesPerSec, e.AllocsPerOp)
+		if c.parallelism != 0 {
+			// One extra profiled run, outside the timing loop: phase wall
+			// clocks for the parallel cases (par1 included, as the serial
+			// reference the share comparison needs).
+			prof, err := measurePhases(k, cfg, c.parallelism)
+			if err != nil {
+				return err
+			}
+			out.PhaseNs[c.name] = prof.Map()
+			out.SerialShare[c.name] = prof.SerialShare()
+		}
 	}
 	for _, c := range simBenchCases {
 		if c.disableSkip || c.parallelism != 0 {
@@ -193,6 +218,57 @@ func writeSimBench(path, baselinePath string) error {
 	return nil
 }
 
+// measurePhases runs the kernel once with a phase accumulator attached and
+// returns the per-phase wall clock.
+func measurePhases(k *trace.Kernel, cfg config.GPU, parallelism int) (*profiling.Phases, error) {
+	var prof profiling.Phases
+	opt := sim.Options{
+		Config:        cfg,
+		NewPrefetcher: func(int) prefetch.Prefetcher { return core.NewSnake() },
+		Parallelism:   parallelism,
+		PhaseProfile:  &prof,
+	}
+	if _, err := sim.Run(k, opt); err != nil {
+		return nil, err
+	}
+	return &prof, nil
+}
+
+// reportPhases implements snakebench -phases: per-phase engine wall clock
+// and serial share for the parallel benchmark cases, at serial execution and
+// at the requested parallelism. This is the Amdahl report: the serial-route
+// and merge columns are the part of the cycle no amount of -parallel can
+// compress, and the share column is their fraction of the total.
+func reportPhases(parallel int) error {
+	if parallel <= 1 {
+		parallel = 4
+	}
+	fmt.Printf("%-6s %3s %14s %20s %16s %12s %12s %8s\n",
+		"bench", "P", "serial-route", "parallel-partition", "parallel-shard", "merge", "total", "share")
+	for _, bench := range []string{"lps", "mum", "nw"} {
+		k, err := workloads.Shared().Kernel(bench, workloads.Scale{CTAs: 24, WarpsPerCTA: 8, Iters: 8})
+		if err != nil {
+			return err
+		}
+		cfg := config.Scaled(8, 48)
+		for _, p := range []int{1, parallel} {
+			prof, err := measurePhases(k, cfg, p)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-6s %3d %13dµs %19dµs %15dµs %11dµs %11dµs %7.1f%%\n",
+				bench, p,
+				prof.Ns(profiling.PhaseSerialRoute)/1e3,
+				prof.Ns(profiling.PhaseMemPartitions)/1e3,
+				prof.Ns(profiling.PhaseShards)/1e3,
+				prof.Ns(profiling.PhaseMerge)/1e3,
+				prof.TotalNs()/1e3,
+				100*prof.SerialShare())
+		}
+	}
+	return nil
+}
+
 // regressionTolerance is the allowed throughput drop vs the committed
 // baseline before the bench-regression guard fails: new ns/op may be at most
 // 1.25× the old (a >20% throughput drop).
@@ -207,6 +283,17 @@ const (
 	allocRegressionTolerance = 1.20
 	allocFloor               = 16       // allocs/op below this never flag
 	bytesFloor               = 16 << 10 // bytes/op below this never flag
+)
+
+// Serial-share growth at P>1 is the Amdahl regression: a case may spend at
+// most shareRegressionTolerance× the baseline's serial fraction, and small
+// absolute wobbles (wall-clock phase timing on a loaded CI machine is noisy)
+// are excused below shareAbsFloor of absolute growth. Both must be exceeded
+// to flag. P=1 cases are not guarded — serially everything but the shard
+// phase is "serial", and the share carries no Amdahl meaning there.
+const (
+	shareRegressionTolerance = 1.25
+	shareAbsFloor            = 0.05
 )
 
 // checkRegression compares the fresh measurements against the committed
@@ -247,6 +334,21 @@ func checkRegression(baselinePath string, fresh simBenchFile) error {
 		flag(e.Name, "ns/op", e.NsPerOp, o.NsPerOp, regressionTolerance, 0)
 		flag(e.Name, "allocs/op", e.AllocsPerOp, o.AllocsPerOp, allocRegressionTolerance, allocFloor)
 		flag(e.Name, "bytes/op", e.BytesPerOp, o.BytesPerOp, allocRegressionTolerance, bytesFloor)
+	}
+	for _, e := range fresh.Entries {
+		if e.Parallelism <= 1 {
+			continue
+		}
+		got, gok := fresh.SerialShare[e.Name]
+		want, wok := base.SerialShare[e.Name]
+		if !gok || !wok || want <= 0 {
+			continue // baseline predates phase profiling, or case not profiled
+		}
+		if got > want*shareRegressionTolerance && got-want > shareAbsFloor {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: serial phase share %.3f vs baseline %.3f (%.2fx, tolerance %.2fx and +%.2f absolute)",
+					e.Name, got, want, got/want, shareRegressionTolerance, shareAbsFloor))
+		}
 	}
 	if len(regressions) > 0 {
 		for _, r := range regressions {

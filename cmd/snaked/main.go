@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,6 +43,7 @@ func main() {
 		ctas     = flag.Int("ctas", 0, "default workload scale: CTAs (0: paper default)")
 		iters    = flag.Int("iters", 0, "default workload scale: loop iterations (0: paper default)")
 		drain    = flag.Duration("draintimeout", 2*time.Minute, "graceful shutdown drain budget")
+		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default; profiles reveal operational detail, enable only on trusted networks)")
 	)
 	flag.Parse()
 
@@ -55,7 +57,23 @@ func main() {
 	}
 
 	svc := service.New(service.Options{Workers: *workers, GPU: &gpu, Scale: &scale, Parallelism: *parallel})
-	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *pprofOn {
+		// Wrap rather than touch the service mux: the pprof handlers are
+		// registered here, explicitly, instead of via net/http/pprof's
+		// DefaultServeMux side effects, so the profiling surface exists only
+		// behind this flag.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("snaked: pprof enabled under /debug/pprof/")
+	}
+	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	errCh := make(chan error, 1)
 	go func() {

@@ -19,6 +19,7 @@ import (
 
 	"snake/internal/core"
 	"snake/internal/harness"
+	"snake/internal/profiling"
 	"snake/internal/workloads"
 )
 
@@ -52,8 +53,10 @@ func main() {
 		values   = flag.String("values", "1,2,4,8", "comma-separated integer values")
 		bench    = flag.String("bench", "", "comma-separated benchmarks (default: all)")
 		format   = flag.String("format", "text", "output format: text, csv, json")
-		lk       = flag.Bool("listknobs", false, "list sweepable knobs")
-		parallel = flag.Int("parallel", 1, "SM-shard workers per run (same results at any value)")
+		lk         = flag.Bool("listknobs", false, "list sweepable knobs")
+		parallel   = flag.Int("parallel", 1, "parallel workers per run (same results at any value)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
 
@@ -61,6 +64,11 @@ func main() {
 		fmt.Println(strings.Join(knobNames(), " "))
 		return
 	}
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 	set, ok := knobs[*knob]
 	if !ok {
 		fatal(fmt.Errorf("unknown knob %q (see -listknobs)", *knob))

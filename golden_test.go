@@ -124,10 +124,12 @@ func assertEngineEquivalent(t *testing.T, bench string, sc workloads.Scale, cfg 
 		reuse       bool
 	}{
 		{false, 1, false}, // fast-forwarding
-		{true, 4, false},  // parallel shards
+		{true, 4, false},  // parallel work units (shards + memory partitions)
 		{false, 4, false}, // both composed
+		{true, 12, false}, // one worker per work unit (4 SMs + 8 L2 partitions)
 		{true, 1, true},   // recycled engine, plain serial
 		{false, 4, true},  // recycled engine with both strategies composed
+		{false, 12, true}, // recycled engine, maximally wide, fast-forwarding
 	} {
 		got := run(v.disableSkip, v.parallelism, v.reuse)
 		label := fmt.Sprintf("skip=%v parallelism=%d reuse=%v", !v.disableSkip, v.parallelism, v.reuse)

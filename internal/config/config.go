@@ -222,6 +222,13 @@ func (g GPU) Validate() error {
 	if err := g.L2.Validate(); err != nil {
 		return fmt.Errorf("config: L2 cache: %w", err)
 	}
+	if g.L2.Latency < 1 {
+		// The engine computes L2 responses off the serial path, during the
+		// cycle's parallel phase; that is exact only because a response to a
+		// request arriving at cycle C can never be sendable before C+1,
+		// which needs at least one cycle of L2 latency.
+		return errors.New("config: L2 latency must be at least 1 cycle")
+	}
 	return nil
 }
 

@@ -4,19 +4,27 @@
 // produces exactly that behaviour through bank conflicts and row misses.
 package dram
 
-import "snake/internal/config"
+import (
+	"snake/internal/config"
+	"snake/internal/stats"
+)
 
 // Controller is one memory controller governing a set of DRAM banks with
-// open-page row-buffer policy.
+// open-page row-buffer policy. A controller is single-owner state: the
+// simulation engine runs each controller only from its owning memory
+// partition (serially within the partition, partitions concurrently), so it
+// needs no internal locking.
 type Controller struct {
 	timing   config.DRAMTiming
 	rowBytes uint64
 	banks    []bank
 	xferCyc  int64 // data transfer cycles per request
 
-	reads     int64
-	rowHits   int64
-	rowMisses int64
+	// ms receives the traffic counters. The engine passes each partition's
+	// entry of a shared stats.MemParts arena so DRAM traffic lands directly
+	// in the per-partition accumulators; standalone controllers (tests) get
+	// a private block.
+	ms *stats.Mem
 }
 
 type bank struct {
@@ -26,20 +34,25 @@ type bank struct {
 	lastAct    int64 // cycle of the last activate (for tRC)
 }
 
-// New builds a controller with the given bank count and row size.
-func New(t config.DRAMTiming, banks int, rowBytes int, xferCycles int) *Controller {
+// New builds a controller with the given bank count and row size, counting
+// traffic into ms (nil: a private counter block, readable via Stats).
+func New(t config.DRAMTiming, banks int, rowBytes int, xferCycles int, ms *stats.Mem) *Controller {
+	if ms == nil {
+		ms = &stats.Mem{}
+	}
 	return &Controller{
 		timing:   t,
 		rowBytes: uint64(rowBytes),
 		banks:    make([]bank, banks),
 		xferCyc:  int64(xferCycles),
+		ms:       ms,
 	}
 }
 
 // Access services a read of lineAddr arriving at the given cycle and returns
 // the cycle at which data is available.
 func (c *Controller) Access(lineAddr uint64, cycle int64) int64 {
-	c.reads++
+	c.ms.DRAMReads++
 	row := lineAddr / c.rowBytes
 	// Swizzled bank mapping: XOR-fold higher row bits so power-of-two
 	// strides (ubiquitous in GPU kernels) spread across banks instead of
@@ -54,12 +67,12 @@ func (c *Controller) Access(lineAddr uint64, cycle int64) int64 {
 	var dataAt int64
 	if b.hasOpenRow && b.openRow == row {
 		// Row hit: CAS latency only.
-		c.rowHits++
+		c.ms.DRAMRowHits++
 		dataAt = start + int64(c.timing.TCL) + c.xferCyc
 		b.readyAt = start + int64(c.timing.TCCDL)
 	} else {
 		// Row miss: precharge (if a row is open) + activate + CAS.
-		c.rowMisses++
+		c.ms.DRAMRowMisses++
 		pre := int64(0)
 		if b.hasOpenRow {
 			pre = int64(c.timing.TRP)
@@ -78,17 +91,18 @@ func (c *Controller) Access(lineAddr uint64, cycle int64) int64 {
 	return dataAt
 }
 
-// Reset closes every bank's row and zeroes the counters, returning the
-// controller to its just-constructed state without reallocating the bank
-// array.
+// Reset closes every bank's row and zeroes the controller's traffic
+// counters, returning it to its just-constructed state without reallocating
+// the bank array. Only the DRAM fields of the shared counter block are
+// touched; the partition owns the rest.
 func (c *Controller) Reset() {
 	clear(c.banks)
-	c.reads = 0
-	c.rowHits = 0
-	c.rowMisses = 0
+	c.ms.DRAMReads = 0
+	c.ms.DRAMRowHits = 0
+	c.ms.DRAMRowMisses = 0
 }
 
 // Stats returns read, row-hit and row-miss counts.
 func (c *Controller) Stats() (reads, rowHits, rowMisses int64) {
-	return c.reads, c.rowHits, c.rowMisses
+	return c.ms.DRAMReads, c.ms.DRAMRowHits, c.ms.DRAMRowMisses
 }

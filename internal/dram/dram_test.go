@@ -7,7 +7,7 @@ import (
 )
 
 func newCtl() *Controller {
-	return New(config.DefaultDRAMTiming(), 16, 2048, 2)
+	return New(config.DefaultDRAMTiming(), 16, 2048, 2, nil)
 }
 
 func TestRowHitFasterThanRowMiss(t *testing.T) {

@@ -9,6 +9,7 @@ import (
 	"snake/internal/config"
 	"snake/internal/core"
 	"snake/internal/prefetch"
+	"snake/internal/profiling"
 	"snake/internal/sim"
 	"snake/internal/stats"
 	"snake/internal/trace"
@@ -41,6 +42,11 @@ type Runner struct {
 	// Engines recycles simulation engines between runs; nil uses the
 	// process-wide SharedEnginePool().
 	Engines *EnginePool
+	// PhaseProfile, when non-nil, is handed to every simulation this runner
+	// actually executes (memoized cache hits add nothing), accumulating the
+	// engines' per-phase wall clock. The accumulator is unsynchronized: only
+	// attach one to a runner that executes runs sequentially (no Prefill).
+	PhaseProfile *profiling.Phases
 
 	mu    sync.Mutex
 	cache map[string]*runResult
@@ -177,7 +183,13 @@ func (r *Runner) execute(ctx context.Context, res *runResult, label, mech string
 	if factory != nil {
 		tag = ""
 	}
-	out, err := r.engines().Run(k, sim.Options{Config: r.Cfg, NewPrefetcher: f, Context: ctx, Parallelism: granted}, tag)
+	out, err := r.engines().Run(k, sim.Options{
+		Config:        r.Cfg,
+		NewPrefetcher: f,
+		Context:       ctx,
+		Parallelism:   granted,
+		PhaseProfile:  r.PhaseProfile,
+	}, tag)
 	if err != nil {
 		res.err = fmt.Errorf("%s: %w", label, err)
 		return

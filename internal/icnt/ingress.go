@@ -78,6 +78,22 @@ func (q *Ingress[T]) PopDue(now int64) (T, bool) {
 	return msg, true
 }
 
+// DrainTo appends every message due at or before now to buf and returns the
+// extended slice, in push order (same sequence PopDue would produce). The
+// append style lets hot-loop callers reuse a buffer across cycles without a
+// per-call closure allocation.
+func (q *Ingress[T]) DrainTo(now int64, buf []T) []T {
+	for q.len > 0 && q.buf[q.head].cycle <= now {
+		e := &q.buf[q.head]
+		buf = append(buf, e.msg)
+		var zero stamped[T]
+		*e = zero
+		q.head = (q.head + 1) % len(q.buf)
+		q.len--
+	}
+	return buf
+}
+
 // NextCycle returns the delivery cycle of the oldest queued message, or -1
 // when the queue is empty. The engine's fast-forward uses this bound.
 func (q *Ingress[T]) NextCycle() int64 {

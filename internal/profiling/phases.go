@@ -1,0 +1,98 @@
+package profiling
+
+import "fmt"
+
+// Phase names one section of the simulation engine's cycle pipeline. The
+// engine's wall clock divides into exactly these four buckets (see DESIGN.md
+// "Memory-side parallelism"): the serial routing phase, the two halves of
+// the parallel phase (memory partitions and SM shards), and the serial merge
+// plus end-of-cycle bookkeeping.
+type Phase uint8
+
+// Engine phases, in cycle order.
+const (
+	// PhaseSerialRoute is the serial head of the cycle: network tick, request
+	// routing into partition bins, response bandwidth arbitration, fill
+	// delivery into shard inboxes, request pull and store drain.
+	PhaseSerialRoute Phase = iota
+	// PhaseMemPartitions is the memory half of the parallel phase: each L2
+	// sub-partition performs its binned lookups, in-flight merges and DRAM
+	// timing.
+	PhaseMemPartitions
+	// PhaseShards is the SM half of the parallel phase: each shard applies
+	// fills, runs its prefetcher and issues from its warp schedulers.
+	PhaseShards
+	// PhaseMerge is the serial tail: deterministic response and egress
+	// merges, CTA refill, and termination/fast-forward bookkeeping.
+	PhaseMerge
+
+	// NumPhases is the number of phases (for sizing arrays).
+	NumPhases
+)
+
+// String returns the phase's report name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseSerialRoute:
+		return "serial-route"
+	case PhaseMemPartitions:
+		return "parallel-partition"
+	case PhaseShards:
+		return "parallel-shard"
+	case PhaseMerge:
+		return "merge"
+	default:
+		return fmt.Sprintf("phase(%d)", uint8(p))
+	}
+}
+
+// Phases accumulates wall-clock nanoseconds per engine phase across a run
+// (or any number of runs — callers own the aggregation window). It is not
+// safe for concurrent use; give each engine its own accumulator.
+//
+// Phase timing answers the Amdahl question the parallel executor raises:
+// how much of the engine's wall clock is still serial (route + merge) versus
+// parallel (partitions + shards)? SerialShare is that fraction directly, and
+// snakebench's regression guard watches it so the serial fraction cannot
+// silently grow back.
+type Phases struct {
+	ns [NumPhases]int64
+}
+
+// Add accrues ns nanoseconds to the given phase.
+func (p *Phases) Add(ph Phase, ns int64) { p.ns[ph] += ns }
+
+// Ns returns the nanoseconds accumulated for one phase.
+func (p *Phases) Ns(ph Phase) int64 { return p.ns[ph] }
+
+// TotalNs returns the nanoseconds accumulated across all phases.
+func (p *Phases) TotalNs() int64 {
+	var t int64
+	for _, v := range p.ns {
+		t += v
+	}
+	return t
+}
+
+// SerialShare returns the fraction of accumulated time spent in the serial
+// phases (route + merge), 0..1; zero when nothing has been recorded.
+func (p *Phases) SerialShare() float64 {
+	t := p.TotalNs()
+	if t == 0 {
+		return 0
+	}
+	return float64(p.ns[PhaseSerialRoute]+p.ns[PhaseMerge]) / float64(t)
+}
+
+// Reset zeroes the accumulator.
+func (p *Phases) Reset() { p.ns = [NumPhases]int64{} }
+
+// Map returns the accumulated nanoseconds keyed by phase name (the
+// BENCH_sim.json phase_ns schema).
+func (p *Phases) Map() map[string]int64 {
+	out := make(map[string]int64, NumPhases)
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		out[ph.String()] = p.ns[ph]
+	}
+	return out
+}

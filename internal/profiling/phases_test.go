@@ -1,0 +1,46 @@
+package profiling
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPhasesAccounting(t *testing.T) {
+	var p Phases
+	if p.TotalNs() != 0 || p.SerialShare() != 0 {
+		t.Fatalf("zero value not empty: total=%d share=%f", p.TotalNs(), p.SerialShare())
+	}
+	p.Add(PhaseSerialRoute, 30)
+	p.Add(PhaseMemPartitions, 20)
+	p.Add(PhaseShards, 40)
+	p.Add(PhaseMerge, 10)
+	p.Add(PhaseMerge, 0) // zero-duration laps accrue nothing but are legal
+	if got := p.TotalNs(); got != 100 {
+		t.Errorf("TotalNs = %d, want 100", got)
+	}
+	if got := p.SerialShare(); math.Abs(got-0.40) > 1e-12 {
+		t.Errorf("SerialShare = %f, want 0.40", got)
+	}
+	m := p.Map()
+	if len(m) != int(NumPhases) {
+		t.Fatalf("Map has %d entries, want %d", len(m), NumPhases)
+	}
+	if m["serial-route"] != 30 || m["parallel-partition"] != 20 || m["parallel-shard"] != 40 || m["merge"] != 10 {
+		t.Errorf("Map = %v", m)
+	}
+	p.Reset()
+	if p.TotalNs() != 0 {
+		t.Errorf("Reset left %d ns", p.TotalNs())
+	}
+}
+
+func TestPhaseNames(t *testing.T) {
+	seen := map[string]bool{}
+	for ph := Phase(0); ph < NumPhases; ph++ {
+		name := ph.String()
+		if name == "" || seen[name] {
+			t.Errorf("phase %d has empty or duplicate name %q", ph, name)
+		}
+		seen[name] = true
+	}
+}

@@ -4,11 +4,13 @@
 // partitions and DRAM timing. It substitutes for Accel-Sim in the Snake
 // reproduction; see DESIGN.md for the substitution argument.
 //
-// The engine is sharded: each SM (plus its warps, L1 and prefetcher) is a
-// shard that talks to the memory side (interconnect, L2 partitions, DRAM)
-// only through typed, cycle-stamped port queues, and shards may tick
-// concurrently (Options.Parallelism) with results bit-identical to serial
-// execution — see DESIGN.md "Parallel execution".
+// The engine is sharded on both sides of the interconnect: each SM (plus its
+// warps, L1 and prefetcher) is a shard, and each L2 partition (plus its DRAM
+// controller) is a work unit too — both talk across the boundary only
+// through typed, cycle-stamped port queues and per-cycle work bins, and both
+// may tick concurrently (Options.Parallelism) with results bit-identical to
+// serial execution — see DESIGN.md "Parallel execution" and "Memory-side
+// parallelism".
 package sim
 
 import (
@@ -19,6 +21,7 @@ import (
 	"snake/internal/config"
 	"snake/internal/icnt"
 	"snake/internal/prefetch"
+	"snake/internal/profiling"
 	"snake/internal/stats"
 	"snake/internal/trace"
 )
@@ -47,12 +50,20 @@ type Options struct {
 	// behaviour §2 attributes to miss-queue pressure. Default:
 	// 128 × L2Partitions (see withDefaults).
 	MaxInflightFills int
-	// Parallelism is how many workers tick SM shards concurrently within
-	// each simulated cycle (default 1: serial). Results are bit-identical
-	// for every value — the shards exchange state with the memory side only
-	// at the cycle barrier, in a fixed merge order — so callers may pick
-	// purely on available cores. Clamped to the SM count.
+	// Parallelism is how many workers tick work units — SM shards and L2
+	// memory partitions — concurrently within each simulated cycle (default
+	// 1: serial). Results are bit-identical for every value — units exchange
+	// state only at the cycle barrier, in fixed merge orders — so callers
+	// may pick purely on available cores. Clamped to the total unit count
+	// (NumSM + L2Partitions).
 	Parallelism int
+	// PhaseProfile, when non-nil, accumulates the engine's wall-clock time
+	// per cycle phase (serial route, parallel partitions, parallel shards,
+	// serial merge) into the given accumulator across the run. Profiling
+	// never changes Result (see phaseClock); it exists to measure the serial
+	// share Amdahl's law cares about. Not safe to share one accumulator
+	// between concurrently running engines.
+	PhaseProfile *profiling.Phases
 	// DisableSkip forces the engine to execute every cycle individually
 	// instead of fast-forwarding over provably idle spans. Skipping is
 	// exact — Result.Stats is bit-identical either way (see DESIGN.md
@@ -83,8 +94,8 @@ func (opt Options) withDefaults() Options {
 	if opt.Parallelism <= 0 {
 		opt.Parallelism = 1
 	}
-	if opt.Parallelism > opt.Config.NumSM {
-		opt.Parallelism = opt.Config.NumSM
+	if max := opt.Config.NumSM + opt.Config.L2Partitions; opt.Parallelism > max {
+		opt.Parallelism = max
 	}
 	return opt
 }
@@ -109,7 +120,10 @@ type engine struct {
 	net    *icntNet
 	parts  []*memPartition
 	shards []*shard
-	group  *shardGroup // non-nil while Parallelism > 1 workers are running
+	// units is the barrier group's schedule: partitions [0, L2Partitions),
+	// then shards. The serial paths iterate parts/shards directly.
+	units []workUnit
+	group *shardGroup // non-nil while Parallelism > 1 workers are running
 
 	// reqs is the SM→L2 ingress port: fill requests in flight across the
 	// request network, stamped with their arrival cycle at the partitions.
@@ -120,6 +134,13 @@ type engine struct {
 	// stores is the merged write-through store queue, in (smID, seq) order
 	// within each cycle.
 	stores []storeMsg
+	// routed is the per-cycle response slot array: the routing phase assigns
+	// each due request a slot in global arrival order, the owning partition's
+	// tick writes the computed response into that slot, and mergeResponses
+	// pushes slots in order — the exact push sequence the serial-arrival
+	// engine produced, so heap tie-breaking (and thus every downstream
+	// statistic) is unchanged.
+	routed []resp
 
 	ctaNext  int // next undispatched CTA index
 	ageCtr   int64
@@ -127,6 +148,10 @@ type engine struct {
 	skipped  int64 // cycles elided by event-driven fast-forwarding
 
 	shStats *stats.Shards
+	// memStats holds one counter block per L2 partition; totals are
+	// partition-count and merge-order invariant (stats property tests).
+	memStats *stats.MemParts
+	prof     *profiling.Phases // nil unless Options.PhaseProfile is set
 }
 
 // Run simulates the kernel under the given options and returns aggregated
@@ -169,9 +194,10 @@ func newEngine(k *trace.Kernel, opt Options) *engine {
 		net:     newIcntNet(cfg),
 		shStats: stats.NewShards(cfg.NumSM),
 	}
+	e.memStats = stats.NewMemParts(cfg.L2Partitions)
 	e.parts = make([]*memPartition, cfg.L2Partitions)
 	for i := range e.parts {
-		e.parts[i] = newMemPartition(cfg)
+		e.parts[i] = newMemPartition(i, cfg, e.memStats.Part(i))
 	}
 	e.shards = make([]*shard, cfg.NumSM)
 	for i := range e.shards {
@@ -183,6 +209,13 @@ func newEngine(k *trace.Kernel, opt Options) *engine {
 		s.kernel = k
 		s.env = &smEnv{eng: e, sm: s}
 		e.shards[i] = newShard(s)
+	}
+	e.units = make([]workUnit, 0, len(e.parts)+len(e.shards))
+	for _, p := range e.parts {
+		e.units = append(e.units, p)
+	}
+	for _, sh := range e.shards {
+		e.units = append(e.units, sh)
 	}
 	return e
 }
@@ -209,37 +242,50 @@ const deadlockIdleCycles = 1_000_000
 
 // run executes the cycle loop. Every executed cycle has the same shape:
 //
-//	serial memory phase:  net.tick → request arrivals at L2 → response
-//	                      sends → fill delivery into shard inboxes →
-//	                      request injection (pull, smID order) → stores
-//	parallel shard phase: every shard ticks (fills, prefetcher, issue),
-//	                      concurrently when Parallelism > 1
-//	serial merge phase:   egress merge in (smID, seq) order → CTA refill →
-//	                      termination / idle / fast-forward bookkeeping
+//	serial route phase:  net.tick → due requests binned per L2 partition in
+//	                     arrival order (slot-indexed) → response sends (with
+//	                     L2 installs deferred into partition bins) → fill
+//	                     delivery into shard inboxes → request injection
+//	                     (pull, smID order) → stores
+//	parallel phase:      every work unit ticks, concurrently when
+//	                     Parallelism > 1 — partitions perform their binned
+//	                     L2 lookups, merges and DRAM timing; shards apply
+//	                     fills, run prefetchers and issue
+//	serial merge phase:  response slots pushed in arrival order → egress
+//	                     merge in (smID, seq) order → CTA refill →
+//	                     termination / idle / fast-forward bookkeeping
 func (e *engine) run() error {
 	if e.opt.Parallelism > 1 {
-		e.group = startShardGroup(e.shards, e.opt.Parallelism)
+		e.group = startShardGroup(e.units, e.opt.Parallelism)
 		defer func() {
 			e.group.stop()
 			e.group = nil
 		}()
 	}
+	e.prof = e.opt.PhaseProfile
+	var clk phaseClock
 	e.fillSMs()
 	idle := int64(0)
+	clk.start(e.prof)
 	for e.cycle < e.opt.MaxCycles {
 		e.cycle++
+		// The lap at the top of the iteration closes the previous cycle's
+		// merge phase: every continue path below re-enters here, so the
+		// merge/bookkeeping tail is charged exactly once per executed cycle.
+		clk.lap(profiling.PhaseMerge)
 		if e.opt.Context != nil && e.cycle&(ctxCheckInterval-1) == 0 {
 			if err := e.opt.Context.Err(); err != nil {
 				return fmt.Errorf("sim: aborted at cycle %d: %w", e.cycle, err)
 			}
 		}
 		e.net.tick(e.cycle)
-		e.arriveRequests()
+		e.routeRequests()
 		e.drainResponses()
 		e.deliverFills()
 		e.drainMissQueues()
 		e.drainStores()
-		anyRetired := e.tickShards()
+		clk.lap(profiling.PhaseSerialRoute)
+		anyRetired := e.tickUnits(&clk)
 		if e.finished() {
 			break
 		}
@@ -307,6 +353,7 @@ func (e *engine) run() error {
 		e.skipped += span
 		e.cycle = target - 1
 	}
+	clk.lap(profiling.PhaseMerge) // close the final cycle's merge segment
 	if e.cycle >= e.opt.MaxCycles {
 		return fmt.Errorf("sim: exceeded MaxCycles=%d", e.opt.MaxCycles)
 	}
@@ -338,6 +385,16 @@ func (e *engine) run() error {
 // and issues, so they impose no separate bound.
 func (e *engine) nextInteresting() int64 {
 	cur := e.cycle
+	// Invariant guard: a partition holding unprocessed binned work pins the
+	// next cycle. Bins are always drained by the partition ticks of the
+	// cycle that filled them, so this never fires at a real decision point —
+	// it exists so fast-forwarding stays provably safe against future
+	// restructurings of the cycle, not to encode a live bound.
+	for _, p := range e.parts {
+		if p.busy() {
+			return cur + 1
+		}
+	}
 	best := e.reqs.NextCycle()
 	if r, ok := e.resps.peek(); ok {
 		c := e.net.nextRespAccept(cur)
@@ -399,23 +456,53 @@ func (e *engine) fillSMs() {
 	}
 }
 
-// arriveRequests services every fill request due at the L2 side this cycle,
-// in the deterministic ingress order (send order).
-func (e *engine) arriveRequests() {
+// routeRequests bins every fill request due at the L2 side this cycle onto
+// its partition, in the deterministic ingress order (send order). Each
+// request gets a slot in e.routed in that global order; the partition's tick
+// computes the response into the slot and mergeResponses pushes slots in
+// order, so the response heap sees the exact push sequence the serial
+// arrival loop produced. The L2/DRAM work itself moves off the serial path
+// into the partitions' (parallel) ticks.
+//
+// Responses computed at cycle C are never sendable before C+1 — every access
+// path returns readyAt ≥ C + L2.Latency with L2.Latency ≥ 1 (enforced by
+// config validation) — so deferring their heap push past this cycle's
+// drainResponses changes nothing.
+func (e *engine) routeRequests() {
 	for {
 		r, ok := e.reqs.PopDue(e.cycle)
 		if !ok {
-			return
+			break
 		}
-		p := e.partOf(r.lineAddr)
-		readyAt := e.parts[p].access(r.lineAddr, e.cycle)
-		e.resps.push(resp{readyAt: readyAt, sm: r.sm, lineAddr: r.lineAddr, part: p, prefetch: r.prefetch})
+		p := e.parts[e.partOf(r.lineAddr)]
+		p.pending = append(p.pending, partReq{slot: len(e.routed), sm: r.sm, lineAddr: r.lineAddr, prefetch: r.prefetch})
+		e.routed = append(e.routed, resp{})
 	}
+	if len(e.routed) > 0 {
+		// Re-alias the slot array on every partition: the appends above may
+		// have regrown its backing array since last cycle.
+		for _, p := range e.parts {
+			p.routed = e.routed
+		}
+	}
+}
+
+// mergeResponses pushes the cycle's partition-computed responses onto the
+// response heap in slot (global arrival) order — the deterministic merge
+// closing the partitions' parallel phase.
+func (e *engine) mergeResponses() {
+	for i := range e.routed {
+		e.resps.push(e.routed[i])
+	}
+	e.routed = e.routed[:0]
 }
 
 // drainResponses sends ready memory responses back over the interconnect,
 // stamping each with its delivery cycle and queueing it on the destination
-// shard's ingress port.
+// shard's ingress port. The L2 install for each shipped line is deferred
+// into the owning partition's completes bin, applied during its tick this
+// same cycle (after the cycle's accesses — the same relative order the
+// serial engine had, see memPartition.tick).
 func (e *engine) drainResponses() {
 	lineBytes := e.cfg.Unified.LineSize
 	for {
@@ -428,7 +515,8 @@ func (e *engine) drainResponses() {
 			return
 		}
 		e.resps.pop()
-		e.parts[r.part].completeFill(r.lineAddr, e.cycle)
+		p := e.parts[r.part]
+		p.completes = append(p.completes, r.lineAddr)
 		e.shards[r.sm].fills.Push(deliverAt, fillMsg{lineAddr: r.lineAddr, prefetch: r.prefetch})
 	}
 }
@@ -491,19 +579,49 @@ func (e *engine) drainStores() {
 	}
 }
 
-// tickShards runs the parallel phase of the cycle — every shard ticks, on
-// the worker group when one is running — then performs the serial merge:
+// tickUnits runs the parallel phase of the cycle — every work unit ticks
+// (memory partitions drain their request/complete bins, shards apply fills
+// and issue), on the worker group when one is running — then performs the
+// serial merges: partition responses are pushed in arrival-slot order and
 // egress streams are appended to the memory-side queues in (smID, seq)
-// order and freed CTA slots are refilled. Returns whether any shard retired
+// order, and freed CTA slots are refilled. Returns whether any shard retired
 // an instruction.
-func (e *engine) tickShards() bool {
-	if e.group != nil {
+//
+// Normally partitions and shards tick as one wave — they touch disjoint
+// state, so no ordering between them is needed. When phase profiling is on,
+// the wave splits in two so partition and shard wall clocks are separable;
+// the split cannot change results (same disjointness).
+func (e *engine) tickUnits(clk *phaseClock) bool {
+	np := len(e.parts)
+	switch {
+	case e.prof != nil:
+		if e.group != nil {
+			e.group.runSpan(e.cycle, 0, np)
+		} else {
+			for _, p := range e.parts {
+				p.tick(e.cycle)
+			}
+		}
+		clk.lap(profiling.PhaseMemPartitions)
+		if e.group != nil {
+			e.group.runSpan(e.cycle, np, len(e.units))
+		} else {
+			for _, sh := range e.shards {
+				sh.tick(e.cycle)
+			}
+		}
+		clk.lap(profiling.PhaseShards)
+	case e.group != nil:
 		e.group.runCycle(e.cycle)
-	} else {
+	default:
+		for _, p := range e.parts {
+			p.tick(e.cycle)
+		}
 		for _, sh := range e.shards {
 			sh.tick(e.cycle)
 		}
 	}
+	e.mergeResponses()
 	any, refill := false, false
 	for _, sh := range e.shards {
 		if len(sh.out.stores) > 0 {
@@ -576,12 +694,16 @@ func (e *engine) result() *Result {
 	res.Stats.Cycles = e.cycle
 	res.Stats.IcntBytes = e.net.totalBytes()
 	res.Stats.IcntPeakBytes = e.net.peakBytes(e.cycle)
-	for _, p := range e.parts {
-		r, h, m := p.dramStats()
-		res.Stats.DRAMReads += r
-		res.Stats.DRAMRowHits += h
-		res.Stats.DRAMRowMisses += m
-	}
+	// Memory-side counters come from the per-partition arenas; the total is
+	// invariant to the partition count and merge order (stats property
+	// tests), and the per-SM blocks hold zeros for these fields.
+	mem := e.memStats.Total()
+	res.Stats.L2Hits += mem.L2Hits
+	res.Stats.L2Misses += mem.L2Misses
+	res.Stats.L2Merges += mem.L2Merges
+	res.Stats.DRAMReads += mem.DRAMReads
+	res.Stats.DRAMRowHits += mem.DRAMRowHits
+	res.Stats.DRAMRowMisses += mem.DRAMRowMisses
 	return res
 }
 

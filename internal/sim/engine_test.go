@@ -29,7 +29,7 @@ func TestRespHeapOrdering(t *testing.T) {
 }
 
 func TestMemPartitionMergesInflight(t *testing.T) {
-	m := newMemPartition(config.Scaled(2, 8))
+	m := newMemPartition(0, config.Scaled(2, 8), nil)
 	r1 := m.access(0x1000, 100)
 	r2 := m.access(0x1000, 101) // same line while in flight: merged
 	if r2 != r1 {
@@ -44,7 +44,7 @@ func TestMemPartitionMergesInflight(t *testing.T) {
 }
 
 func TestMemPartitionCompleteFillIdempotent(t *testing.T) {
-	m := newMemPartition(config.Scaled(2, 8))
+	m := newMemPartition(0, config.Scaled(2, 8), nil)
 	ready := m.access(0x2000, 100)
 	m.completeFill(0x2000, ready)
 	m.completeFill(0x2000, ready+1) // second call is a no-op

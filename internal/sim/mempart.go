@@ -4,45 +4,124 @@ import (
 	"snake/internal/cache"
 	"snake/internal/config"
 	"snake/internal/dram"
+	"snake/internal/stats"
 )
+
+// partReq is one fill request routed to a partition for the current cycle.
+// slot is the request's index in the engine's per-cycle response array,
+// assigned in global arrival order during the serial routing phase; the
+// partition writes its computed response into that slot, and the merge phase
+// pushes slots in order, reproducing the serial engine's heap push order
+// exactly.
+type partReq struct {
+	slot     int
+	sm       int
+	lineAddr uint64
+	prefetch bool
+}
 
 // memPartition is one L2 sub-partition with its attached DRAM controller.
 // Requests from different SMs to the same in-flight line merge at the
 // partition so DRAM sees each line once.
+//
+// A partition is a schedulable work unit on the engine's cycle barrier, peer
+// to the SM shards: the serial routing phase bins the cycle's due requests
+// into pending (and the lines whose responses shipped into completes), and
+// tick — possibly concurrent with other partitions and with shard ticks —
+// performs the L2 lookups, in-flight merges and DRAM timing. Partitions are
+// data-disjoint by the engine's line-address hash (partOf): no line ever
+// reaches two partitions, so ticks share no state and need no locks.
 type memPartition struct {
+	id       int
 	l2       *cache.Cache
 	dramCtl  *dram.Controller
 	latency  int64
 	inflight map[uint64]int64 // line -> data-ready cycle
+
+	// ms accumulates this partition's L2 and DRAM counters (an entry of the
+	// engine's stats.MemParts arena; totals are partition-count and
+	// merge-order invariant, see that package's property tests).
+	ms *stats.Mem
+
+	// Per-cycle work bins, filled by the engine's serial phases and consumed
+	// (and truncated) by tick.
+	pending   []partReq // requests that arrived this cycle, arrival order
+	completes []uint64  // lines whose responses shipped this cycle
+	// routed aliases the engine's per-cycle response slot array; tick writes
+	// each pending request's response at its pre-assigned slot.
+	routed []resp
 }
 
-func newMemPartition(cfg config.GPU) *memPartition {
+// newMemPartition builds partition id counting into ms (nil: a private
+// block, for direct unit tests).
+func newMemPartition(id int, cfg config.GPU, ms *stats.Mem) *memPartition {
+	if ms == nil {
+		ms = &stats.Mem{}
+	}
 	return &memPartition{
+		id:       id,
 		l2:       cache.New(cfg.L2),
-		dramCtl:  dram.New(cfg.DRAM, cfg.DRAMBanks, cfg.DRAMRowBytes, cfg.DRAMClockxfer),
+		dramCtl:  dram.New(cfg.DRAM, cfg.DRAMBanks, cfg.DRAMRowBytes, cfg.DRAMClockxfer, ms),
 		latency:  int64(cfg.L2.Latency),
 		inflight: make(map[uint64]int64),
+		ms:       ms,
 	}
 }
 
+// tick performs the partition's binned work for one cycle: the cycle's
+// arrivals first, then the completions of responses that shipped this cycle.
+// That order — all accesses, then all fills — is exactly the serial engine's
+// arriveRequests→drainResponses order, so results are bit-identical.
+// Deferring the completions from the serial response phase to here is
+// invisible: nothing between the two points reads L2 state, and this cycle's
+// accesses cannot observe this cycle's completions in either schedule.
+func (m *memPartition) tick(cycle int64) {
+	for i := range m.pending {
+		r := &m.pending[i]
+		readyAt := m.access(r.lineAddr, cycle)
+		m.routed[r.slot] = resp{readyAt: readyAt, sm: r.sm, lineAddr: r.lineAddr, part: m.id, prefetch: r.prefetch}
+	}
+	m.pending = m.pending[:0]
+	for _, line := range m.completes {
+		m.completeFill(line, cycle)
+	}
+	m.completes = m.completes[:0]
+}
+
+// busy reports whether the partition holds unprocessed binned work — an
+// invariant guard for the engine's fast-forward: a busy partition pins the
+// next cycle. (Bins are drained by tick every executed cycle, so this is
+// vacuously false at the fast-forward decision point.)
+func (m *memPartition) busy() bool {
+	return len(m.pending) > 0 || len(m.completes) > 0
+}
+
 // reset clears the partition for a new run on a recycled engine: the L2 is
-// invalidated in place, the DRAM banks and counters are zeroed, and the
-// in-flight merge map is emptied (keeping its buckets).
+// invalidated in place, the DRAM banks and counters are zeroed, the
+// in-flight merge map is emptied (keeping its buckets), and the work bins
+// and L2 counters are cleared.
 func (m *memPartition) reset() {
 	m.l2.InvalidateAll()
 	m.dramCtl.Reset()
 	clear(m.inflight)
+	m.pending = m.pending[:0]
+	m.completes = m.completes[:0]
+	m.routed = nil
+	m.ms.L2Hits, m.ms.L2Misses, m.ms.L2Merges = 0, 0, 0
 }
 
 // access services a fill request arriving at the partition at cycle and
 // returns the cycle at which the line's data is ready to be sent back.
 func (m *memPartition) access(lineAddr uint64, cycle int64) int64 {
 	if ra, ok := m.inflight[lineAddr]; ok && ra > cycle {
+		m.ms.L2Merges++
 		return ra // merge with the in-flight fetch
 	}
 	if p := m.l2.Hit(lineAddr, cycle); p.Present {
+		m.ms.L2Hits++
 		return cycle + m.latency
 	}
+	m.ms.L2Misses++
 	readyAt := m.dramCtl.Access(lineAddr, cycle+m.latency)
 	m.inflight[lineAddr] = readyAt
 	return readyAt

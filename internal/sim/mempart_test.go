@@ -13,7 +13,7 @@ import (
 // miss that opened it — and the controller counts exactly one of each.
 func TestMemPartitionRowHitFasterThanRowMiss(t *testing.T) {
 	cfg := config.Scaled(2, 8)
-	m := newMemPartition(cfg)
+	m := newMemPartition(0, cfg, nil)
 
 	cold := m.access(0, 100)
 	missLat := cold - 100
@@ -40,7 +40,7 @@ func TestMemPartitionRowHitFasterThanRowMiss(t *testing.T) {
 // must be counted as a row miss (rows never falsely hit).
 func TestMemPartitionPrechargePenalty(t *testing.T) {
 	cfg := config.Scaled(2, 8)
-	m := newMemPartition(cfg)
+	m := newMemPartition(0, cfg, nil)
 
 	cold := m.access(0, 100)
 	coldLat := cold - 100
@@ -74,7 +74,7 @@ func TestMemPartitionPrechargePenalty(t *testing.T) {
 // data-ready cycle a same-line access is a fresh request — without a
 // completeFill the line is not in L2 either, so DRAM sees a second read.
 func TestMemPartitionMergeWindowCloses(t *testing.T) {
-	m := newMemPartition(config.Scaled(2, 8))
+	m := newMemPartition(0, config.Scaled(2, 8), nil)
 	line := uint64(0x4000)
 	r1 := m.access(line, 100)
 	r2 := m.access(line, r1) // window closed: ra > cycle no longer holds

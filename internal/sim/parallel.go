@@ -5,51 +5,72 @@ import (
 	"sync/atomic"
 )
 
-// shardGroup runs SM-shard ticks across a bounded set of persistent workers,
-// one simulated cycle at a time, with a barrier on each side of the parallel
-// phase. The calling (engine) goroutine is participant 0 and ticks its own
-// stripe, so Parallelism=N uses N-1 extra goroutines.
+// workUnit is one schedulable unit of the parallel phase: an SM shard or a
+// memory partition. Units are data-disjoint during ticks — shards own their
+// SM-private state, partitions own disjoint line-address sets — which is what
+// lets the group run any subset of them concurrently.
+type workUnit interface {
+	tick(cycle int64)
+}
+
+// shardGroup runs work-unit ticks (memory partitions and SM shards) across a
+// bounded set of persistent workers, one simulated cycle at a time, with a
+// barrier on each side of the parallel phase. The calling (engine) goroutine
+// is participant 0 and ticks its own stripe, so Parallelism=N uses N-1 extra
+// goroutines.
 //
-// Determinism does not depend on the group at all: shards are data-disjoint
-// during ticks (see shard), so any interleaving computes the same state. The
-// group only has to provide the two happens-before edges of the cycle:
+// Determinism does not depend on the group at all: units are data-disjoint
+// during ticks (see workUnit), so any interleaving computes the same state.
+// The group only has to provide the two happens-before edges of the cycle:
 //
 //	engine's serial writes → release (epoch increment, atomic) → worker ticks
 //	worker ticks → arrive (counter increment, atomic) → engine's serial reads
+//
+// A cycle is normally one combined wave over all units; with phase profiling
+// enabled the engine instead runs two waves (partitions, then shards) via
+// runSpan so the two halves' wall clocks are separable. Either schedule
+// computes identical state — the units stay disjoint regardless of grouping.
 //
 // Workers spin briefly and then yield while waiting; on a loaded or
 // single-core machine the yield path degrades to cooperative scheduling
 // rather than burning the core the engine needs.
 type shardGroup struct {
-	shards []*shard
-	n      int // participants, including the engine goroutine
+	units []workUnit
+	n     int // participants, including the engine goroutine
 
-	// cycle and quit are plain fields: they are written by the engine before
-	// the epoch release and read by workers after observing it.
-	cycle int64
-	quit  bool
+	// cycle, lo, hi and quit are plain fields: they are written by the engine
+	// before the epoch release and read by workers after observing it.
+	cycle  int64
+	lo, hi int // unit span for the current epoch
+	quit   bool
 
 	epoch   atomic.Uint64
 	arrived atomic.Int64
 }
 
-// startShardGroup launches n-1 workers over the shards. n must be ≥ 2 and
-// is capped by the caller at len(shards).
-func startShardGroup(shards []*shard, n int) *shardGroup {
-	g := &shardGroup{shards: shards, n: n}
+// startShardGroup launches n-1 workers over the units. n must be ≥ 2; a
+// wave whose span is narrower than n leaves the surplus workers idling at
+// that epoch's barrier.
+func startShardGroup(units []workUnit, n int) *shardGroup {
+	g := &shardGroup{units: units, n: n}
 	for w := 1; w < n; w++ {
 		go g.worker(w)
 	}
 	return g
 }
 
-// runCycle ticks every shard for cycle c and returns after all of them
+// runCycle ticks every unit for cycle c and returns after all of them
 // finished (the cycle barrier).
 func (g *shardGroup) runCycle(c int64) {
-	g.cycle = c
-	g.epoch.Add(1) // release: workers may start this cycle
-	for i := 0; i < len(g.shards); i += g.n {
-		g.shards[i].tick(c)
+	g.runSpan(c, 0, len(g.units))
+}
+
+// runSpan ticks units [lo, hi) for cycle c as one barrier wave.
+func (g *shardGroup) runSpan(c int64, lo, hi int) {
+	g.cycle, g.lo, g.hi = c, lo, hi
+	g.epoch.Add(1) // release: workers may start this wave
+	for i := lo; i < hi; i += g.n {
+		g.units[i].tick(c)
 	}
 	g.join()
 }
@@ -69,7 +90,7 @@ func (g *shardGroup) join() {
 	g.arrived.Store(0)
 }
 
-// worker ticks the stripe of shards with index ≡ w (mod n) each epoch.
+// worker ticks the stripe of the epoch's span with offset ≡ w (mod n).
 func (g *shardGroup) worker(w int) {
 	for epoch := uint64(1); ; epoch++ {
 		awaitEpoch(&g.epoch, epoch)
@@ -78,8 +99,8 @@ func (g *shardGroup) worker(w int) {
 			return
 		}
 		c := g.cycle
-		for i := w; i < len(g.shards); i += g.n {
-			g.shards[i].tick(c)
+		for i := g.lo + w; i < g.hi; i += g.n {
+			g.units[i].tick(c)
 		}
 		g.arrived.Add(1)
 	}

@@ -48,7 +48,9 @@ func TestParallelEquivalenceMatrix(t *testing.T) {
 				if err != nil {
 					t.Fatalf("%s/%s serial: %v", name, mech, err)
 				}
-				for _, p := range []int{2, 3, 4} {
+				// 12 = NumSM (4) + L2Partitions (8): every work unit, SM
+				// shard or memory partition, gets its own worker.
+				for _, p := range []int{2, 3, 4, 12} {
 					opt.Parallelism = p
 					got, err := Run(k, opt)
 					if err != nil {
@@ -140,14 +142,14 @@ func TestParallelCancellationStopsWorkers(t *testing.T) {
 
 // TestParallelOptionsClamp pins the Parallelism defaulting rules: zero and
 // negative mean serial, and a request wider than the machine clamps to one
-// worker per SM.
+// worker per work unit (SM shards plus L2 partitions).
 func TestParallelOptionsClamp(t *testing.T) {
 	for _, tc := range []struct{ in, want int }{
 		{0, 1},
 		{-3, 1},
 		{1, 1},
 		{4, 4},
-		{64, parCfg().NumSM},
+		{64, parCfg().NumSM + parCfg().L2Partitions},
 	} {
 		opt := Options{Config: parCfg(), Parallelism: tc.in}.withDefaults()
 		if opt.Parallelism != tc.want {

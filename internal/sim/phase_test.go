@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"snake/internal/core"
+	"snake/internal/prefetch"
+	"snake/internal/profiling"
+	"snake/internal/workloads"
+)
+
+// TestPhaseProfileEquivalence pins the profiler's non-interference contract:
+// attaching a phase accumulator — which switches the parallel phase to the
+// two-wave schedule so partition and shard time are separable — must not
+// change Result at any Parallelism, and the accumulator must come back with
+// a plausible breakdown (time recorded, serial share strictly inside (0,1)).
+func TestPhaseProfileEquivalence(t *testing.T) {
+	k, err := workloads.Build("hotspot", workloads.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 4} {
+		opt := Options{
+			Config:        parCfg(),
+			NewPrefetcher: func(int) prefetch.Prefetcher { return core.NewSnake() },
+			Parallelism:   p,
+		}
+		want, err := Run(k, opt)
+		if err != nil {
+			t.Fatalf("P=%d unprofiled: %v", p, err)
+		}
+		var prof profiling.Phases
+		opt.PhaseProfile = &prof
+		got, err := Run(k, opt)
+		if err != nil {
+			t.Fatalf("P=%d profiled: %v", p, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("P=%d: profiling changed results\n got:  %+v\n want: %+v", p, got.Stats, want.Stats)
+		}
+		if prof.TotalNs() <= 0 {
+			t.Fatalf("P=%d: no phase time recorded", p)
+		}
+		if prof.Ns(profiling.PhaseSerialRoute) <= 0 || prof.Ns(profiling.PhaseShards) <= 0 {
+			t.Errorf("P=%d: route=%dns shards=%dns; both run every executed cycle",
+				p, prof.Ns(profiling.PhaseSerialRoute), prof.Ns(profiling.PhaseShards))
+		}
+		if share := prof.SerialShare(); share <= 0 || share >= 1 {
+			t.Errorf("P=%d: serial share %f outside (0,1)", p, share)
+		}
+	}
+}
+
+// TestPhaseProfileAccumulatesAcrossRuns checks the caller-owned aggregation
+// window: a recycled engine keeps adding to the same accumulator, so a sweep
+// can profile its whole batch with one Phases value.
+func TestPhaseProfileAccumulatesAcrossRuns(t *testing.T) {
+	k, err := workloads.Build("lps", workloads.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prof profiling.Phases
+	opt := Options{Config: parCfg(), PhaseProfile: &prof}
+	en := NewEngine()
+	if _, err := en.Run(k, opt); err != nil {
+		t.Fatal(err)
+	}
+	first := prof.TotalNs()
+	if first <= 0 {
+		t.Fatal("no phase time recorded on first run")
+	}
+	if _, err := en.Run(k, opt); err != nil {
+		t.Fatal(err)
+	}
+	if prof.TotalNs() <= first {
+		t.Errorf("second run did not accumulate: %dns then %dns", first, prof.TotalNs())
+	}
+}

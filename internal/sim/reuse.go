@@ -79,6 +79,8 @@ func (e *engine) reinit(k *trace.Kernel, opt Options, reusePf bool) {
 	e.reqs.Reset()
 	e.resps = e.resps[:0]
 	e.stores = e.stores[:0]
+	e.routed = e.routed[:0]
+	e.memStats.Reset()
 	e.ctaNext = 0
 	e.ageCtr = 0
 	e.inflight = 0

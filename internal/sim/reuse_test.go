@@ -33,7 +33,7 @@ func TestPooledEquivalenceMatrix(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, skip := range []bool{false, true} {
-				for _, p := range []int{1, 4} {
+				for _, p := range []int{1, 4, 12} {
 					opt := Options{Config: parCfg(), NewPrefetcher: pf, DisableSkip: !skip, Parallelism: p}
 					want, err := Run(k, opt)
 					if err != nil {

@@ -1,0 +1,64 @@
+package stats
+
+// Mem is the counter block of one memory partition (an L2 sub-partition plus
+// its DRAM controller). The simulation engine gives each partition its own
+// block so partitions can count concurrently during the parallel memory
+// phase — each partition writes only its own entry — and merges them into
+// the run totals at the end.
+type Mem struct {
+	// L2 access outcomes at the partition.
+	L2Hits   int64 // request hit in the L2 data array
+	L2Misses int64 // request went to DRAM
+	L2Merges int64 // same-line request coalesced onto an in-flight fetch
+
+	// DRAM controller traffic.
+	DRAMReads     int64
+	DRAMRowHits   int64
+	DRAMRowMisses int64
+}
+
+// Merge adds other into m. Every field is a sum, so merging any partition of
+// an event stream across any number of Mem accumulators, in any order,
+// yields the same totals as accumulating the stream serially — the property
+// TestMemPartsMergePartitionInvariant pins, and what makes the engine's
+// parallel memory side bit-identical to serial at the statistics layer.
+func (m *Mem) Merge(other *Mem) {
+	m.L2Hits += other.L2Hits
+	m.L2Misses += other.L2Misses
+	m.L2Merges += other.L2Merges
+	m.DRAMReads += other.DRAMReads
+	m.DRAMRowHits += other.DRAMRowHits
+	m.DRAMRowMisses += other.DRAMRowMisses
+}
+
+// MemParts is a set of per-partition Mem accumulators, the memory-side
+// mirror of Shards: one arena allocation per engine, recycled across runs.
+type MemParts struct {
+	parts []Mem
+}
+
+// NewMemParts returns n zeroed per-partition accumulators.
+func NewMemParts(n int) *MemParts {
+	return &MemParts{parts: make([]Mem, n)}
+}
+
+// Part returns the i-th accumulator for the owning partition to count into.
+func (m *MemParts) Part(i int) *Mem { return &m.parts[i] }
+
+// Len returns the number of partitions.
+func (m *MemParts) Len() int { return len(m.parts) }
+
+// Reset zeroes every partition accumulator in place, so a recycled engine
+// reuses the backing array instead of allocating a fresh MemParts per run.
+func (m *MemParts) Reset() {
+	clear(m.parts)
+}
+
+// Total merges every partition accumulator, in partition order, into one Mem.
+func (m *MemParts) Total() Mem {
+	var out Mem
+	for i := range m.parts {
+		out.Merge(&m.parts[i])
+	}
+	return out
+}

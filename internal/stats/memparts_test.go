@@ -1,0 +1,88 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomMem fills every counter with a random value via the same reflective
+// walk randomSim uses, so the invariance property keeps covering fields
+// added to Mem later.
+func randomMem(rng *rand.Rand) Mem {
+	var m Mem
+	fillRandom(reflect.ValueOf(&m).Elem(), rng)
+	return m
+}
+
+// TestMemPartsMergePartitionInvariant mirrors the shard-stats property for
+// the memory side: distributing a stream of partition-stat events across any
+// number of Mem accumulators, in any assignment, and merging them (in any
+// partition count) equals accumulating the stream serially. This is what
+// lets the engine hash lines to partitions freely — and run the partitions
+// concurrently — without the totals depending on the partition count or the
+// merge order.
+func TestMemPartsMergePartitionInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		nEvents := 1 + rng.Intn(40)
+		events := make([]Mem, nEvents)
+		for i := range events {
+			events[i] = randomMem(rng)
+		}
+
+		// Serial reference: one accumulator sees every event in order.
+		var serial Mem
+		for i := range events {
+			serial.Merge(&events[i])
+		}
+
+		// Random partition assignment, order preserved within a partition (as
+		// the engine's fixed line-address hash does), merged in partition order.
+		nParts := 1 + rng.Intn(8)
+		mp := NewMemParts(nParts)
+		for i := range events {
+			mp.Part(rng.Intn(nParts)).Merge(&events[i])
+		}
+		if got := mp.Total(); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("trial %d: partitioned total diverges from serial accumulation\n parts:  %+v\n serial: %+v",
+				trial, got, serial)
+		}
+	}
+}
+
+// TestMemPartsMergeOrderInvariant checks the complementary axis: merging the
+// same per-partition accumulators in any order yields the same total.
+func TestMemPartsMergeOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	parts := make([]Mem, 6)
+	for i := range parts {
+		parts[i] = randomMem(rng)
+	}
+	var fwd Mem
+	for i := range parts {
+		fwd.Merge(&parts[i])
+	}
+	var rev Mem
+	for i := len(parts) - 1; i >= 0; i-- {
+		rev.Merge(&parts[i])
+	}
+	if !reflect.DeepEqual(fwd, rev) {
+		t.Fatalf("merge order changed the total:\n fwd: %+v\n rev: %+v", fwd, rev)
+	}
+}
+
+func TestMemPartsAccessors(t *testing.T) {
+	mp := NewMemParts(3)
+	if mp.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", mp.Len())
+	}
+	mp.Part(1).L2Merges = 9
+	if got := mp.Total(); got.L2Merges != 9 {
+		t.Errorf("Total().L2Merges = %d, want 9", got.L2Merges)
+	}
+	mp.Reset()
+	if got := mp.Total(); got != (Mem{}) {
+		t.Errorf("Reset left counters: %+v", got)
+	}
+}

@@ -66,6 +66,14 @@ type Sim struct {
 	// Energy is filled post-run by the energy model.
 	EnergyJ float64
 
+	// L2 partition outcomes (memory-side totals; zero in per-SM blocks, the
+	// partitions are shared hardware not attributable to one SM).
+	L2Hits   int64
+	L2Misses int64
+	// L2Merges counts same-line fill requests that coalesced onto a fetch
+	// already in flight at the partition, so DRAM saw the line once.
+	L2Merges int64
+
 	// DRAM traffic.
 	DRAMReads     int64
 	DRAMRowHits   int64
@@ -217,6 +225,9 @@ func (s *Sim) Merge(other *Sim) {
 	s.StallOther += other.StallOther
 	s.IcntBytes += other.IcntBytes
 	s.IcntPeakBytes += other.IcntPeakBytes
+	s.L2Hits += other.L2Hits
+	s.L2Misses += other.L2Misses
+	s.L2Merges += other.L2Merges
 	s.DRAMReads += other.DRAMReads
 	s.DRAMRowHits += other.DRAMRowHits
 	s.DRAMRowMisses += other.DRAMRowMisses
