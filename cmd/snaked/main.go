@@ -1,14 +1,25 @@
 // Command snaked serves the simulation service over HTTP/JSON: submit
-// simulation and sweep jobs, poll their results, and scrape metrics. Jobs
-// run on a bounded worker pool behind a priority queue, and completed
-// results are memoized in a content-addressed cache so repeated sweeps over
-// the paper's benchmark grid return instantly.
+// simulation and sweep jobs, poll or stream their results, and scrape
+// metrics. Jobs run on a bounded worker pool behind a priority queue, and
+// completed results are memoized in a tiered content-addressed cache
+// (bounded memory LRU, then disk spillover, then cluster peers) so repeated
+// sweeps over the paper's benchmark grid return instantly.
 //
 // Usage:
 //
 //	snaked -addr :8080 -workers 8
 //	curl -s localhost:8080/v1/benchmarks
 //	curl -s -XPOST localhost:8080/v1/runs -d '{"bench":"lps","mech":"snake"}'
+//
+// Several snaked processes form a cluster with static membership:
+//
+//	snaked -addr :8080 -self http://hostA:8080 -peers http://hostB:8080
+//	snaked -addr :8080 -self http://hostB:8080 -peers http://hostA:8080
+//
+// Each simulation key has one owner (rendezvous hashing over the member
+// set); non-owners forward misses to the owner and fetch cached results
+// from peers, so a sweep fanned across nodes simulates every cell exactly
+// once. A dead peer degrades to local compute — never an error.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown that drains in-flight jobs
 // (bounded by -draintimeout), aborting still-running simulations through
@@ -25,6 +36,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,8 +56,27 @@ func main() {
 		iters    = flag.Int("iters", 0, "default workload scale: loop iterations (0: paper default)")
 		drain    = flag.Duration("draintimeout", 2*time.Minute, "graceful shutdown drain budget")
 		pprofOn  = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default; profiles reveal operational detail, enable only on trusted networks)")
+
+		queueMax   = flag.Int("queue-max", 0, "max queued jobs before submissions get 429 (0: unbounded)")
+		cacheMax   = flag.Int64("cache-max-bytes", 0, "in-memory result cache budget in bytes; evicted entries stay readable from -cache-dir (0: unbounded)")
+		cacheDir   = flag.String("cache-dir", "", "disk tier: results are written through here and survive restarts (empty: disabled, evictions drop)")
+		self       = flag.String("self", "", "this node's advertised base URL, required with -peers (e.g. http://hostA:8080)")
+		peers      = flag.String("peers", "", "comma-separated peer base URLs; enables clustering")
+		peerFlight = flag.Int("peer-inflight", 4, "max concurrently forwarded jobs per peer")
 	)
 	flag.Parse()
+
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+	}
+	if len(peerList) > 0 && *self == "" {
+		fatal(errors.New("-peers requires -self (this node's advertised URL, as the peers spell it)"))
+	}
 
 	gpu := config.Scaled(*numSM, *warps)
 	scale := workloads.DefaultScale()
@@ -56,7 +87,14 @@ func main() {
 		scale.Iters = *iters
 	}
 
-	svc := service.New(service.Options{Workers: *workers, GPU: &gpu, Scale: &scale, Parallelism: *parallel})
+	svc := service.New(service.Options{
+		Workers: *workers, GPU: &gpu, Scale: &scale, Parallelism: *parallel,
+		QueueMax: *queueMax, CacheMaxBytes: *cacheMax, CacheDir: *cacheDir,
+		Self: *self, Peers: peerList, PeerInflight: *peerFlight,
+	})
+	if len(peerList) > 0 {
+		log.Printf("snaked: clustered as %s with %d peer(s)", *self, len(peerList))
+	}
 	handler := svc.Handler()
 	if *pprofOn {
 		// Wrap rather than touch the service mux: the pprof handlers are

@@ -7,9 +7,14 @@
 //
 //	go run ./cmd/snaked -addr :8080 &
 //	go run ./examples/serveclient -addr http://localhost:8080
+//
+// With -stream the client consumes GET /v1/sweeps/{id}/stream instead of
+// polling: the server pushes one JSON line per cell as it finishes, then a
+// summary line, so results print the moment they exist.
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -29,6 +34,7 @@ func main() {
 		addr    = flag.String("addr", "http://localhost:8080", "snaked base URL")
 		benches = flag.String("benches", "cp,lps,hotspot", "comma-separated benchmarks")
 		mechs   = flag.String("mechs", "mta,snake", "comma-separated mechanisms (baseline added automatically)")
+		stream  = flag.Bool("stream", false, "consume the chunked result stream instead of polling")
 	)
 	flag.Parse()
 
@@ -38,16 +44,22 @@ func main() {
 	sweep := submit(*addr, service.SweepRequest{Benches: bs, Mechs: ms})
 	fmt.Printf("submitted sweep %s: %d jobs\n", sweep.ID, sweep.Total)
 
-	// Poll until every cell is terminal.
-	for !sweep.Done {
-		time.Sleep(250 * time.Millisecond)
-		sweep = poll(*addr, sweep.ID)
-		fmt.Printf("  %d/%d done\n", sweep.Total-sweep.Pending, sweep.Total)
+	var cells []service.RunView
+	if *stream {
+		cells = streamCells(*addr, sweep)
+	} else {
+		// Poll until every cell is terminal.
+		for !sweep.Done {
+			time.Sleep(250 * time.Millisecond)
+			sweep = poll(*addr, sweep.ID)
+			fmt.Printf("  %d/%d done\n", sweep.Total-sweep.Pending, sweep.Total)
+		}
+		cells = sweep.Jobs
 	}
 
 	// Index the cells and print IPC normalized to baseline per benchmark.
 	ipc := make(map[string]map[string]float64) // bench -> mech -> ipc
-	for _, j := range sweep.Jobs {
+	for _, j := range cells {
 		if j.Status != service.StatusDone {
 			log.Fatalf("job %s (%s/%s): %s %s", j.ID, j.Bench, j.Mech, j.Status, j.Error)
 		}
@@ -71,6 +83,54 @@ func main() {
 	}
 	t.Mean("mean")
 	t.Fprint(os.Stdout)
+}
+
+// streamCells reads the NDJSON result stream: one RunView per finished cell
+// in completion order, then a StreamEnd summary (told apart by its
+// "stream_done" field).
+func streamCells(addr string, sweep service.SweepView) []service.RunView {
+	resp, err := http.Get(addr + "/v1/sweeps/" + sweep.ID + "/stream")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("stream sweep: HTTP %d", resp.StatusCode)
+	}
+	cells := make([]service.RunView, 0, sweep.Total)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var probe struct {
+			ID   string `json:"id"`
+			Done bool   `json:"stream_done"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			log.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		if probe.ID == "" {
+			var end service.StreamEnd
+			if err := json.Unmarshal(sc.Bytes(), &end); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("stream done: %d completed, %d failed, %d canceled\n",
+				end.Completed, end.Failed, end.Canceled)
+			break
+		}
+		var v service.RunView
+		if err := json.Unmarshal(sc.Bytes(), &v); err != nil {
+			log.Fatal(err)
+		}
+		src := v.Source
+		if src == "" {
+			src = "sim"
+		}
+		fmt.Printf("  [%d/%d] %s/%s via %s\n", len(cells)+1, sweep.Total, v.Bench, v.Mech, src)
+		cells = append(cells, v)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatalf("stream read: %v", err)
+	}
+	return cells
 }
 
 func submit(addr string, req service.SweepRequest) service.SweepView {

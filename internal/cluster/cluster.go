@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Options configures a Cluster.
+type Options struct {
+	// Self is this node's advertised base URL (e.g. "http://hostA:8080").
+	// It must appear in every other member's Peers list under the same
+	// spelling: node names are compared as strings by the rendezvous hash.
+	Self string
+	// Peers are the other members' advertised base URLs.
+	Peers []string
+	// PeerInflight caps concurrently forwarded jobs per peer (default 4).
+	PeerInflight int
+	// DownFor is how long a peer stays out of rotation after a transport
+	// error before the next request probes it again (default 10s).
+	DownFor time.Duration
+	// FetchTimeout bounds one peer cache fetch (default 5s). Forwarded
+	// executions are bounded by the caller's context, not this.
+	FetchTimeout time.Duration
+	// Client overrides the HTTP client (default: http.Client with no global
+	// timeout; per-call contexts bound each request).
+	Client *http.Client
+}
+
+// Cluster is the static membership view plus the transport counters. All
+// methods are safe for concurrent use.
+type Cluster struct {
+	self         string
+	nodes        []string // self + peers, sorted (canonical member set)
+	peers        map[string]*Peer
+	downFor      time.Duration
+	fetchTimeout time.Duration
+	client       *http.Client
+
+	mu            sync.Mutex
+	fetchHits     int64
+	fetchMisses   int64
+	fetchErrors   int64
+	execOK        int64
+	execErrors    int64
+	execSaturated int64
+}
+
+// New builds the membership view. The node set is {Self} ∪ Peers; duplicate
+// and empty entries are dropped.
+func New(opt Options) *Cluster {
+	if opt.PeerInflight <= 0 {
+		opt.PeerInflight = 4
+	}
+	if opt.DownFor <= 0 {
+		opt.DownFor = 10 * time.Second
+	}
+	if opt.FetchTimeout <= 0 {
+		opt.FetchTimeout = 5 * time.Second
+	}
+	if opt.Client == nil {
+		opt.Client = &http.Client{}
+	}
+	c := &Cluster{
+		self:         strings.TrimRight(opt.Self, "/"),
+		peers:        make(map[string]*Peer),
+		downFor:      opt.DownFor,
+		fetchTimeout: opt.FetchTimeout,
+		client:       opt.Client,
+	}
+	seen := map[string]bool{c.self: true}
+	c.nodes = append(c.nodes, c.self)
+	for _, p := range opt.Peers {
+		p = strings.TrimRight(p, "/")
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		c.nodes = append(c.nodes, p)
+		c.peers[p] = newPeer(p, opt.PeerInflight)
+	}
+	sort.Strings(c.nodes)
+	return c
+}
+
+// Self returns this node's advertised URL.
+func (c *Cluster) Self() string { return c.self }
+
+// Nodes returns the canonical member set (self included), sorted.
+func (c *Cluster) Nodes() []string {
+	out := make([]string, len(c.nodes))
+	copy(out, c.nodes)
+	return out
+}
+
+// OwnerOf returns the member responsible for key and whether it is this
+// node.
+func (c *Cluster) OwnerOf(key string) (node string, self bool) {
+	node = Owner(key, c.nodes)
+	return node, node == c.self
+}
+
+// Snapshot is a consistent copy of the transport counters for metrics.
+type Snapshot struct {
+	Nodes                               int
+	FetchHits, FetchMisses, FetchErrors int64
+	ExecOK, ExecErrors, ExecSaturated   int64
+	Peers                               []PeerStatus
+}
+
+// Snap returns the current transport counters and per-peer health.
+func (c *Cluster) Snap() Snapshot {
+	c.mu.Lock()
+	s := Snapshot{
+		Nodes:     len(c.nodes),
+		FetchHits: c.fetchHits, FetchMisses: c.fetchMisses, FetchErrors: c.fetchErrors,
+		ExecOK: c.execOK, ExecErrors: c.execErrors, ExecSaturated: c.execSaturated,
+	}
+	c.mu.Unlock()
+	urls := make([]string, 0, len(c.peers))
+	for u := range c.peers {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	for _, u := range urls {
+		s.Peers = append(s.Peers, c.peers[u].status())
+	}
+	return s
+}

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Peer is one remote cluster member: its advertised base URL, a bounded
+// in-flight budget for forwarded work, and a health latch. Health is
+// failure-driven: a transport error marks the peer down for a probe window,
+// during which callers skip it and degrade to local compute; after the
+// window the next request probes it again.
+type Peer struct {
+	url      string
+	inflight chan struct{}
+
+	mu        sync.Mutex
+	downUntil time.Time
+	downs     int64 // times the peer was marked down (metrics)
+}
+
+func newPeer(url string, maxInflight int) *Peer {
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	return &Peer{url: url, inflight: make(chan struct{}, maxInflight)}
+}
+
+// URL returns the peer's advertised base URL.
+func (p *Peer) URL() string { return p.url }
+
+// Alive reports whether the peer is currently considered reachable.
+func (p *Peer) Alive() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return !time.Now().Before(p.downUntil)
+}
+
+// markDown takes the peer out of rotation for d.
+func (p *Peer) markDown(d time.Duration) {
+	p.mu.Lock()
+	p.downUntil = time.Now().Add(d)
+	p.downs++
+	p.mu.Unlock()
+}
+
+// tryAcquire claims one in-flight slot without blocking; forwarded work that
+// cannot get a slot runs locally instead of queueing behind the peer.
+func (p *Peer) tryAcquire() bool {
+	select {
+	case p.inflight <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *Peer) release() { <-p.inflight }
+
+// PeerStatus is a metrics snapshot of one peer.
+type PeerStatus struct {
+	URL      string
+	Up       bool
+	InFlight int
+	Downs    int64
+}
+
+func (p *Peer) status() PeerStatus {
+	p.mu.Lock()
+	downs := p.downs
+	up := !time.Now().Before(p.downUntil)
+	p.mu.Unlock()
+	return PeerStatus{URL: p.url, Up: up, InFlight: len(p.inflight), Downs: downs}
+}

@@ -1,0 +1,343 @@
+package cluster
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"snake/internal/stats"
+)
+
+// Tier identifies where a Store lookup was satisfied.
+type Tier int
+
+// Lookup tiers, cheapest first.
+const (
+	TierNone   Tier = iota // miss everywhere
+	TierMemory             // resident LRU
+	TierDisk               // content-addressed spill file
+	TierPeer               // fetched from the owning peer's cache
+)
+
+// String names the tier for RunView.Source and metrics labels.
+func (t Tier) String() string {
+	switch t {
+	case TierMemory:
+		return "memory"
+	case TierDisk:
+		return "disk"
+	case TierPeer:
+		return "peer"
+	default:
+		return "none"
+	}
+}
+
+// StoreOptions configures a tiered result store.
+type StoreOptions struct {
+	// MaxBytes bounds the in-memory tier (entry sizes are their JSON
+	// encodings plus key overhead). <= 0 means unbounded, which preserves
+	// the original flat-map behavior.
+	MaxBytes int64
+	// Dir enables the disk tier: every admitted result is written through to
+	// a content-addressed file here, so eviction from the memory tier only
+	// drops the resident copy and files present at startup are served (the
+	// whole cache survives restarts). Empty disables it, making eviction a
+	// plain drop.
+	Dir string
+	// PeerFetch, when non-nil, is the tier-3 lookup consulted after a local
+	// miss (typically Cluster.FetchResult). A hit is admitted to the memory
+	// tier.
+	PeerFetch func(ctx context.Context, key string) (*stats.Sim, bool)
+}
+
+// entryOverhead approximates per-entry bookkeeping (map slot, list element,
+// key string) charged against MaxBytes on top of the encoded value.
+const entryOverhead = 128
+
+// Store is the content-addressed result cache behind snaked: keys are
+// harness.RunKey hashes, values are completed simulation stats. Tier 1 is a
+// byte-accounted LRU; tier 2 (disk, when enabled) holds every result via
+// write-through, so eviction only drops the memory copy and the long tail
+// of a big sweep persists cheaply while hot (bench, mech, config) shapes
+// stay resident; tier 3 asks the owning peer. Simulations are
+// deterministic, so entries never expire and first write wins.
+type Store struct {
+	maxBytes  int64
+	dir       string
+	peerFetch func(ctx context.Context, key string) (*stats.Sim, bool)
+
+	mu       sync.Mutex
+	ll       *list.List // front = most recently used
+	idx      map[string]*list.Element
+	memBytes int64
+	diskIdx  map[string]int64 // key -> spill file size in bytes
+	dBytes   int64
+
+	memHits, diskHits, peerHits, misses int64
+	evictions, spills                   int64
+	diskErrors                          int64
+}
+
+type entry struct {
+	key  string
+	st   *stats.Sim
+	size int64
+}
+
+// NewStore builds the store. A Dir that cannot be created or scanned
+// disables the disk tier (counted in DiskErrors) rather than failing: the
+// store is a cache, and a cache that cannot spill still serves.
+func NewStore(opt StoreOptions) *Store {
+	s := &Store{
+		maxBytes:  opt.MaxBytes,
+		dir:       opt.Dir,
+		peerFetch: opt.PeerFetch,
+		ll:        list.New(),
+		idx:       make(map[string]*list.Element),
+		diskIdx:   make(map[string]int64),
+	}
+	if s.dir != "" {
+		if err := os.MkdirAll(s.dir, 0o755); err != nil {
+			s.dir = ""
+			s.diskErrors++
+			return s
+		}
+		ents, err := os.ReadDir(s.dir)
+		if err != nil {
+			s.dir = ""
+			s.diskErrors++
+			return s
+		}
+		for _, e := range ents {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".json") {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				continue
+			}
+			s.diskIdx[strings.TrimSuffix(name, ".json")] = info.Size()
+			s.dBytes += info.Size()
+		}
+	}
+	return s
+}
+
+// SetPeerFetch installs the tier-3 lookup after construction (the service
+// wires the cluster in once both exist).
+func (s *Store) SetPeerFetch(f func(ctx context.Context, key string) (*stats.Sim, bool)) {
+	s.peerFetch = f
+}
+
+// Get looks key up through all three tiers. The returned Tier reports which
+// one answered; TierNone means a miss everywhere.
+func (s *Store) Get(ctx context.Context, key string) (*stats.Sim, Tier) {
+	if st, tier := s.GetLocal(key); st != nil {
+		return st, tier
+	}
+	if s.peerFetch != nil {
+		if st, ok := s.peerFetch(ctx, key); ok {
+			s.mu.Lock()
+			s.peerHits++
+			s.admitLocked(key, st)
+			s.spillThroughLocked(key, st)
+			s.mu.Unlock()
+			return st, TierPeer
+		}
+	}
+	s.mu.Lock()
+	s.misses++
+	s.mu.Unlock()
+	return nil, TierNone
+}
+
+// GetLocal looks key up in the local tiers only (memory, then disk) — the
+// peer cache endpoint serves from this, so cross-node lookups never
+// recurse. A disk hit is promoted into the memory tier; its spill file is
+// kept, making re-eviction free.
+func (s *Store) GetLocal(key string) (*stats.Sim, Tier) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.idx[key]; ok {
+		s.ll.MoveToFront(el)
+		s.memHits++
+		return el.Value.(*entry).st, TierMemory
+	}
+	if _, ok := s.diskIdx[key]; ok {
+		st, err := s.readSpill(key)
+		if err != nil {
+			// Corrupt or unreadable spill: drop it and treat as a miss.
+			s.dropSpillLocked(key)
+			s.diskErrors++
+			return nil, TierNone
+		}
+		s.diskHits++
+		s.admitLocked(key, st)
+		return st, TierDisk
+	}
+	return nil, TierNone
+}
+
+// Put stores a completed result, writing through to the disk tier when
+// enabled. First write wins: the simulations are deterministic, so a
+// concurrent duplicate computed the same stats.
+func (s *Store) Put(key string, st *stats.Sim) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.admitLocked(key, st)
+	s.spillThroughLocked(key, st)
+}
+
+// spillThroughLocked persists st to the disk tier unless it is already
+// there (or the tier is disabled). Write-through makes eviction a pure
+// memory-accounting operation and means a restart loses nothing.
+func (s *Store) spillThroughLocked(key string, st *stats.Sim) {
+	if s.dir == "" {
+		return
+	}
+	if _, ok := s.diskIdx[key]; ok {
+		return
+	}
+	n, err := s.writeSpill(key, st)
+	if err != nil {
+		s.diskErrors++
+		return
+	}
+	s.diskIdx[key] = n
+	s.dBytes += n
+	s.spills++
+}
+
+// admitLocked inserts into the memory tier and evicts from the cold end
+// until the byte budget holds again. The entry being admitted is never the
+// eviction victim, so even an over-budget result serves its job.
+func (s *Store) admitLocked(key string, st *stats.Sim) {
+	if el, ok := s.idx[key]; ok {
+		s.ll.MoveToFront(el)
+		return
+	}
+	e := &entry{key: key, st: st, size: encodedSize(st) + int64(len(key)) + entryOverhead}
+	s.idx[key] = s.ll.PushFront(e)
+	s.memBytes += e.size
+	for s.maxBytes > 0 && s.memBytes > s.maxBytes && s.ll.Len() > 1 {
+		s.evictLocked(s.ll.Back())
+	}
+}
+
+// evictLocked removes the given element from the memory tier. With the
+// disk tier enabled the entry was already written through at admission, so
+// this only drops the resident copy (spilling here again covers the rare
+// case where the earlier write failed transiently).
+func (s *Store) evictLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	s.ll.Remove(el)
+	delete(s.idx, e.key)
+	s.memBytes -= e.size
+	s.evictions++
+	if s.dir != "" {
+		s.spillThroughLocked(e.key, e.st)
+	}
+}
+
+// spillPath is the content-addressed file for key. Keys are hex hashes; any
+// other shape is refused so a crafted key cannot escape the cache dir.
+func (s *Store) spillPath(key string) (string, bool) {
+	if key == "" || strings.ContainsAny(key, "/\\.") {
+		return "", false
+	}
+	return filepath.Join(s.dir, key+".json"), true
+}
+
+func (s *Store) writeSpill(key string, st *stats.Sim) (int64, error) {
+	path, ok := s.spillPath(key)
+	if !ok {
+		return 0, os.ErrInvalid
+	}
+	b, err := json.Marshal(st)
+	if err != nil {
+		return 0, err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return int64(len(b)), nil
+}
+
+func (s *Store) readSpill(key string) (*stats.Sim, error) {
+	path, ok := s.spillPath(key)
+	if !ok {
+		return nil, os.ErrInvalid
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	st := new(stats.Sim)
+	if err := json.Unmarshal(b, st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (s *Store) dropSpillLocked(key string) {
+	if n, ok := s.diskIdx[key]; ok {
+		delete(s.diskIdx, key)
+		s.dBytes -= n
+	}
+	if path, ok := s.spillPath(key); ok {
+		os.Remove(path)
+	}
+}
+
+// encodedSize is the byte cost charged for one result: its canonical JSON
+// encoding, which is also exactly what a spill file holds.
+func encodedSize(st *stats.Sim) int64 {
+	b, err := json.Marshal(st)
+	if err != nil {
+		return 0
+	}
+	return int64(len(b))
+}
+
+// StoreStats is a consistent snapshot of the store for metrics.
+type StoreStats struct {
+	MemEntries, MemBytes   int64
+	DiskEntries, DiskBytes int64
+	Entries                int64 // unique keys resident in memory ∪ disk
+	MemHits, DiskHits      int64
+	PeerHits, Misses       int64
+	Evictions, Spills      int64
+	DiskErrors             int64
+}
+
+// Snap returns the current tier gauges and counters.
+func (s *Store) Snap() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StoreStats{
+		MemEntries: int64(s.ll.Len()), MemBytes: s.memBytes,
+		DiskEntries: int64(len(s.diskIdx)), DiskBytes: s.dBytes,
+		MemHits: s.memHits, DiskHits: s.diskHits,
+		PeerHits: s.peerHits, Misses: s.misses,
+		Evictions: s.evictions, Spills: s.spills,
+		DiskErrors: s.diskErrors,
+	}
+	st.Entries = st.MemEntries
+	for k := range s.diskIdx {
+		if _, ok := s.idx[k]; !ok {
+			st.Entries++
+		}
+	}
+	return st
+}

@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"snake/internal/stats"
+)
+
+// sampleSim builds a fully populated stats.Sim so round-trip tests cover
+// every field, including a float that exercises encoding precision.
+func sampleSim(seed int64) *stats.Sim {
+	st := &stats.Sim{
+		Cycles: 100000 + seed, Insts: 250000 + seed, Loads: 40000 + seed, Stores: 9000 + seed,
+		ResFailMissQueue: 11 + seed, ResFailMSHR: 7, ResFailVictim: 3,
+		StallMemory: 52000, StallOther: 8000,
+		IcntBytes: 1 << 22, IcntPeakBytes: 1 << 26,
+		EnergyJ: 0.12345678901234567 * float64(seed+1),
+		L2Hits:  1234, L2Misses: 567, L2Merges: 89,
+		DRAMReads: 567, DRAMRowHits: 400, DRAMRowMisses: 167,
+		Pf: stats.Prefetch{
+			Issued: 9000 + seed, Dropped: 120, UsefulTimely: 7000, UsefulLate: 500,
+			EarlyEvicted: 60, Unused: 400, Transferred: 6500, ThrottleCycles: 1500,
+			Covered: 7700, CoveredTimely: 7000,
+		},
+	}
+	st.L1 = [5]int64{30000, 5000, 2000, 2500, 500}
+	return st
+}
+
+func key(i byte) string {
+	b := make([]byte, 64)
+	for j := range b {
+		b[j] = "0123456789abcdef"[int(i+byte(j))%16]
+	}
+	return string(b)
+}
+
+// TestStoreDiskRoundTrip: results are written through to the disk tier, so
+// eviction only drops the memory copy and a disk read returns stats
+// bit-identical to what was stored.
+func TestStoreDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	// Budget below two entries: the second Put must evict the first from
+	// memory (both are on disk from write-through).
+	s := NewStore(StoreOptions{MaxBytes: encodedSize(sampleSim(1)) + 256, Dir: dir})
+
+	st1, st2 := sampleSim(1), sampleSim(2)
+	s.Put(key(1), st1)
+	s.Put(key(2), st2)
+
+	snap := s.Snap()
+	if snap.Evictions != 1 || snap.Spills != 2 {
+		t.Fatalf("evictions=%d spills=%d, want 1 eviction and both entries written through (snap %+v)",
+			snap.Evictions, snap.Spills, snap)
+	}
+	if snap.DiskEntries != 2 || snap.DiskBytes <= 0 {
+		t.Fatalf("disk tier incomplete after write-through: %+v", snap)
+	}
+	if snap.MemEntries != 1 || snap.Entries != 2 {
+		t.Fatalf("want 1 resident + 2 total entries: %+v", snap)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "*.json"))
+	if len(files) != 2 {
+		t.Fatalf("spill files on disk = %v, want exactly 2", files)
+	}
+
+	got, tier := s.GetLocal(key(1))
+	if tier != TierDisk {
+		t.Fatalf("GetLocal(evicted) tier = %v, want disk", tier)
+	}
+	if !reflect.DeepEqual(got, st1) {
+		t.Errorf("disk round trip not bit-identical:\ngot  %+v\nwant %+v", got, st1)
+	}
+	// The disk hit promoted it back to memory.
+	if _, tier := s.GetLocal(key(1)); tier != TierMemory {
+		t.Errorf("post-promotion tier = %v, want memory", tier)
+	}
+
+	// A fresh store over the same dir serves every entry: the cache survives
+	// restarts with nothing lost.
+	s2 := NewStore(StoreOptions{Dir: dir})
+	if snap := s2.Snap(); snap.DiskEntries != 2 {
+		t.Fatalf("restarted store sees %d disk entries, want 2: %+v", snap.DiskEntries, snap)
+	}
+	for k, want := range map[string]*stats.Sim{key(1): st1, key(2): st2} {
+		st, tier := s2.GetLocal(k)
+		if tier != TierDisk {
+			t.Errorf("restart read tier = %v, want disk", tier)
+		}
+		if !reflect.DeepEqual(st, want) {
+			t.Errorf("restart read of %s not bit-identical", k[:8])
+		}
+	}
+}
+
+// TestStoreWriteThroughUnbounded: with a disk tier but no memory bound,
+// nothing is ever evicted yet everything persists — a restart serves the
+// full cache.
+func TestStoreWriteThroughUnbounded(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(StoreOptions{Dir: dir})
+	s.Put(key(5), sampleSim(5))
+	if snap := s.Snap(); snap.Evictions != 0 || snap.DiskEntries != 1 || snap.Spills != 1 {
+		t.Fatalf("write-through without eviction: %+v", snap)
+	}
+	s2 := NewStore(StoreOptions{Dir: dir})
+	if st, tier := s2.GetLocal(key(5)); tier != TierDisk || !reflect.DeepEqual(st, sampleSim(5)) {
+		t.Fatalf("restart lost an unevicted entry: tier=%v", tier)
+	}
+}
+
+// TestStoreCorruptSpill: an unreadable spill file is dropped and treated as
+// a miss, never an error.
+func TestStoreCorruptSpill(t *testing.T) {
+	dir := t.TempDir()
+	k := key(3)
+	if err := os.WriteFile(filepath.Join(dir, k+".json"), []byte("{garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(StoreOptions{Dir: dir})
+	if st, tier := s.GetLocal(k); st != nil || tier != TierNone {
+		t.Fatalf("corrupt spill served: %v %v", st, tier)
+	}
+	if snap := s.Snap(); snap.DiskErrors != 1 || snap.DiskEntries != 0 {
+		t.Errorf("corrupt spill not dropped: %+v", snap)
+	}
+	if _, err := os.Stat(filepath.Join(dir, k+".json")); !os.IsNotExist(err) {
+		t.Error("corrupt spill file not removed")
+	}
+}
+
+// TestStoreLRUOrder: the eviction victim is the least recently used entry,
+// and Get refreshes recency.
+func TestStoreLRUOrder(t *testing.T) {
+	one := encodedSize(sampleSim(0)) + int64(64) + entryOverhead
+	s := NewStore(StoreOptions{MaxBytes: 2*one + 128}) // room for ~2 entries, no disk
+	s.Put(key(1), sampleSim(1))
+	s.Put(key(2), sampleSim(2))
+	s.GetLocal(key(1)) // refresh 1 → victim should be 2
+	s.Put(key(3), sampleSim(3))
+	if st, _ := s.GetLocal(key(2)); st != nil {
+		t.Error("LRU evicted the recently-used entry instead of the cold one")
+	}
+	if st, _ := s.GetLocal(key(1)); st == nil {
+		t.Error("recently-used entry was evicted")
+	}
+	if snap := s.Snap(); snap.Evictions == 0 || snap.Spills != 0 {
+		t.Errorf("want drops without spills when no dir: %+v", snap)
+	}
+}
+
+// TestStoreUnboundedCompat: MaxBytes<=0 never evicts (the pre-cluster
+// behavior).
+func TestStoreUnboundedCompat(t *testing.T) {
+	s := NewStore(StoreOptions{})
+	for i := byte(0); i < 16; i++ {
+		s.Put(key(i), sampleSim(int64(i)))
+	}
+	snap := s.Snap()
+	if snap.MemEntries != 16 || snap.Evictions != 0 {
+		t.Errorf("unbounded store evicted: %+v", snap)
+	}
+	if snap.Entries != 16 {
+		t.Errorf("entries = %d, want 16", snap.Entries)
+	}
+}
+
+// TestStorePeerTier: after a local miss the store consults the peer-fetch
+// hook and admits the result.
+func TestStorePeerTier(t *testing.T) {
+	want := sampleSim(9)
+	calls := 0
+	s := NewStore(StoreOptions{PeerFetch: func(_ context.Context, k string) (*stats.Sim, bool) {
+		calls++
+		if k == key(9) {
+			return want, true
+		}
+		return nil, false
+	}})
+	st, tier := s.Get(context.Background(), key(9))
+	if tier != TierPeer || !reflect.DeepEqual(st, want) {
+		t.Fatalf("peer tier miss: tier=%v", tier)
+	}
+	// Admitted: second lookup is a memory hit, no second peer call.
+	if _, tier := s.Get(context.Background(), key(9)); tier != TierMemory {
+		t.Errorf("peer result not admitted: tier=%v", tier)
+	}
+	if calls != 1 {
+		t.Errorf("peer calls = %d, want 1", calls)
+	}
+	if _, tier := s.Get(context.Background(), key(8)); tier != TierNone {
+		t.Errorf("miss everywhere should be TierNone, got %v", tier)
+	}
+	snap := s.Snap()
+	if snap.PeerHits != 1 || snap.Misses != 1 {
+		t.Errorf("peer accounting: %+v", snap)
+	}
+}

@@ -1,0 +1,344 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"snake/internal/cluster"
+	"snake/internal/config"
+	"snake/internal/harness"
+	"snake/internal/workloads"
+)
+
+// TestQueueFull429: past the bounded depth, submissions are rejected with
+// 429 and a Retry-After header, and the rejection is counted.
+func TestQueueFull429(t *testing.T) {
+	gpu := config.Scaled(2, 16)
+	scale := workloads.Scale{CTAs: 4, WarpsPerCTA: 2, Iters: 2}
+	svc := New(Options{Workers: 1, GPU: &gpu, Scale: &scale, QueueMax: 2})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+	}()
+
+	// Occupy the single worker with a long-running job, then fill the queue.
+	resp, body := postJSON(t, ts.URL+"/v1/runs", RunRequest{
+		Bench: "lps", Mech: "baseline", Scale: &bigScale, Priority: 100,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit long job: %d %s", resp.StatusCode, body)
+	}
+	var long RunView
+	if err := json.Unmarshal(body, &long); err != nil {
+		t.Fatal(err)
+	}
+	waitRun(t, ts.URL, long.ID, func(v RunView) bool { return v.Status == StatusRunning }, "running")
+
+	for i := 0; i < 2; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/runs", RunRequest{Bench: "cp", Mech: "baseline", Priority: i})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("fill %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/runs", RunRequest{Bench: "mum", Mech: "baseline"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-depth submit: %d %s, want 429", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 without Retry-After header")
+	}
+	if !strings.Contains(string(body), "queue full") {
+		t.Errorf("429 body = %s", body)
+	}
+
+	// A rejected sweep rolls back the cells it managed to enqueue.
+	resp, _ = postJSON(t, ts.URL+"/v1/sweeps", SweepRequest{
+		Benches: []string{"cp", "lps", "mum"}, Mechs: []string{"baseline", "intra"},
+	})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-depth sweep: %d, want 429", resp.StatusCode)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if got := metricValue(t, string(mbody), "snaked_jobs_rejected_total"); got < 2 {
+		t.Errorf("rejected = %v, want ≥ 2", got)
+	}
+
+	// Unblock the drain: cancel the long victim.
+	creq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+long.ID, nil)
+	if cresp, err := http.DefaultClient.Do(creq); err == nil {
+		cresp.Body.Close()
+	}
+}
+
+// twoNodes boots two in-process snaked services joined into one cluster
+// over real listeners, so forwarding and peer fetch exercise the actual
+// HTTP transport.
+func twoNodes(t *testing.T, optA, optB Options) (a, b *Service, urlA, urlB string, stop func()) {
+	t.Helper()
+	lA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	urlA = "http://" + lA.Addr().String()
+	urlB = "http://" + lB.Addr().String()
+
+	optA.Self, optA.Peers = urlA, []string{urlB}
+	optB.Self, optB.Peers = urlB, []string{urlA}
+	a, b = New(optA), New(optB)
+	srvA := &http.Server{Handler: a.Handler()}
+	srvB := &http.Server{Handler: b.Handler()}
+	go srvA.Serve(lA)
+	go srvB.Serve(lB)
+	return a, b, urlA, urlB, func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		srvA.Close()
+		srvB.Close()
+		_ = a.Shutdown(ctx)
+		_ = b.Shutdown(ctx)
+	}
+}
+
+// cellOwnedBy finds a (bench, mech) cell whose RunKey the given node owns.
+func cellOwnedBy(t *testing.T, owner string, nodes []string, gpu config.GPU, scale workloads.Scale, exclude map[string]bool) RunRequest {
+	t.Helper()
+	for _, bench := range workloads.Names() {
+		for _, mech := range []string{"baseline", "intra", "inter", "snake"} {
+			cell := bench + "/" + mech
+			if exclude[cell] {
+				continue
+			}
+			key := harness.RunKey{Bench: bench, Mech: mech, GPU: gpu, Scale: scale}.Hash()
+			if cluster.Owner(key, nodes) == owner {
+				exclude[cell] = true
+				return RunRequest{Bench: bench, Mech: mech}
+			}
+		}
+	}
+	t.Fatal("no cell owned by node; rendezvous hash degenerate")
+	return RunRequest{}
+}
+
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return string(b)
+}
+
+// labeledMetric scrapes one labeled metric sample value.
+func labeledMetric(t *testing.T, body, sample string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if strings.HasPrefix(line, sample+" ") {
+			var v float64
+			fmt.Sscanf(strings.TrimPrefix(line, sample+" "), "%f", &v)
+			return v
+		}
+	}
+	t.Fatalf("metric sample %s not found in:\n%s", sample, body)
+	return 0
+}
+
+// TestTwoNodeCluster is the acceptance scenario: a cell simulated on node A
+// is served from cache by node B (tier-3 peer fetch), a cell B does not own
+// is forwarded to its owner A (exactly-once production), and a dead peer
+// degrades to local compute without failing any job.
+func TestTwoNodeCluster(t *testing.T) {
+	gpu := config.Scaled(2, 16)
+	scale := workloads.Scale{CTAs: 4, WarpsPerCTA: 2, Iters: 2}
+	opt := Options{Workers: 2, GPU: &gpu, Scale: &scale, PeerDownFor: 200 * time.Millisecond}
+	a, _, urlA, urlB, stop := twoNodes(t, opt, opt)
+	defer stop()
+	nodes := []string{urlA, urlB}
+	used := make(map[string]bool)
+
+	post := func(base string, req RunRequest) RunView {
+		t.Helper()
+		resp, body := postJSON(t, base+"/v1/runs?wait=1", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run on %s: %d %s", base, resp.StatusCode, body)
+		}
+		var v RunView
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Status != StatusDone {
+			t.Fatalf("run on %s: status %s (%s)", base, v.Status, v.Error)
+		}
+		return v
+	}
+
+	// 1. Simulate a cell on its owner A, then ask B for the same cell: B
+	// must serve it via peer fetch from A's cache, not re-simulate.
+	cell := cellOwnedBy(t, urlA, nodes, gpu, scale, used)
+	onA := post(urlA, cell)
+	if onA.Source != "sim" {
+		t.Fatalf("first run source = %q, want sim", onA.Source)
+	}
+	onB := post(urlB, cell)
+	if !onB.Cached || onB.Source != "peer" {
+		t.Fatalf("node B: cached=%v source=%q, want a peer-cache hit", onB.Cached, onB.Source)
+	}
+	if onB.Key != onA.Key || *onB.Result != *onA.Result {
+		t.Fatalf("cross-node result mismatch:\nA %+v\nB %+v", onA, onB)
+	}
+	if hits := labeledMetric(t, scrapeMetrics(t, urlB), `snaked_cache_tier_hits_total{tier="peer"}`); hits < 1 {
+		t.Errorf("node B peer tier hits = %v, want ≥ 1", hits)
+	}
+
+	// 2. Submit a cell owned by A to node B: B forwards it to A rather than
+	// simulating a key it does not own.
+	cell2 := cellOwnedBy(t, urlA, nodes, gpu, scale, used)
+	fwd := post(urlB, cell2)
+	if !strings.HasPrefix(fwd.Source, "forward:") {
+		t.Fatalf("non-owned cell source = %q, want forward:*", fwd.Source)
+	}
+	mA := scrapeMetrics(t, urlA)
+	if got := metricValue(t, mA, "snaked_forwarded_in_total"); got < 1 {
+		t.Errorf("node A forwarded_in = %v, want ≥ 1", got)
+	}
+	if got := labeledMetric(t, scrapeMetrics(t, urlB), `snaked_forwards_total{result="ok"}`); got < 1 {
+		t.Errorf("node B forwards ok = %v, want ≥ 1", got)
+	}
+	// Exactly-once: A simulated it, so A's cache holds it and the same cell
+	// resubmitted anywhere is a cache hit, not a new simulation.
+	again := post(urlB, cell2)
+	if !again.Cached {
+		t.Errorf("resubmitted forwarded cell not cached: %+v", again)
+	}
+
+	// 3. Failure semantics: drain A so it refuses forwarded work; a cell
+	// owned by A must degrade to local compute on B — done, via simulation,
+	// no error surfaced to the caller.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := a.Shutdown(ctx); err != nil {
+		t.Fatalf("drain A: %v", err)
+	}
+	cell3 := cellOwnedBy(t, urlA, nodes, gpu, scale, used)
+	local := post(urlB, cell3)
+	if local.Source != "sim" {
+		t.Errorf("with owner dead, source = %q, want local sim", local.Source)
+	}
+	if got := labeledMetric(t, scrapeMetrics(t, urlB), `snaked_forwards_total{result="fallback"}`); got < 1 {
+		t.Errorf("node B forward fallbacks = %v, want ≥ 1", got)
+	}
+}
+
+// TestSweepStream: the chunked-JSON stream delivers one line per cell as
+// cells finish, then a summary line, without the client ever polling.
+func TestSweepStream(t *testing.T) {
+	svc := tinyService(4)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+	}()
+
+	resp, body := postJSON(t, ts.URL+"/v1/sweeps", SweepRequest{
+		Benches: []string{"cp", "lps", "hotspot"}, Mechs: []string{"baseline", "snake"},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit sweep: %d %s", resp.StatusCode, body)
+	}
+	var sw SweepView
+	if err := json.Unmarshal(body, &sw); err != nil {
+		t.Fatal(err)
+	}
+
+	sresp, err := http.Get(ts.URL + "/v1/sweeps/" + sw.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type = %q", ct)
+	}
+	var cells []RunView
+	var end StreamEnd
+	gotEnd := false
+	sc := bufio.NewScanner(sresp.Body)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var probe struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			t.Fatalf("bad stream line %s: %v", line, err)
+		}
+		if probe.ID != "" {
+			var v RunView
+			if err := json.Unmarshal(line, &v); err != nil {
+				t.Fatal(err)
+			}
+			cells = append(cells, v)
+			continue
+		}
+		if err := json.Unmarshal(line, &end); err != nil {
+			t.Fatal(err)
+		}
+		gotEnd = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != sw.Total {
+		t.Fatalf("streamed %d cells, want %d", len(cells), sw.Total)
+	}
+	if !gotEnd || !end.Done || end.Total != sw.Total || end.Completed != sw.Total {
+		t.Errorf("stream end = %+v, want done with %d completed", end, sw.Total)
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if c.Status != StatusDone || c.Result == nil || c.Result.IPC <= 0 {
+			t.Errorf("streamed cell %s: %s result=%v", c.ID, c.Status, c.Result)
+		}
+		if seen[c.ID] {
+			t.Errorf("cell %s streamed twice", c.ID)
+		}
+		seen[c.ID] = true
+	}
+
+	// Re-streaming a finished sweep replays every cell immediately.
+	sresp2, err := http.Get(ts.URL + "/v1/sweeps/" + sw.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, _ := io.ReadAll(sresp2.Body)
+	sresp2.Body.Close()
+	if n := strings.Count(string(replay), "\n"); n != sw.Total+1 {
+		t.Errorf("replay lines = %d, want %d cells + 1 summary", n, sw.Total)
+	}
+	if got := metricValue(t, scrapeMetrics(t, ts.URL), "snaked_stream_subscribers"); got != 0 {
+		t.Errorf("stream subscribers after close = %v, want 0", got)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"io"
 	"sort"
 	"sync"
+
+	"snake/internal/cluster"
 )
 
 // wallBucketsMS are the per-benchmark simulation wall-clock histogram bucket
@@ -25,6 +27,12 @@ type metrics struct {
 
 	cacheHits   int64
 	cacheMisses int64
+
+	queueRejected    int64 // submissions refused with 429 (queue full)
+	forwardsOK       int64 // jobs executed on the owning peer
+	forwardFallbacks int64 // forward attempts degraded to local compute
+	forwardedIn      int64 // jobs received from peers via /v1/peer/execute
+	streamSubs       int64 // gauge: open sweep-stream subscribers
 
 	wall map[string]*histogram // per-benchmark sim wall clock
 }
@@ -79,6 +87,42 @@ func (m *metrics) cacheMiss() {
 	m.mu.Unlock()
 }
 
+func (m *metrics) queueRejectedInc() {
+	m.mu.Lock()
+	m.queueRejected++
+	m.mu.Unlock()
+}
+
+func (m *metrics) forwardOK() {
+	m.mu.Lock()
+	m.forwardsOK++
+	m.mu.Unlock()
+}
+
+func (m *metrics) forwardFallback() {
+	m.mu.Lock()
+	m.forwardFallbacks++
+	m.mu.Unlock()
+}
+
+func (m *metrics) forwardedInInc() {
+	m.mu.Lock()
+	m.forwardedIn++
+	m.mu.Unlock()
+}
+
+func (m *metrics) streamSubscribed() {
+	m.mu.Lock()
+	m.streamSubs++
+	m.mu.Unlock()
+}
+
+func (m *metrics) streamUnsubscribed() {
+	m.mu.Lock()
+	m.streamSubs--
+	m.mu.Unlock()
+}
+
 // observeWall records one simulation's wall clock for its benchmark.
 func (m *metrics) observeWall(bench string, ms float64) {
 	m.mu.Lock()
@@ -95,6 +139,9 @@ func (m *metrics) observeWall(bench string, ms float64) {
 type snapshot struct {
 	Submitted, Running, Completed, Failed, Canceled int64
 	CacheHits, CacheMisses                          int64
+	QueueRejected                                   int64
+	ForwardsOK, ForwardFallbacks, ForwardedIn       int64
+	StreamSubs                                      int64
 }
 
 func (m *metrics) snap() snapshot {
@@ -104,6 +151,9 @@ func (m *metrics) snap() snapshot {
 		Submitted: m.submitted, Running: m.running, Completed: m.completed,
 		Failed: m.failed, Canceled: m.canceled,
 		CacheHits: m.cacheHits, CacheMisses: m.cacheMisses,
+		QueueRejected: m.queueRejected,
+		ForwardsOK:    m.forwardsOK, ForwardFallbacks: m.forwardFallbacks,
+		ForwardedIn: m.forwardedIn, StreamSubs: m.streamSubs,
 	}
 }
 
@@ -115,9 +165,10 @@ func (s snapshot) hitRatio() float64 {
 	return float64(s.CacheHits) / float64(s.CacheHits+s.CacheMisses)
 }
 
-// render writes the Prometheus text exposition format. queued and
-// cacheEntries are sampled gauges supplied by the caller.
-func (m *metrics) render(w io.Writer, queued, cacheEntries int) {
+// render writes the Prometheus text exposition format. queued is a sampled
+// gauge supplied by the caller; store is the tiered cache's snapshot, and
+// clu the cluster transport's (nil when the node runs standalone).
+func (m *metrics) render(w io.Writer, queued int, store cluster.StoreStats, clu *cluster.Snapshot) {
 	s := m.snap()
 	fmt.Fprintf(w, "# TYPE snaked_jobs_submitted_total counter\n")
 	fmt.Fprintf(w, "snaked_jobs_submitted_total %d\n", s.Submitted)
@@ -131,6 +182,8 @@ func (m *metrics) render(w io.Writer, queued, cacheEntries int) {
 	fmt.Fprintf(w, "snaked_jobs_failed_total %d\n", s.Failed)
 	fmt.Fprintf(w, "# TYPE snaked_jobs_canceled_total counter\n")
 	fmt.Fprintf(w, "snaked_jobs_canceled_total %d\n", s.Canceled)
+	fmt.Fprintf(w, "# TYPE snaked_jobs_rejected_total counter\n")
+	fmt.Fprintf(w, "snaked_jobs_rejected_total %d\n", s.QueueRejected)
 	fmt.Fprintf(w, "# TYPE snaked_cache_hits_total counter\n")
 	fmt.Fprintf(w, "snaked_cache_hits_total %d\n", s.CacheHits)
 	fmt.Fprintf(w, "# TYPE snaked_cache_misses_total counter\n")
@@ -138,7 +191,48 @@ func (m *metrics) render(w io.Writer, queued, cacheEntries int) {
 	fmt.Fprintf(w, "# TYPE snaked_cache_hit_ratio gauge\n")
 	fmt.Fprintf(w, "snaked_cache_hit_ratio %.4f\n", s.hitRatio())
 	fmt.Fprintf(w, "# TYPE snaked_cache_entries gauge\n")
-	fmt.Fprintf(w, "snaked_cache_entries %d\n", cacheEntries)
+	fmt.Fprintf(w, "snaked_cache_entries %d\n", store.Entries)
+	fmt.Fprintf(w, "# TYPE snaked_cache_tier_entries gauge\n")
+	fmt.Fprintf(w, "snaked_cache_tier_entries{tier=\"memory\"} %d\n", store.MemEntries)
+	fmt.Fprintf(w, "snaked_cache_tier_entries{tier=\"disk\"} %d\n", store.DiskEntries)
+	fmt.Fprintf(w, "# TYPE snaked_cache_tier_bytes gauge\n")
+	fmt.Fprintf(w, "snaked_cache_tier_bytes{tier=\"memory\"} %d\n", store.MemBytes)
+	fmt.Fprintf(w, "snaked_cache_tier_bytes{tier=\"disk\"} %d\n", store.DiskBytes)
+	fmt.Fprintf(w, "# TYPE snaked_cache_tier_hits_total counter\n")
+	fmt.Fprintf(w, "snaked_cache_tier_hits_total{tier=\"memory\"} %d\n", store.MemHits)
+	fmt.Fprintf(w, "snaked_cache_tier_hits_total{tier=\"disk\"} %d\n", store.DiskHits)
+	fmt.Fprintf(w, "snaked_cache_tier_hits_total{tier=\"peer\"} %d\n", store.PeerHits)
+	fmt.Fprintf(w, "# TYPE snaked_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "snaked_cache_evictions_total %d\n", store.Evictions)
+	fmt.Fprintf(w, "# TYPE snaked_cache_spills_total counter\n")
+	fmt.Fprintf(w, "snaked_cache_spills_total %d\n", store.Spills)
+	fmt.Fprintf(w, "# TYPE snaked_cache_disk_errors_total counter\n")
+	fmt.Fprintf(w, "snaked_cache_disk_errors_total %d\n", store.DiskErrors)
+	fmt.Fprintf(w, "# TYPE snaked_stream_subscribers gauge\n")
+	fmt.Fprintf(w, "snaked_stream_subscribers %d\n", s.StreamSubs)
+	if clu != nil {
+		fmt.Fprintf(w, "# TYPE snaked_cluster_nodes gauge\n")
+		fmt.Fprintf(w, "snaked_cluster_nodes %d\n", clu.Nodes)
+		fmt.Fprintf(w, "# TYPE snaked_peer_fetch_total counter\n")
+		fmt.Fprintf(w, "snaked_peer_fetch_total{result=\"hit\"} %d\n", clu.FetchHits)
+		fmt.Fprintf(w, "snaked_peer_fetch_total{result=\"miss\"} %d\n", clu.FetchMisses)
+		fmt.Fprintf(w, "snaked_peer_fetch_total{result=\"error\"} %d\n", clu.FetchErrors)
+		fmt.Fprintf(w, "# TYPE snaked_forwards_total counter\n")
+		fmt.Fprintf(w, "snaked_forwards_total{result=\"ok\"} %d\n", s.ForwardsOK)
+		fmt.Fprintf(w, "snaked_forwards_total{result=\"fallback\"} %d\n", s.ForwardFallbacks)
+		fmt.Fprintf(w, "# TYPE snaked_forwarded_in_total counter\n")
+		fmt.Fprintf(w, "snaked_forwarded_in_total %d\n", s.ForwardedIn)
+		fmt.Fprintf(w, "# TYPE snaked_peer_saturated_total counter\n")
+		fmt.Fprintf(w, "snaked_peer_saturated_total %d\n", clu.ExecSaturated)
+		fmt.Fprintf(w, "# TYPE snaked_peer_up gauge\n")
+		for _, p := range clu.Peers {
+			up := 0
+			if p.Up {
+				up = 1
+			}
+			fmt.Fprintf(w, "snaked_peer_up{peer=%q} %d\n", p.URL, up)
+		}
+	}
 
 	m.mu.Lock()
 	benches := make([]string, 0, len(m.wall))

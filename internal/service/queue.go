@@ -2,35 +2,49 @@ package service
 
 import (
 	"container/heap"
+	"errors"
 	"sync"
 )
 
-// jobQueue is a blocking priority queue: higher-priority jobs pop first,
-// equal priorities pop in submission order. Close stops intake but lets
-// consumers drain what is already queued — the graceful-shutdown path.
+// ErrQueueFull rejects submissions when the bounded queue is at depth: the
+// admission-control signal the HTTP layer turns into 429 + Retry-After.
+var ErrQueueFull = errors.New("service: job queue full")
+
+// errQueueClosed rejects submissions after Close (graceful shutdown).
+var errQueueClosed = errors.New("service: job queue closed")
+
+// jobQueue is a blocking priority queue with bounded depth: higher-priority
+// jobs pop first, equal priorities pop in submission order. Push rejects
+// with ErrQueueFull past maxDepth (admission control) and errQueueClosed
+// after Close, which stops intake but lets consumers drain what is already
+// queued — the graceful-shutdown path.
 type jobQueue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	heap   jobHeap
-	closed bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	heap     jobHeap
+	maxDepth int // <= 0: unbounded
+	closed   bool
 }
 
-func newJobQueue() *jobQueue {
-	q := &jobQueue{}
+func newJobQueue(maxDepth int) *jobQueue {
+	q := &jobQueue{maxDepth: maxDepth}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
 
-// Push enqueues a job; it reports false after Close.
-func (q *jobQueue) Push(j *job) bool {
+// Push enqueues a job, or reports why it cannot.
+func (q *jobQueue) Push(j *job) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
-		return false
+		return errQueueClosed
+	}
+	if q.maxDepth > 0 && len(q.heap) >= q.maxDepth {
+		return ErrQueueFull
 	}
 	heap.Push(&q.heap, j)
 	q.cond.Signal()
-	return true
+	return nil
 }
 
 // Pop blocks until a job is available or the queue is closed and empty; the

@@ -7,9 +7,11 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
+	"snake/internal/cluster"
 	"snake/internal/config"
 	"snake/internal/core"
 	"snake/internal/harness"
@@ -35,6 +37,30 @@ type Options struct {
 	// the same process so the two pools cannot oversubscribe the host
 	// together).
 	Budget *harness.Budget
+
+	// QueueMax bounds the job queue depth; submissions past it are rejected
+	// with ErrQueueFull (HTTP 429 + Retry-After). 0 means unbounded.
+	QueueMax int
+	// CacheMaxBytes bounds the in-memory result-cache tier; eviction
+	// offloads to CacheDir when set, else drops. 0 means unbounded.
+	CacheMaxBytes int64
+	// CacheDir enables the disk spillover tier (content-addressed files;
+	// survives restarts). Empty disables it.
+	CacheDir string
+	// Self is this node's advertised base URL; with Peers it joins the node
+	// to a cluster. Ignored (standalone) when Peers is empty, and vice
+	// versa.
+	Self string
+	// Peers are the other cluster members' advertised base URLs. Sweep
+	// cells are owned by rendezvous-hashing their RunKey across
+	// {Self} ∪ Peers; misses on non-owned keys are fetched from or
+	// forwarded to the owner.
+	Peers []string
+	// PeerInflight caps concurrently forwarded jobs per peer (default 4).
+	PeerInflight int
+	// PeerDownFor overrides how long an erroring peer stays out of rotation
+	// (default 10s; tests shorten it).
+	PeerDownFor time.Duration
 }
 
 // ErrDraining rejects submissions during graceful shutdown.
@@ -46,9 +72,11 @@ type Service struct {
 	gpu         config.GPU
 	scale       workloads.Scale
 	parallelism int
+	workers     int
 	budget      *harness.Budget
 	queue       *jobQueue
-	cache       *resultCache
+	store       *cluster.Store
+	clu         *cluster.Cluster // nil when standalone
 	metrics     *metrics
 
 	baseCtx    context.Context
@@ -62,13 +90,25 @@ type Service struct {
 	nextSweep int64
 	draining  bool
 
+	// flight dedupes concurrent identical work: one leader per RunKey
+	// simulates (or forwards); same-key jobs wait and re-read the cache, so
+	// a key is produced at most once per node — and, with rendezvous
+	// forwarding, at most once per cluster — under normal operation.
+	flightMu sync.Mutex
+	flight   map[string]chan struct{}
+
 	benchSet map[string]bool
 }
 
-// sweep groups the jobs of one POST /v1/sweeps submission.
+// sweep groups the jobs of one POST /v1/sweeps submission and fans
+// terminal-state notifications out to stream subscribers.
 type sweep struct {
 	id     string
 	jobIDs []string
+
+	mu      sync.Mutex
+	subs    map[int]chan *job
+	nextSub int
 }
 
 // New starts a service with its worker pool running.
@@ -95,15 +135,26 @@ func New(opt Options) *Service {
 		gpu:         gpu,
 		scale:       scale,
 		parallelism: opt.Parallelism,
+		workers:     opt.Workers,
 		budget:      opt.Budget,
-		queue:       newJobQueue(),
-		cache:       newResultCache(),
+		queue:       newJobQueue(opt.QueueMax),
+		store:       cluster.NewStore(cluster.StoreOptions{MaxBytes: opt.CacheMaxBytes, Dir: opt.CacheDir}),
 		metrics:     newMetrics(),
 		baseCtx:     ctx,
 		baseCancel:  cancel,
 		jobs:        make(map[string]*job),
 		sweeps:      make(map[string]*sweep),
+		flight:      make(map[string]chan struct{}),
 		benchSet:    make(map[string]bool),
+	}
+	if len(opt.Peers) > 0 && opt.Self != "" {
+		s.clu = cluster.New(cluster.Options{
+			Self: opt.Self, Peers: opt.Peers,
+			PeerInflight: opt.PeerInflight, DownFor: opt.PeerDownFor,
+		})
+		// Tier 3 of the store: after a local miss, ask the owning peer's
+		// cache before considering any compute.
+		s.store.SetPeerFetch(s.clu.FetchResult)
 	}
 	for _, b := range workloads.Names() {
 		s.benchSet[b] = true
@@ -190,10 +241,17 @@ func (s *Service) normalize(req RunRequest) (spec, error) {
 
 // Submit validates and enqueues one job.
 func (s *Service) Submit(req RunRequest) (*job, error) {
+	return s.submit(req, false)
+}
+
+// submit is Submit plus the forwarded-work flag: jobs that arrived from a
+// peer are produced locally, never forwarded onward.
+func (s *Service) submit(req RunRequest, noForward bool) (*job, error) {
 	sp, err := s.normalize(req)
 	if err != nil {
 		return nil, err
 	}
+	sp.noForward = noForward
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.enqueueLocked(sp, "")
@@ -215,12 +273,16 @@ func (s *Service) enqueueLocked(sp spec, sweepID string) (*job, error) {
 		done:    make(chan struct{}),
 	}
 	s.jobs[j.id] = j
-	s.metrics.jobSubmitted()
-	if !s.queue.Push(j) {
-		// Close raced ahead of the draining flag; undo.
+	if err := s.queue.Push(j); err != nil {
 		delete(s.jobs, j.id)
+		if errors.Is(err, ErrQueueFull) {
+			s.metrics.queueRejectedInc()
+			return nil, err
+		}
+		// Close raced ahead of the draining flag.
 		return nil, ErrDraining
 	}
+	s.metrics.jobSubmitted()
 	return j, nil
 }
 
@@ -251,11 +313,17 @@ func (s *Service) SubmitSweep(req SweepRequest) (*sweep, []*job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextSweep++
-	sw := &sweep{id: fmt.Sprintf("s%04d", s.nextSweep)}
+	sw := &sweep{id: fmt.Sprintf("s%04d", s.nextSweep), subs: make(map[int]chan *job)}
 	jobs := make([]*job, 0, len(specs))
 	for _, sp := range specs {
 		j, err := s.enqueueLocked(sp, sw.id)
 		if err != nil {
+			// All-or-nothing admission: cancel the cells already enqueued so
+			// a rejected sweep leaves no stray work behind. The heap still
+			// holds them, but workers skip non-queued jobs.
+			for _, prev := range jobs {
+				s.markCanceled(prev)
+			}
 			return nil, nil, err
 		}
 		sw.jobIDs = append(sw.jobIDs, j.id)
@@ -263,6 +331,22 @@ func (s *Service) SubmitSweep(req SweepRequest) (*sweep, []*job, error) {
 	}
 	s.sweeps[sw.id] = sw
 	return sw, jobs, nil
+}
+
+// markCanceled moves a still-queued job straight to canceled (sweep
+// admission rollback). Safe while holding s.mu: it only takes j.mu and the
+// metrics lock.
+func (s *Service) markCanceled(j *job) {
+	j.mu.Lock()
+	if j.status != StatusQueued {
+		j.mu.Unlock()
+		return
+	}
+	j.status = StatusCanceled
+	j.err = context.Canceled
+	j.mu.Unlock()
+	s.metrics.jobDroppedQueued()
+	close(j.done)
 }
 
 // Job looks up a job by ID.
@@ -283,7 +367,10 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancelRun)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmitSweep)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGetSweep)
+	mux.HandleFunc("GET /v1/sweeps/{id}/stream", s.handleStreamSweep)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
+	mux.HandleFunc("POST /v1/peer/execute", s.handlePeerExecute)
 	return mux
 }
 
@@ -293,7 +380,12 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.render(w, s.queue.Len(), s.cache.Entries())
+	var clu *cluster.Snapshot
+	if s.clu != nil {
+		snap := s.clu.Snap()
+		clu = &snap
+	}
+	s.metrics.render(w, s.queue.Len(), s.store.Snap(), clu)
 }
 
 func (s *Service) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
@@ -313,7 +405,7 @@ func (s *Service) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.Submit(req)
 	if err != nil {
-		writeErr(w, submitErrCode(err), err)
+		s.writeSubmitErr(w, err)
 		return
 	}
 	if r.URL.Query().Get("wait") == "" {
@@ -358,7 +450,7 @@ func (s *Service) handleSubmitSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	sw, jobs, err := s.SubmitSweep(req)
 	if err != nil {
-		writeErr(w, submitErrCode(err), err)
+		s.writeSubmitErr(w, err)
 		return
 	}
 	v := SweepView{ID: sw.id, Total: len(jobs), Pending: len(jobs)}
@@ -395,12 +487,32 @@ func (s *Service) handleGetSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, v)
 }
 
-// submitErrCode maps submission errors to HTTP statuses.
-func submitErrCode(err error) int {
-	if errors.Is(err, ErrDraining) {
-		return http.StatusServiceUnavailable
+// writeSubmitErr maps submission errors to HTTP statuses. A full queue gets
+// 429 plus a Retry-After estimated from the backlog, so well-behaved
+// clients back off proportionally to the saturation.
+func (s *Service) writeSubmitErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeErr(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	default:
+		writeErr(w, http.StatusBadRequest, err)
 	}
-	return http.StatusBadRequest
+}
+
+// retryAfterSeconds estimates queue drain time: backlog over worker count,
+// clamped to [1, 60] seconds.
+func (s *Service) retryAfterSeconds() int {
+	sec := s.queue.Len() / s.workers
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
 }
 
 func decodeJSON(r *http.Request, v interface{}) error {

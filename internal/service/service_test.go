@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -298,14 +299,15 @@ func TestWaitModeClientDisconnect(t *testing.T) {
 
 // TestQueueOrdering checks priority-then-FIFO pop order.
 func TestQueueOrdering(t *testing.T) {
-	q := newJobQueue()
+	q := newJobQueue(0)
 	mk := func(id string, prio int, seq int64) *job {
 		return &job{id: id, seq: seq, spec: spec{priority: prio}, done: make(chan struct{})}
 	}
-	q.Push(mk("low", -1, 1))
-	q.Push(mk("a", 0, 2))
-	q.Push(mk("b", 0, 3))
-	q.Push(mk("high", 7, 4))
+	for _, j := range []*job{mk("low", -1, 1), mk("a", 0, 2), mk("b", 0, 3), mk("high", 7, 4)} {
+		if err := q.Push(j); err != nil {
+			t.Fatalf("push %s: %v", j.id, err)
+		}
+	}
 	var got []string
 	for i := 0; i < 4; i++ {
 		j, ok := q.Pop()
@@ -324,8 +326,21 @@ func TestQueueOrdering(t *testing.T) {
 	if _, ok := q.Pop(); ok {
 		t.Error("Pop after Close on empty queue returned a job")
 	}
-	if q.Push(mk("x", 0, 9)) {
+	if err := q.Push(mk("x", 0, 9)); err == nil {
 		t.Error("Push after Close succeeded")
+	}
+
+	// Bounded depth: the third push into a depth-2 queue is rejected with
+	// ErrQueueFull.
+	qb := newJobQueue(2)
+	if err := qb.Push(mk("1", 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := qb.Push(mk("2", 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := qb.Push(mk("3", 0, 3)); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("push past depth: err = %v, want ErrQueueFull", err)
 	}
 }
 

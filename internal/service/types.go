@@ -10,9 +10,17 @@
 //	DELETE /v1/runs/{id}   cancel a queued or running job
 //	POST   /v1/sweeps      submit a bench×mech grid of jobs
 //	GET    /v1/sweeps/{id} sweep roll-up
+//	GET    /v1/sweeps/{id}/stream completed cells as JSON lines, as they land
 //	GET    /v1/benchmarks  benchmark and mechanism inventory
+//	GET    /v1/cache/{key} local cache tiers lookup (peer-to-peer tier 3)
+//	POST   /v1/peer/execute run a forwarded job, return full stats (peers only)
 //	GET    /metrics        Prometheus-style text metrics
 //	GET    /healthz        liveness
+//
+// With -peers configured, a fleet of snaked processes forms a job fabric:
+// each result key has one owner (rendezvous hash over the member set), local
+// misses consult the owner's cache and then forward the job to it, and a
+// dead peer degrades to local compute — never an error.
 package service
 
 import (
@@ -105,12 +113,17 @@ func summarize(st *stats.Sim) *Result {
 
 // RunView is the wire representation of a job.
 type RunView struct {
-	ID     string  `json:"id"`
-	Bench  string  `json:"bench"`
-	Mech   string  `json:"mech"`
-	Key    string  `json:"key"` // content address (harness.RunKey hash)
-	Status Status  `json:"status"`
-	Cached bool    `json:"cached"`
+	ID     string `json:"id"`
+	Bench  string `json:"bench"`
+	Mech   string `json:"mech"`
+	Key    string `json:"key"` // content address (harness.RunKey hash)
+	Status Status `json:"status"`
+	Cached bool   `json:"cached"`
+	// Source says where the result came from: a cache tier ("memory",
+	// "disk", "peer"), a forwarded execution on the owning peer
+	// ("forward:memory", "forward:disk", "forward:sim"), or a local
+	// simulation ("sim").
+	Source string  `json:"source,omitempty"`
 	Error  string  `json:"error,omitempty"`
 	WallMS float64 `json:"wall_ms,omitempty"`
 	Result *Result `json:"result,omitempty"`
@@ -123,6 +136,17 @@ type SweepView struct {
 	Total   int       `json:"total"`
 	Pending int       `json:"pending"`
 	Jobs    []RunView `json:"jobs"`
+}
+
+// StreamEnd is the final line of a GET /v1/sweeps/{id}/stream response,
+// after one RunView line per cell. Clients tell the two apart by the
+// "stream_done" field, which RunView lines never carry.
+type StreamEnd struct {
+	Done      bool `json:"stream_done"`
+	Total     int  `json:"total"`
+	Completed int  `json:"completed"`
+	Failed    int  `json:"failed"`
+	Canceled  int  `json:"canceled"`
 }
 
 // BenchmarksView is the GET /v1/benchmarks payload.
@@ -138,7 +162,9 @@ type BenchInfo struct {
 }
 
 // spec is a normalized, validated job specification. parallelism is not part
-// of the content address: it changes wall clock, never results.
+// of the content address: it changes wall clock, never results. noForward
+// marks work that arrived from a peer: it must be produced locally, never
+// forwarded again (loop prevention).
 type spec struct {
 	bench       string
 	mech        string // display name; "snake:custom" for custom configs
@@ -148,7 +174,29 @@ type spec struct {
 	priority    int
 	timeout     time.Duration
 	parallelism int
+	noForward   bool
 	factory     harness.Factory
+}
+
+// wireRequest reconstructs a forwardable RunRequest from the normalized
+// spec. GPU and scale are always sent explicitly so the peer normalizes to
+// the same content address whatever its own defaults are; parallelism is a
+// local-resource knob and is left to the peer's default.
+func (sp *spec) wireRequest() RunRequest {
+	gpu, scale := sp.gpu, sp.scale
+	req := RunRequest{
+		Bench:     sp.bench,
+		GPU:       &gpu,
+		Scale:     &scale,
+		Priority:  sp.priority,
+		TimeoutMS: int64(sp.timeout / time.Millisecond),
+	}
+	if sp.snake != nil {
+		req.Snake = sp.snake
+	} else {
+		req.Mech = sp.mech
+	}
+	return req
 }
 
 // key returns the job's content address.

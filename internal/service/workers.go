@@ -2,10 +2,12 @@ package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"sync"
 	"time"
 
+	"snake/internal/cluster"
 	"snake/internal/harness"
 	"snake/internal/sim"
 	"snake/internal/stats"
@@ -23,6 +25,7 @@ type job struct {
 	mu         sync.Mutex
 	status     Status
 	cached     bool
+	source     string // where the result came from (RunView.Source)
 	st         *stats.Sim
 	err        error
 	cancel     context.CancelFunc // non-nil while running
@@ -44,6 +47,7 @@ func (j *job) view() RunView {
 		Key:    j.key,
 		Status: j.status,
 		Cached: j.cached,
+		Source: j.source,
 	}
 	if j.err != nil {
 		v.Error = j.err.Error()
@@ -69,8 +73,10 @@ func (s *Service) worker() {
 	}
 }
 
-// runJob executes one job: cache lookup first, then a cancellable
-// simulation whose result feeds the content-addressed cache.
+// runJob executes one job: tiered cache lookup first (memory → disk → owning
+// peer), then exactly-once production under the per-key flight lock — a
+// forwarded execution on the owning peer when clustered, a local simulation
+// otherwise or as the degradation path.
 func (s *Service) runJob(j *job) {
 	j.mu.Lock()
 	if j.status != StatusQueued { // canceled while queued
@@ -91,17 +97,95 @@ func (s *Service) runJob(j *job) {
 	s.metrics.jobStarted()
 	defer cancel()
 
-	if st, ok := s.cache.Get(j.key); ok {
+	// Forwarded-in work serves local tiers only: the sender already ran the
+	// peer tier, and this node is the key's owner.
+	var st *stats.Sim
+	var tier cluster.Tier
+	if j.spec.noForward {
+		st, tier = s.store.GetLocal(j.key)
+	} else {
+		st, tier = s.store.Get(ctx, j.key)
+	}
+	if st != nil {
 		s.metrics.cacheHit()
-		s.finish(j, st, nil, true)
+		s.finish(j, st, nil, true, tier.String())
 		return
 	}
 	s.metrics.cacheMiss()
-	st, err := s.simulate(ctx, &j.spec)
-	if err == nil {
-		s.cache.Put(j.key, st)
+
+	// Per-key singleflight: exactly one leader produces the result; jobs
+	// that lose the race wait and re-read the cache. A leader that failed
+	// (error, cancel) leaves the next waiter to claim leadership and retry.
+	for {
+		wait, leader := s.beginFlight(j.key)
+		if leader {
+			break
+		}
+		select {
+		case <-wait:
+		case <-ctx.Done():
+			s.finish(j, nil, ctx.Err(), false, "")
+			return
+		}
+		if st, tier := s.store.GetLocal(j.key); st != nil {
+			s.metrics.cacheHit()
+			s.finish(j, st, nil, true, tier.String())
+			return
+		}
 	}
-	s.finish(j, st, err, false)
+	st, source, err := s.produce(ctx, j)
+	if err == nil {
+		s.store.Put(j.key, st)
+	}
+	s.endFlight(j.key)
+	s.finish(j, st, err, false, source)
+}
+
+// beginFlight claims or joins the in-flight production of key. It returns
+// leader=true when the caller must produce the result (and later call
+// endFlight); otherwise wait closes when the current leader finishes.
+func (s *Service) beginFlight(key string) (wait <-chan struct{}, leader bool) {
+	s.flightMu.Lock()
+	defer s.flightMu.Unlock()
+	if ch, ok := s.flight[key]; ok {
+		return ch, false
+	}
+	ch := make(chan struct{})
+	s.flight[key] = ch
+	return ch, true
+}
+
+func (s *Service) endFlight(key string) {
+	s.flightMu.Lock()
+	ch := s.flight[key]
+	delete(s.flight, key)
+	s.flightMu.Unlock()
+	close(ch)
+}
+
+// produce computes a missing result: forwarded to the key's owning peer
+// when this node is not the owner, locally otherwise. Every forwarding
+// failure — owner down, saturated, or erroring — degrades to local compute;
+// a dead peer costs duplicated work, never a failed job.
+func (s *Service) produce(ctx context.Context, j *job) (*stats.Sim, string, error) {
+	if s.clu != nil && !j.spec.noForward {
+		body, err := json.Marshal(j.spec.wireRequest())
+		if err == nil {
+			st, src, err := s.clu.Execute(ctx, j.key, body)
+			if err == nil {
+				s.metrics.forwardOK()
+				return st, "forward:" + src, nil
+			}
+			if !errors.Is(err, cluster.ErrSelf) && ctx.Err() == nil {
+				s.metrics.forwardFallback()
+			}
+			if ctx.Err() != nil {
+				return nil, "", ctx.Err()
+			}
+		}
+	}
+	st, err := s.simulate(ctx, &j.spec)
+	return st, "sim", err
 }
 
 // simulate builds the workload and runs the cycle-level simulation under
@@ -139,10 +223,10 @@ func (s *Service) simulate(ctx context.Context, sp *spec) (*stats.Sim, error) {
 }
 
 // finish moves a running job to its terminal state and updates metrics.
-func (s *Service) finish(j *job, st *stats.Sim, err error, cached bool) {
+func (s *Service) finish(j *job, st *stats.Sim, err error, cached bool, source string) {
 	j.mu.Lock()
 	j.finishedAt = time.Now()
-	j.st, j.err, j.cached = st, err, cached
+	j.st, j.err, j.cached, j.source = st, err, cached, source
 	switch {
 	case err == nil:
 		j.status = StatusDone
@@ -155,10 +239,11 @@ func (s *Service) finish(j *job, st *stats.Sim, err error, cached bool) {
 	wall := j.finishedAt.Sub(j.startedAt)
 	j.mu.Unlock()
 	s.metrics.jobFinished(status)
-	if err == nil && !cached {
+	if err == nil && !cached && source == "sim" {
 		s.metrics.observeWall(j.spec.bench, float64(wall)/float64(time.Millisecond))
 	}
 	close(j.done)
+	s.notifySweep(j)
 }
 
 // cancelJob cancels a queued or running job; terminal jobs are left alone.
@@ -171,6 +256,7 @@ func (s *Service) cancelJob(j *job) {
 		j.mu.Unlock()
 		s.metrics.jobDroppedQueued()
 		close(j.done)
+		s.notifySweep(j)
 	case StatusRunning:
 		cancel := j.cancel
 		j.mu.Unlock()
