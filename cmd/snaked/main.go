@@ -63,6 +63,7 @@ func main() {
 		self       = flag.String("self", "", "this node's advertised base URL, required with -peers (e.g. http://hostA:8080)")
 		peers      = flag.String("peers", "", "comma-separated peer base URLs; enables clustering")
 		peerFlight = flag.Int("peer-inflight", 4, "max concurrently forwarded jobs per peer")
+		peerExecTO = flag.Duration("peer-exec-timeout", 2*time.Minute, "bound on one forwarded execution; expiry degrades to local compute (<0: unbounded)")
 	)
 	flag.Parse()
 
@@ -91,6 +92,7 @@ func main() {
 		Workers: *workers, GPU: &gpu, Scale: &scale, Parallelism: *parallel,
 		QueueMax: *queueMax, CacheMaxBytes: *cacheMax, CacheDir: *cacheDir,
 		Self: *self, Peers: peerList, PeerInflight: *peerFlight,
+		PeerExecTimeout: *peerExecTO,
 	})
 	if len(peerList) > 0 {
 		log.Printf("snaked: clustered as %s with %d peer(s)", *self, len(peerList))

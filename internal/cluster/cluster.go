@@ -21,9 +21,15 @@ type Options struct {
 	// DownFor is how long a peer stays out of rotation after a transport
 	// error before the next request probes it again (default 10s).
 	DownFor time.Duration
-	// FetchTimeout bounds one peer cache fetch (default 5s). Forwarded
-	// executions are bounded by the caller's context, not this.
+	// FetchTimeout bounds one peer cache fetch (default 5s).
 	FetchTimeout time.Duration
+	// ExecTimeout bounds one forwarded execution (default 2m). A peer that
+	// cannot answer within it is treated like a transport error: the caller
+	// degrades to local compute and the peer is latched down for DownFor, so
+	// a hung or wedged owner can never pin the sender's workers
+	// indefinitely. <0 disables the bound (the caller's context still
+	// applies).
+	ExecTimeout time.Duration
 	// Client overrides the HTTP client (default: http.Client with no global
 	// timeout; per-call contexts bound each request).
 	Client *http.Client
@@ -37,6 +43,7 @@ type Cluster struct {
 	peers        map[string]*Peer
 	downFor      time.Duration
 	fetchTimeout time.Duration
+	execTimeout  time.Duration
 	client       *http.Client
 
 	mu            sync.Mutex
@@ -60,6 +67,9 @@ func New(opt Options) *Cluster {
 	if opt.FetchTimeout <= 0 {
 		opt.FetchTimeout = 5 * time.Second
 	}
+	if opt.ExecTimeout == 0 {
+		opt.ExecTimeout = 2 * time.Minute
+	}
 	if opt.Client == nil {
 		opt.Client = &http.Client{}
 	}
@@ -68,6 +78,7 @@ func New(opt Options) *Cluster {
 		peers:        make(map[string]*Peer),
 		downFor:      opt.DownFor,
 		fetchTimeout: opt.FetchTimeout,
+		execTimeout:  opt.ExecTimeout,
 		client:       opt.Client,
 	}
 	seen := map[string]bool{c.self: true}

@@ -66,6 +66,12 @@ const entryOverhead = 128
 // of a big sweep persists cheaply while hot (bench, mech, config) shapes
 // stay resident; tier 3 asks the owning peer. Simulations are
 // deterministic, so entries never expire and first write wins.
+//
+// Locking discipline: mu guards only the in-memory structures and the disk
+// index. Disk I/O (spill writes, reads, deletes) always runs outside the
+// lock — a write is reserved under the lock via the spilling set, performed
+// unlocked, then confirmed or rolled back — so memory hits never serialize
+// behind another goroutine's disk traffic.
 type Store struct {
 	maxBytes  int64
 	dir       string
@@ -77,6 +83,7 @@ type Store struct {
 	memBytes int64
 	diskIdx  map[string]int64 // key -> spill file size in bytes
 	dBytes   int64
+	spilling map[string]bool // keys whose spill write is in flight (unlocked I/O)
 
 	memHits, diskHits, peerHits, misses int64
 	evictions, spills                   int64
@@ -100,6 +107,7 @@ func NewStore(opt StoreOptions) *Store {
 		ll:        list.New(),
 		idx:       make(map[string]*list.Element),
 		diskIdx:   make(map[string]int64),
+		spilling:  make(map[string]bool),
 	}
 	if s.dir != "" {
 		if err := os.MkdirAll(s.dir, 0o755); err != nil {
@@ -145,9 +153,8 @@ func (s *Store) Get(ctx context.Context, key string) (*stats.Sim, Tier) {
 		if st, ok := s.peerFetch(ctx, key); ok {
 			s.mu.Lock()
 			s.peerHits++
-			s.admitLocked(key, st)
-			s.spillThroughLocked(key, st)
 			s.mu.Unlock()
+			s.Put(key, st)
 			return st, TierPeer
 		}
 	}
@@ -159,52 +166,118 @@ func (s *Store) Get(ctx context.Context, key string) (*stats.Sim, Tier) {
 
 // GetLocal looks key up in the local tiers only (memory, then disk) — the
 // peer cache endpoint serves from this, so cross-node lookups never
-// recurse. A disk hit is promoted into the memory tier; its spill file is
-// kept, making re-eviction free.
+// recurse. A disk hit is promoted into the memory tier (the spill read runs
+// outside the lock); its spill file is kept, making re-eviction free.
 func (s *Store) GetLocal(key string) (*stats.Sim, Tier) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if el, ok := s.idx[key]; ok {
 		s.ll.MoveToFront(el)
 		s.memHits++
-		return el.Value.(*entry).st, TierMemory
+		st := el.Value.(*entry).st
+		s.mu.Unlock()
+		return st, TierMemory
 	}
-	if _, ok := s.diskIdx[key]; ok {
-		st, err := s.readSpill(key)
-		if err != nil {
-			// Corrupt or unreadable spill: drop it and treat as a miss.
-			s.dropSpillLocked(key)
-			s.diskErrors++
-			return nil, TierNone
-		}
-		s.diskHits++
-		s.admitLocked(key, st)
-		return st, TierDisk
+	_, onDisk := s.diskIdx[key]
+	s.mu.Unlock()
+	if !onDisk {
+		return nil, TierNone
 	}
-	return nil, TierNone
+	st, n, err := s.readSpill(key)
+	if err != nil {
+		// Corrupt or unreadable spill: drop it and treat as a miss.
+		s.dropSpill(key)
+		return nil, TierNone
+	}
+	s.mu.Lock()
+	s.diskHits++
+	evicted := s.admitLocked(key, st, n)
+	writes := s.claimSpillsLocked(nil, evicted)
+	s.mu.Unlock()
+	s.writeSpills(writes)
+	return st, TierDisk
 }
 
 // Put stores a completed result, writing through to the disk tier when
-// enabled. First write wins: the simulations are deterministic, so a
-// concurrent duplicate computed the same stats.
+// enabled (the file write runs outside the lock). First write wins: the
+// simulations are deterministic, so a concurrent duplicate computed the
+// same stats.
 func (s *Store) Put(key string, st *stats.Sim) {
+	b, err := json.Marshal(st)
+	if err != nil {
+		b = nil
+	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.admitLocked(key, st)
-	s.spillThroughLocked(key, st)
+	if err != nil {
+		s.diskErrors++
+	}
+	evicted := s.admitLocked(key, st, int64(len(b)))
+	var writes []spillJob
+	if b != nil && s.claimSpillLocked(key) {
+		writes = append(writes, spillJob{key: key, data: b})
+	}
+	writes = s.claimSpillsLocked(writes, evicted)
+	s.mu.Unlock()
+	s.writeSpills(writes)
 }
 
-// spillThroughLocked persists st to the disk tier unless it is already
-// there (or the tier is disabled). Write-through makes eviction a pure
-// memory-accounting operation and means a restart loses nothing.
-func (s *Store) spillThroughLocked(key string, st *stats.Sim) {
-	if s.dir == "" {
-		return
+// spillJob is one reserved write-through: the data to persist for key, with
+// the raw encoding when the caller already has it.
+type spillJob struct {
+	key  string
+	data []byte     // pre-encoded; nil means encode st
+	st   *stats.Sim
+}
+
+// claimSpillLocked reserves the write-through of key. True means the caller
+// must write the spill file outside the lock and report via finishSpill;
+// false when the disk tier is off, the key is already persisted, or another
+// goroutine's write is in flight.
+func (s *Store) claimSpillLocked(key string) bool {
+	if s.dir == "" || s.spilling[key] {
+		return false
 	}
 	if _, ok := s.diskIdx[key]; ok {
-		return
+		return false
 	}
-	n, err := s.writeSpill(key, st)
+	s.spilling[key] = true
+	return true
+}
+
+// claimSpillsLocked reserves writes for evicted entries that are not yet on
+// disk. With write-through they normally already are; this covers an
+// earlier write that failed transiently. An entry evicted while its
+// original write is still in flight is skipped — if that write then fails
+// the result is lost from both tiers, which is acceptable for a cache.
+func (s *Store) claimSpillsLocked(writes []spillJob, evicted []*entry) []spillJob {
+	for _, e := range evicted {
+		if s.claimSpillLocked(e.key) {
+			writes = append(writes, spillJob{key: e.key, st: e.st})
+		}
+	}
+	return writes
+}
+
+// writeSpills performs reserved spill writes; the caller must not hold mu.
+func (s *Store) writeSpills(writes []spillJob) {
+	for _, w := range writes {
+		b := w.data
+		if b == nil {
+			var err error
+			if b, err = json.Marshal(w.st); err != nil {
+				s.finishSpill(w.key, 0, err)
+				continue
+			}
+		}
+		n, err := s.writeSpill(w.key, b)
+		s.finishSpill(w.key, n, err)
+	}
+}
+
+// finishSpill confirms or rolls back a reserved spill write.
+func (s *Store) finishSpill(key string, n int64, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.spilling, key)
 	if err != nil {
 		s.diskErrors++
 		return
@@ -215,34 +288,37 @@ func (s *Store) spillThroughLocked(key string, st *stats.Sim) {
 }
 
 // admitLocked inserts into the memory tier and evicts from the cold end
-// until the byte budget holds again. The entry being admitted is never the
-// eviction victim, so even an over-budget result serves its job.
-func (s *Store) admitLocked(key string, st *stats.Sim) {
+// until the byte budget holds again, returning the evicted entries so the
+// caller can re-spill any whose write-through failed. encoded is the size
+// of the value's JSON encoding (what a spill file holds). The entry being
+// admitted is never the eviction victim, so even an over-budget result
+// serves its job.
+func (s *Store) admitLocked(key string, st *stats.Sim, encoded int64) []*entry {
 	if el, ok := s.idx[key]; ok {
 		s.ll.MoveToFront(el)
-		return
+		return nil
 	}
-	e := &entry{key: key, st: st, size: encodedSize(st) + int64(len(key)) + entryOverhead}
+	e := &entry{key: key, st: st, size: encoded + int64(len(key)) + entryOverhead}
 	s.idx[key] = s.ll.PushFront(e)
 	s.memBytes += e.size
+	var evicted []*entry
 	for s.maxBytes > 0 && s.memBytes > s.maxBytes && s.ll.Len() > 1 {
-		s.evictLocked(s.ll.Back())
+		evicted = append(evicted, s.evictLocked(s.ll.Back()))
 	}
+	return evicted
 }
 
-// evictLocked removes the given element from the memory tier. With the
-// disk tier enabled the entry was already written through at admission, so
-// this only drops the resident copy (spilling here again covers the rare
-// case where the earlier write failed transiently).
-func (s *Store) evictLocked(el *list.Element) {
+// evictLocked removes the given element from the memory tier and returns
+// its entry. With the disk tier enabled the entry was normally written
+// through at admission, so this only drops the resident copy; the caller
+// re-claims a spill for it when that write failed.
+func (s *Store) evictLocked(el *list.Element) *entry {
 	e := el.Value.(*entry)
 	s.ll.Remove(el)
 	delete(s.idx, e.key)
 	s.memBytes -= e.size
 	s.evictions++
-	if s.dir != "" {
-		s.spillThroughLocked(e.key, e.st)
-	}
+	return e
 }
 
 // spillPath is the content-addressed file for key. Keys are hex hashes; any
@@ -254,14 +330,12 @@ func (s *Store) spillPath(key string) (string, bool) {
 	return filepath.Join(s.dir, key+".json"), true
 }
 
-func (s *Store) writeSpill(key string, st *stats.Sim) (int64, error) {
+// writeSpill persists pre-encoded bytes for key (tmp + atomic rename). The
+// caller must not hold mu; s.dir is immutable after construction.
+func (s *Store) writeSpill(key string, b []byte) (int64, error) {
 	path, ok := s.spillPath(key)
 	if !ok {
 		return 0, os.ErrInvalid
-	}
-	b, err := json.Marshal(st)
-	if err != nil {
-		return 0, err
 	}
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, b, 0o644); err != nil {
@@ -274,27 +348,34 @@ func (s *Store) writeSpill(key string, st *stats.Sim) (int64, error) {
 	return int64(len(b)), nil
 }
 
-func (s *Store) readSpill(key string) (*stats.Sim, error) {
+// readSpill loads key's spill file, returning the decoded stats and the
+// file's byte length. The caller must not hold mu.
+func (s *Store) readSpill(key string) (*stats.Sim, int64, error) {
 	path, ok := s.spillPath(key)
 	if !ok {
-		return nil, os.ErrInvalid
+		return nil, 0, os.ErrInvalid
 	}
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	st := new(stats.Sim)
 	if err := json.Unmarshal(b, st); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return st, nil
+	return st, int64(len(b)), nil
 }
 
-func (s *Store) dropSpillLocked(key string) {
+// dropSpill removes a corrupt or unreadable spill file and its accounting;
+// the file delete runs outside the lock.
+func (s *Store) dropSpill(key string) {
+	s.mu.Lock()
 	if n, ok := s.diskIdx[key]; ok {
 		delete(s.diskIdx, key)
 		s.dBytes -= n
 	}
+	s.diskErrors++
+	s.mu.Unlock()
 	if path, ok := s.spillPath(key); ok {
 		os.Remove(path)
 	}

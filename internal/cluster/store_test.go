@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 
 	"snake/internal/stats"
@@ -166,6 +167,44 @@ func TestStoreUnboundedCompat(t *testing.T) {
 	}
 	if snap.Entries != 16 {
 		t.Errorf("entries = %d, want 16", snap.Entries)
+	}
+}
+
+// TestStoreConcurrentDiskTier: concurrent Put/GetLocal churn with a tight
+// memory budget forces simultaneous admissions, evictions, spill writes,
+// and disk promotions; the reserve/confirm spill protocol (I/O outside the
+// lock) must keep accounting consistent and lose nothing that was written
+// through.
+func TestStoreConcurrentDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	one := encodedSize(sampleSim(0)) + 64 + entryOverhead
+	s := NewStore(StoreOptions{MaxBytes: 4 * one, Dir: dir})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 32; i++ {
+				n := (g + i) % 12
+				k := key(byte(n))
+				if st, _ := s.GetLocal(k); st == nil {
+					s.Put(k, sampleSim(int64(n)))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for n := 0; n < 12; n++ {
+		if st, tier := s.GetLocal(key(byte(n))); st == nil || tier == TierNone {
+			t.Errorf("key %d lost after concurrent churn", n)
+		}
+	}
+	snap := s.Snap()
+	if snap.DiskEntries != 12 || snap.DiskErrors != 0 {
+		t.Errorf("disk tier after churn: %+v, want all 12 keys written through cleanly", snap)
+	}
+	if snap.MemBytes < 0 || snap.DiskBytes <= 0 {
+		t.Errorf("byte accounting drifted: %+v", snap)
 	}
 }
 

@@ -71,8 +71,18 @@ func (c *Cluster) FetchResult(ctx context.Context, key string) (*stats.Sim, bool
 		return nil, false
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
 		c.count(&c.fetchMisses)
+		return nil, false
+	case resp.StatusCode != http.StatusOK:
+		// 5xx (or anything else unexpected) is peer failure, not a miss:
+		// latch the peer down so a consistently broken peer is not
+		// re-queried on every single lookup.
+		c.count(&c.fetchErrors)
+		if ctx.Err() == nil {
+			p.markDown(c.downFor)
+		}
 		return nil, false
 	}
 	var st stats.Sim
@@ -103,7 +113,16 @@ func (c *Cluster) Execute(ctx context.Context, key string, body []byte) (st *sta
 		return nil, "", ErrSaturated
 	}
 	defer p.release()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.url+executePath, bytes.NewReader(body))
+	// Bound the forwarded execution independently of the job's own (possibly
+	// unbounded) context: a hung owner turns into a transport error and a
+	// local-compute fallback instead of pinning this worker forever.
+	ectx := ctx
+	if c.execTimeout > 0 {
+		var cancel context.CancelFunc
+		ectx, cancel = context.WithTimeout(ctx, c.execTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ectx, http.MethodPost, p.url+executePath, bytes.NewReader(body))
 	if err != nil {
 		return nil, "", err
 	}

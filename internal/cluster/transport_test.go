@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// keyOwnedBy finds a well-formed (hex, 64-char) cache key the given node
+// owns under the rendezvous hash.
+func keyOwnedBy(t *testing.T, owner string, nodes []string) string {
+	t.Helper()
+	for i := 0; i < 4096; i++ {
+		k := fmt.Sprintf("%064x", i)
+		if Owner(k, nodes) == owner {
+			return k
+		}
+	}
+	t.Fatal("no key owned by node; rendezvous hash degenerate")
+	return ""
+}
+
+// TestFetchResult5xxMarksPeerDown: a peer answering 5xx is a peer failure,
+// not a cache miss — the fetch counts as an error and the peer is latched
+// down so it is not re-queried on every subsequent lookup.
+func TestFetchResult5xxMarksPeerDown(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c := New(Options{Self: "http://self.invalid", Peers: []string{ts.URL}, DownFor: time.Minute})
+	k := keyOwnedBy(t, ts.URL, c.Nodes())
+
+	if st, ok := c.FetchResult(context.Background(), k); ok || st != nil {
+		t.Fatal("5xx fetch reported a hit")
+	}
+	snap := c.Snap()
+	if snap.FetchErrors != 1 || snap.FetchMisses != 0 {
+		t.Errorf("5xx accounting: errors=%d misses=%d, want 1 error and no miss",
+			snap.FetchErrors, snap.FetchMisses)
+	}
+	if c.peers[ts.URL].Alive() {
+		t.Error("peer still alive after 5xx; want latched down")
+	}
+	if _, ok := c.FetchResult(context.Background(), k); ok {
+		t.Fatal("hit from a down peer")
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Errorf("peer queried %d times, want 1 (down latch must stop re-queries)", got)
+	}
+}
+
+// TestFetchResult404IsMiss: a clean remote miss stays a miss — counted as
+// such, peer health untouched.
+func TestFetchResult404IsMiss(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}))
+	defer ts.Close()
+	c := New(Options{Self: "http://self.invalid", Peers: []string{ts.URL}})
+	k := keyOwnedBy(t, ts.URL, c.Nodes())
+
+	if _, ok := c.FetchResult(context.Background(), k); ok {
+		t.Fatal("404 fetch reported a hit")
+	}
+	snap := c.Snap()
+	if snap.FetchMisses != 1 || snap.FetchErrors != 0 {
+		t.Errorf("404 accounting: misses=%d errors=%d, want 1 miss and no error",
+			snap.FetchMisses, snap.FetchErrors)
+	}
+	if !c.peers[ts.URL].Alive() {
+		t.Error("peer marked down by a plain miss")
+	}
+}

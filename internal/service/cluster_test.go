@@ -88,6 +88,60 @@ func TestQueueFull429(t *testing.T) {
 	}
 }
 
+// TestSweepRollbackFreesQueueDepth: a sweep rejected by admission control
+// removes its rolled-back cells from the priority heap immediately, so the
+// rejection does not transiently inflate queue depth and 429 subsequent
+// submissions that would otherwise fit.
+func TestSweepRollbackFreesQueueDepth(t *testing.T) {
+	gpu := config.Scaled(2, 16)
+	scale := workloads.Scale{CTAs: 4, WarpsPerCTA: 2, Iters: 2}
+	svc := New(Options{Workers: 1, GPU: &gpu, Scale: &scale, QueueMax: 3})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+	}()
+
+	// Pin the single worker, then leave exactly one free queue slot.
+	resp, body := postJSON(t, ts.URL+"/v1/runs", RunRequest{
+		Bench: "lps", Mech: "baseline", Scale: &bigScale, Priority: 100,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit long job: %d %s", resp.StatusCode, body)
+	}
+	var long RunView
+	if err := json.Unmarshal(body, &long); err != nil {
+		t.Fatal(err)
+	}
+	waitRun(t, ts.URL, long.ID, func(v RunView) bool { return v.Status == StatusRunning }, "running")
+	for i := 0; i < 2; i++ {
+		if resp, body := postJSON(t, ts.URL+"/v1/runs", RunRequest{Bench: "cp", Mech: "baseline"}); resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("fill %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+
+	// A two-cell sweep admits its first cell (depth 3) then hits the bound;
+	// the rollback must give the slot back.
+	resp, _ = postJSON(t, ts.URL+"/v1/sweeps", SweepRequest{
+		Benches: []string{"mum", "hotspot"}, Mechs: []string{"baseline"},
+	})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-depth sweep: %d, want 429", resp.StatusCode)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/runs", RunRequest{Bench: "nw", Mech: "baseline"})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("post-rollback submit: %d %s, want 202 (rolled-back cells still hold queue slots)", resp.StatusCode, body)
+	}
+
+	// Unblock the drain.
+	creq, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/runs/"+long.ID, nil)
+	if cresp, err := http.DefaultClient.Do(creq); err == nil {
+		cresp.Body.Close()
+	}
+}
+
 // twoNodes boots two in-process snaked services joined into one cluster
 // over real listeners, so forwarding and peer fetch exercise the actual
 // HTTP transport.
@@ -249,6 +303,63 @@ func TestTwoNodeCluster(t *testing.T) {
 	}
 	if got := labeledMetric(t, scrapeMetrics(t, urlB), `snaked_forwards_total{result="fallback"}`); got < 1 {
 		t.Errorf("node B forward fallbacks = %v, want ≥ 1", got)
+	}
+}
+
+// TestCrossForwardNoDeadlock: with workers ≤ peer-inflight, concurrent load
+// on two nodes whose keys are cross-owned once wedged both pools — each
+// node's only worker blocked forwarding out while the forwarded-in job it
+// was waiting on queued behind that same worker. Forwarded-in work now runs
+// on reserved capacity, so the cross-traffic must drain.
+func TestCrossForwardNoDeadlock(t *testing.T) {
+	gpu := config.Scaled(2, 16)
+	scale := workloads.Scale{CTAs: 4, WarpsPerCTA: 2, Iters: 2}
+	opt := Options{Workers: 1, GPU: &gpu, Scale: &scale, PeerInflight: 4}
+	_, _, urlA, urlB, stop := twoNodes(t, opt, opt)
+	defer stop()
+	nodes := []string{urlA, urlB}
+	used := make(map[string]bool)
+
+	// Cells owned by the *other* node, submitted to both sides at once, so
+	// both single workers block forwarding out simultaneously.
+	type sub struct {
+		base string
+		req  RunRequest
+	}
+	var subs []sub
+	for i := 0; i < 2; i++ {
+		subs = append(subs, sub{urlA, cellOwnedBy(t, urlB, nodes, gpu, scale, used)})
+		subs = append(subs, sub{urlB, cellOwnedBy(t, urlA, nodes, gpu, scale, used)})
+	}
+	results := make(chan string, len(subs))
+	for _, sb := range subs {
+		go func(sb sub) {
+			b, _ := json.Marshal(sb.req)
+			resp, err := http.Post(sb.base+"/v1/runs?wait=1", "application/json", strings.NewReader(string(b)))
+			if err != nil {
+				results <- fmt.Sprintf("%s/%s: %v", sb.req.Bench, sb.req.Mech, err)
+				return
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			var v RunView
+			if resp.StatusCode != http.StatusOK || json.Unmarshal(body, &v) != nil || v.Status != StatusDone {
+				results <- fmt.Sprintf("%s/%s: HTTP %d %s", sb.req.Bench, sb.req.Mech, resp.StatusCode, body)
+				return
+			}
+			results <- ""
+		}(sb)
+	}
+	deadline := time.After(90 * time.Second)
+	for i := 0; i < len(subs); i++ {
+		select {
+		case msg := <-results:
+			if msg != "" {
+				t.Errorf("cross-forwarded cell failed: %s", msg)
+			}
+		case <-deadline:
+			t.Fatalf("cross-owned load wedged: only %d/%d cells finished", i, len(subs))
+		}
 	}
 }
 

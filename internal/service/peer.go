@@ -4,9 +4,15 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"snake/internal/cluster"
 )
+
+// errPeerBusy rejects forwarded-in work when the reserved peer capacity is
+// exhausted; the sender's transport maps the 429 to ErrSaturated and
+// computes locally.
+var errPeerBusy = errors.New("peer-execute capacity exhausted")
 
 // handleCacheGet is GET /v1/cache/{key}: the local tiers (memory, then
 // disk) of the content-addressed result store, full stats.Sim JSON on a
@@ -25,18 +31,30 @@ func (s *Service) handleCacheGet(w http.ResponseWriter, r *http.Request) {
 }
 
 // handlePeerExecute is POST /v1/peer/execute: run a job forwarded by a peer
-// and return the full simulation stats. Forwarded work enters the same
-// bounded queue as client work, so the owner's admission control (429 +
-// Retry-After) propagates back to the sender, which then degrades to local
-// compute. The job is marked noForward: this node is the key's owner, and
-// owners never forward.
+// and return the full simulation stats. Forwarded work never enters the
+// worker queue — it runs on the reserved peerSlots capacity, so it makes
+// progress even when every worker is blocked forwarding work out (two
+// nodes forwarding to each other could otherwise wedge with all workers
+// waiting on each other's queues). When the slots are exhausted the owner
+// answers 429 + Retry-After and the sender degrades to local compute. The
+// job is marked noForward: this node is the key's owner, and owners never
+// forward.
 func (s *Service) handlePeerExecute(w http.ResponseWriter, r *http.Request) {
 	var req RunRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	j, err := s.submit(req, true)
+	select {
+	case s.peerSlots <- struct{}{}:
+	default:
+		s.metrics.queueRejectedInc()
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeErr(w, http.StatusTooManyRequests, errPeerBusy)
+		return
+	}
+	defer func() { <-s.peerSlots }()
+	j, err := s.submitPeer(req)
 	if err != nil {
 		s.writeSubmitErr(w, err)
 		return

@@ -61,6 +61,19 @@ func (q *jobQueue) Pop() (*job, bool) {
 	return heap.Pop(&q.heap).(*job), true
 }
 
+// Remove takes a specific job out of the queue (canceled before running),
+// freeing its depth slot immediately. Reports whether the job was still
+// queued; false means a worker already popped it (or it was never pushed).
+func (q *jobQueue) Remove(j *job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if j.heapIdx < 0 || j.heapIdx >= len(q.heap) || q.heap[j.heapIdx] != j {
+		return false
+	}
+	heap.Remove(&q.heap, j.heapIdx)
+	return true
+}
+
 // Close stops intake and wakes all blocked consumers.
 func (q *jobQueue) Close() {
 	q.mu.Lock()
@@ -76,7 +89,9 @@ func (q *jobQueue) Len() int {
 	return len(q.heap)
 }
 
-// jobHeap orders by (priority desc, seq asc).
+// jobHeap orders by (priority desc, seq asc). It maintains each job's
+// heapIdx (guarded by the queue lock, -1 when not in the heap) so Remove
+// can excise a canceled job in O(log n) without scanning.
 type jobHeap []*job
 
 func (h jobHeap) Len() int { return len(h) }
@@ -86,13 +101,22 @@ func (h jobHeap) Less(i, j int) bool {
 	}
 	return h[i].seq < h[j].seq
 }
-func (h jobHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *jobHeap) Push(x interface{}) { *h = append(*h, x.(*job)) }
+func (h jobHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *jobHeap) Push(x interface{}) {
+	j := x.(*job)
+	j.heapIdx = len(*h)
+	*h = append(*h, j)
+}
 func (h *jobHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
 	j := old[n-1]
 	old[n-1] = nil
+	j.heapIdx = -1
 	*h = old[:n-1]
 	return j
 }

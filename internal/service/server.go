@@ -61,6 +61,9 @@ type Options struct {
 	// PeerDownFor overrides how long an erroring peer stays out of rotation
 	// (default 10s; tests shorten it).
 	PeerDownFor time.Duration
+	// PeerExecTimeout bounds one forwarded execution (default 2m); expiry
+	// degrades to local compute. <0 disables the bound.
+	PeerExecTimeout time.Duration
 }
 
 // ErrDraining rejects submissions during graceful shutdown.
@@ -78,6 +81,17 @@ type Service struct {
 	store       *cluster.Store
 	clu         *cluster.Cluster // nil when standalone
 	metrics     *metrics
+
+	// peerSlots is the reserved capacity for forwarded-in peer work, sized
+	// like the worker pool but separate from it. Workers may block forwarding
+	// a job *out* to an owning peer; if forwarded-in jobs had to wait for
+	// those same workers, two nodes forwarding to each other could wedge with
+	// every worker blocked and every forwarded-in job queued behind them.
+	// Serving peer work on its own slots makes that circular wait impossible;
+	// CPU stays bounded because simulations draw from the shared budget
+	// either way. When the slots are exhausted the peer endpoint answers 429
+	// and the sender computes locally.
+	peerSlots chan struct{}
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -140,6 +154,7 @@ func New(opt Options) *Service {
 		queue:       newJobQueue(opt.QueueMax),
 		store:       cluster.NewStore(cluster.StoreOptions{MaxBytes: opt.CacheMaxBytes, Dir: opt.CacheDir}),
 		metrics:     newMetrics(),
+		peerSlots:   make(chan struct{}, opt.Workers),
 		baseCtx:     ctx,
 		baseCancel:  cancel,
 		jobs:        make(map[string]*job),
@@ -151,6 +166,7 @@ func New(opt Options) *Service {
 		s.clu = cluster.New(cluster.Options{
 			Self: opt.Self, Peers: opt.Peers,
 			PeerInflight: opt.PeerInflight, DownFor: opt.PeerDownFor,
+			ExecTimeout: opt.PeerExecTimeout,
 		})
 		// Tier 3 of the store: after a local miss, ask the owning peer's
 		// cache before considering any compute.
@@ -241,27 +257,47 @@ func (s *Service) normalize(req RunRequest) (spec, error) {
 
 // Submit validates and enqueues one job.
 func (s *Service) Submit(req RunRequest) (*job, error) {
-	return s.submit(req, false)
-}
-
-// submit is Submit plus the forwarded-work flag: jobs that arrived from a
-// peer are produced locally, never forwarded onward.
-func (s *Service) submit(req RunRequest, noForward bool) (*job, error) {
 	sp, err := s.normalize(req)
 	if err != nil {
 		return nil, err
 	}
-	sp.noForward = noForward
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.enqueueLocked(sp, "")
 }
 
-// enqueueLocked creates and queues a job; the caller holds s.mu.
-func (s *Service) enqueueLocked(sp spec, sweepID string) (*job, error) {
+// submitPeer accepts a job forwarded by a peer. Unlike client submissions
+// it never enters the worker queue: forwarded-in work runs on its own
+// goroutine against the reserved peerSlots capacity (acquired by the
+// caller), so it can make progress even when every worker is itself blocked
+// forwarding work out — the circular wait that would otherwise deadlock two
+// mutually-forwarding nodes. The job is marked noForward: this node is the
+// key's owner, and owners never forward.
+func (s *Service) submitPeer(req RunRequest) (*job, error) {
+	sp, err := s.normalize(req)
+	if err != nil {
+		return nil, err
+	}
+	sp.noForward = true
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.draining {
 		return nil, ErrDraining
 	}
+	j := s.newJobLocked(sp, "")
+	s.metrics.jobSubmitted()
+	// Registered under s.mu before Shutdown can start waiting, so the drain
+	// covers this job like any worker's.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.runJob(j)
+	}()
+	return j, nil
+}
+
+// newJobLocked creates and registers a job; the caller holds s.mu.
+func (s *Service) newJobLocked(sp spec, sweepID string) *job {
 	s.nextJob++
 	j := &job{
 		id:      fmt.Sprintf("r%06d", s.nextJob),
@@ -270,9 +306,19 @@ func (s *Service) enqueueLocked(sp spec, sweepID string) (*job, error) {
 		key:     sp.key(),
 		sweepID: sweepID,
 		status:  StatusQueued,
+		heapIdx: -1,
 		done:    make(chan struct{}),
 	}
 	s.jobs[j.id] = j
+	return j
+}
+
+// enqueueLocked creates and queues a job; the caller holds s.mu.
+func (s *Service) enqueueLocked(sp spec, sweepID string) (*job, error) {
+	if s.draining {
+		return nil, ErrDraining
+	}
+	j := s.newJobLocked(sp, sweepID)
 	if err := s.queue.Push(j); err != nil {
 		delete(s.jobs, j.id)
 		if errors.Is(err, ErrQueueFull) {
@@ -319,8 +365,10 @@ func (s *Service) SubmitSweep(req SweepRequest) (*sweep, []*job, error) {
 		j, err := s.enqueueLocked(sp, sw.id)
 		if err != nil {
 			// All-or-nothing admission: cancel the cells already enqueued so
-			// a rejected sweep leaves no stray work behind. The heap still
-			// holds them, but workers skip non-queued jobs.
+			// a rejected sweep leaves no stray work behind. Each is also
+			// removed from the heap so it frees its depth slot immediately
+			// instead of inflating the queue until a worker pops and skips
+			// it.
 			for _, prev := range jobs {
 				s.markCanceled(prev)
 			}
@@ -334,8 +382,8 @@ func (s *Service) SubmitSweep(req SweepRequest) (*sweep, []*job, error) {
 }
 
 // markCanceled moves a still-queued job straight to canceled (sweep
-// admission rollback). Safe while holding s.mu: it only takes j.mu and the
-// metrics lock.
+// admission rollback) and drops it from the priority heap. Safe while
+// holding s.mu: it only takes j.mu, the queue lock, and the metrics lock.
 func (s *Service) markCanceled(j *job) {
 	j.mu.Lock()
 	if j.status != StatusQueued {
@@ -345,6 +393,7 @@ func (s *Service) markCanceled(j *job) {
 	j.status = StatusCanceled
 	j.err = context.Canceled
 	j.mu.Unlock()
+	s.queue.Remove(j)
 	s.metrics.jobDroppedQueued()
 	close(j.done)
 }

@@ -21,6 +21,7 @@ type job struct {
 	spec    spec
 	key     string
 	sweepID string
+	heapIdx int // position in the priority heap (queue lock; -1 when out)
 
 	mu         sync.Mutex
 	status     Status
@@ -254,6 +255,9 @@ func (s *Service) cancelJob(j *job) {
 		j.status = StatusCanceled
 		j.err = context.Canceled
 		j.mu.Unlock()
+		// Drop it from the heap so the slot frees now; a worker that already
+		// popped it (Remove returns false) skips non-queued jobs anyway.
+		s.queue.Remove(j)
 		s.metrics.jobDroppedQueued()
 		close(j.done)
 		s.notifySweep(j)
