@@ -54,6 +54,13 @@ type simBenchFile struct {
 	// silently would erode the executor without any single ns/op case
 	// tripping.
 	SerialShare map[string]float64 `json:"serial_share,omitempty"`
+	// BarriersPerKcycle is barrier waves per thousand simulated cycles for
+	// each profiled run at -slack auto. The regression guard watches it
+	// alongside SerialShare: bounded-slack ticking amortizes the per-cycle
+	// barrier, and a change that silently shortens epochs (more barriers for
+	// the same cycles) would re-serialize the executor without moving any
+	// ns/op case past its tolerance.
+	BarriersPerKcycle map[string]float64 `json:"barriers_per_kcycle,omitempty"`
 }
 
 // simBenchCase is one measured configuration. Skip cases run the standard
@@ -107,13 +114,14 @@ func caseSetup(c simBenchCase) (*trace.Kernel, config.GPU, error) {
 // dropped by more than regressionTolerance.
 func writeSimBench(path, baselinePath string) error {
 	out := simBenchFile{
-		GeneratedAt:     time.Now().UTC().Format(time.RFC3339),
-		GoVersion:       runtime.Version(),
-		MaxProcs:        runtime.GOMAXPROCS(0),
-		SkipSpeedup:     make(map[string]float64),
-		ParallelSpeedup: make(map[string]float64),
-		PhaseNs:         make(map[string]map[string]int64),
-		SerialShare:     make(map[string]float64),
+		GeneratedAt:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:         runtime.Version(),
+		MaxProcs:          runtime.GOMAXPROCS(0),
+		SkipSpeedup:       make(map[string]float64),
+		ParallelSpeedup:   make(map[string]float64),
+		PhaseNs:           make(map[string]map[string]int64),
+		SerialShare:       make(map[string]float64),
+		BarriersPerKcycle: make(map[string]float64),
 	}
 	nsPerOp := make(map[string]int64)
 	for _, c := range simBenchCases {
@@ -178,12 +186,15 @@ func writeSimBench(path, baselinePath string) error {
 			// One extra profiled run, outside the timing loop: phase wall
 			// clocks for the parallel cases (par1 included, as the serial
 			// reference the share comparison needs).
-			prof, err := measurePhases(k, cfg, c.parallelism)
+			prof, profCycles, err := measurePhases(k, cfg, c.parallelism, 0)
 			if err != nil {
 				return err
 			}
 			out.PhaseNs[c.name] = prof.Map()
 			out.SerialShare[c.name] = prof.SerialShare()
+			if profCycles > 0 {
+				out.BarriersPerKcycle[c.name] = 1000 * float64(prof.Barriers()) / float64(profCycles)
+			}
 		}
 	}
 	for _, c := range simBenchCases {
@@ -219,32 +230,38 @@ func writeSimBench(path, baselinePath string) error {
 }
 
 // measurePhases runs the kernel once with a phase accumulator attached and
-// returns the per-phase wall clock.
-func measurePhases(k *trace.Kernel, cfg config.GPU, parallelism int) (*profiling.Phases, error) {
+// returns the per-phase wall clock plus the run's simulated cycle count
+// (the denominator for barriers-per-kilocycle).
+func measurePhases(k *trace.Kernel, cfg config.GPU, parallelism, slack int) (*profiling.Phases, int64, error) {
 	var prof profiling.Phases
 	opt := sim.Options{
 		Config:        cfg,
 		NewPrefetcher: func(int) prefetch.Prefetcher { return core.NewSnake() },
 		Parallelism:   parallelism,
+		SlackWindow:   slack,
 		PhaseProfile:  &prof,
 	}
-	if _, err := sim.Run(k, opt); err != nil {
-		return nil, err
+	res, err := sim.Run(k, opt)
+	if err != nil {
+		return nil, 0, err
 	}
-	return &prof, nil
+	return &prof, res.Stats.Cycles, nil
 }
 
 // reportPhases implements snakebench -phases: per-phase engine wall clock
 // and serial share for the parallel benchmark cases, at serial execution and
 // at the requested parallelism. This is the Amdahl report: the serial-route
 // and merge columns are the part of the cycle no amount of -parallel can
-// compress, and the share column is their fraction of the total.
-func reportPhases(parallel int) error {
+// compress, and the share column is their fraction of the total. The
+// barriers and cyc/barrier columns show how well bounded-slack ticking
+// amortizes the wave barrier (honors -slack; cyc/barrier counts only ticked
+// cycles, so skipped spans do not inflate it).
+func reportPhases(parallel, slack int) error {
 	if parallel <= 1 {
 		parallel = 4
 	}
-	fmt.Printf("%-6s %3s %14s %20s %16s %12s %12s %8s\n",
-		"bench", "P", "serial-route", "parallel-partition", "parallel-shard", "merge", "total", "share")
+	fmt.Printf("%-6s %3s %14s %20s %16s %12s %12s %8s %10s %12s\n",
+		"bench", "P", "serial-route", "parallel-partition", "parallel-shard", "merge", "total", "share", "barriers", "cyc/barrier")
 	for _, bench := range []string{"lps", "mum", "nw"} {
 		k, err := workloads.Shared().Kernel(bench, workloads.Scale{CTAs: 24, WarpsPerCTA: 8, Iters: 8})
 		if err != nil {
@@ -252,18 +269,20 @@ func reportPhases(parallel int) error {
 		}
 		cfg := config.Scaled(8, 48)
 		for _, p := range []int{1, parallel} {
-			prof, err := measurePhases(k, cfg, p)
+			prof, _, err := measurePhases(k, cfg, p, slack)
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%-6s %3d %13dµs %19dµs %15dµs %11dµs %11dµs %7.1f%%\n",
+			fmt.Printf("%-6s %3d %13dµs %19dµs %15dµs %11dµs %11dµs %7.1f%% %10d %12.2f\n",
 				bench, p,
 				prof.Ns(profiling.PhaseSerialRoute)/1e3,
 				prof.Ns(profiling.PhaseMemPartitions)/1e3,
 				prof.Ns(profiling.PhaseShards)/1e3,
 				prof.Ns(profiling.PhaseMerge)/1e3,
 				prof.TotalNs()/1e3,
-				100*prof.SerialShare())
+				100*prof.SerialShare(),
+				prof.Barriers(),
+				prof.CyclesPerBarrier())
 		}
 	}
 	return nil
@@ -294,6 +313,16 @@ const (
 const (
 	shareRegressionTolerance = 1.25
 	shareAbsFloor            = 0.05
+)
+
+// Barrier-density growth is the slack regression: a profiled case may cross
+// at most barrierRegressionTolerance× the baseline's barrier waves per
+// kilocycle, with small absolute wobbles (epoch cuts move with workload
+// timing noise) excused below barrierAbsFloor of absolute growth. Both must
+// be exceeded to flag.
+const (
+	barrierRegressionTolerance = 1.25
+	barrierAbsFloor            = 20.0
 )
 
 // checkRegression compares the fresh measurements against the committed
@@ -348,6 +377,14 @@ func checkRegression(baselinePath string, fresh simBenchFile) error {
 			regressions = append(regressions,
 				fmt.Sprintf("%s: serial phase share %.3f vs baseline %.3f (%.2fx, tolerance %.2fx and +%.2f absolute)",
 					e.Name, got, want, got/want, shareRegressionTolerance, shareAbsFloor))
+		}
+		bGot, bgok := fresh.BarriersPerKcycle[e.Name]
+		bWant, bwok := base.BarriersPerKcycle[e.Name]
+		if bgok && bwok && bWant > 0 &&
+			bGot > bWant*barrierRegressionTolerance && bGot-bWant > barrierAbsFloor {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.1f barriers/kcycle vs baseline %.1f (%.2fx, tolerance %.2fx and +%.0f absolute)",
+					e.Name, bGot, bWant, bGot/bWant, barrierRegressionTolerance, barrierAbsFloor))
 		}
 	}
 	if len(regressions) > 0 {

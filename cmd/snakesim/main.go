@@ -31,6 +31,7 @@ func main() {
 		list       = flag.Bool("list", false, "list benchmarks and mechanisms")
 		noskip     = flag.Bool("noskip", false, "disable event-driven cycle skipping (same stats, slower)")
 		parallel   = flag.Int("parallel", 1, "SM-shard workers per simulated cycle (same stats at any value)")
+		slack      = flag.Int("slack", 0, "bounded-slack epoch length in cycles (0: auto from config; same stats at any value)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -62,6 +63,7 @@ func main() {
 		NewPrefetcher: factory,
 		DisableSkip:   *noskip,
 		Parallelism:   *parallel,
+		SlackWindow:   *slack,
 	})
 	if err != nil {
 		fatal(err)

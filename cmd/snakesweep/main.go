@@ -49,12 +49,13 @@ func knobNames() []string {
 
 func main() {
 	var (
-		knob     = flag.String("knob", "chaindepth", "parameter to sweep (see -listknobs)")
-		values   = flag.String("values", "1,2,4,8", "comma-separated integer values")
-		bench    = flag.String("bench", "", "comma-separated benchmarks (default: all)")
-		format   = flag.String("format", "text", "output format: text, csv, json")
+		knob       = flag.String("knob", "chaindepth", "parameter to sweep (see -listknobs)")
+		values     = flag.String("values", "1,2,4,8", "comma-separated integer values")
+		bench      = flag.String("bench", "", "comma-separated benchmarks (default: all)")
+		format     = flag.String("format", "text", "output format: text, csv, json")
 		lk         = flag.Bool("listknobs", false, "list sweepable knobs")
 		parallel   = flag.Int("parallel", 1, "parallel workers per run (same results at any value)")
+		slack      = flag.Int("slack", 0, "bounded-slack epoch length in cycles (0: auto from config; same results at any value)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -88,6 +89,7 @@ func main() {
 
 	r := harness.NewRunner()
 	r.Parallelism = *parallel
+	r.SlackWindow = *slack
 	t := &harness.Table{
 		ID:      "sweep-" + *knob,
 		Title:   fmt.Sprintf("Snake sensitivity to %s (means over %d benchmarks)", *knob, len(benches)),

@@ -64,10 +64,10 @@ type L1 struct {
 	// non-isolated organization parks the buffer here instead of freeing it.
 	isoRetained *Cache
 	mshr        *MSHR
-	mq    *MissQueue // demand misses
-	pfq   *MissQueue // prefetch requests (drained at lower priority)
-	opt   L1Options
-	st    *stats.Sim
+	mq          *MissQueue // demand misses
+	pfq         *MissQueue // prefetch requests (drained at lower priority)
+	opt         L1Options
+	st          *stats.Sim
 
 	trained      bool
 	confineUntil int64
@@ -457,9 +457,24 @@ func (l *L1) DrainPrefetch(cycle int64) {
 		if !ok {
 			return
 		}
+		// Re-stamp to the cycle before the drain: the engine's injection
+		// readiness is measured from when the request became drainable, and a
+		// prefetch drainable at cycle c was eligible for injection at c
+		// itself under per-cycle engine scheduling (drain and inject shared
+		// one serial pass), one cycle ahead of a demand miss issued at c.
+		// The -1 keeps that eligibility under slack ticking, where maturity
+		// is stamp + horizon; epochs are capped at horizon-1 cycles so the
+		// earlier stamp still matures strictly past its own epoch.
+		r.Cycle = cycle - 1
 		l.mq.Push(r)
 	}
 }
+
+// SetMissQueueCredit sets phantom occupancy on the shared miss queue: slots
+// the engine drained for later sub-cycles of the current slack epoch, which
+// at this tick's cycle would still have been occupied. Keeps Full checks —
+// and therefore reservation-fail stats — identical to per-cycle draining.
+func (l *L1) SetMissQueueCredit(n int) { l.mq.SetCredit(n) }
 
 // MissQueueLen returns the combined outgoing queue occupancy.
 func (l *L1) MissQueueLen() int { return l.mq.Len() + l.pfq.Len() }

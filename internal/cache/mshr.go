@@ -137,6 +137,11 @@ func (m *MSHR) Free() int { return m.entries - len(m.inflight) }
 type MissQueue struct {
 	cap   int
 	queue []MissRequest
+	// credit is phantom occupancy: slots the engine has drained ahead of the
+	// cycle this queue is being ticked at (bounded-slack epochs pop a whole
+	// epoch's worth up front). Full must report the occupancy the owner
+	// would have seen at its own cycle, so credit counts toward capacity.
+	credit int
 }
 
 // MissRequest is one outgoing fill request.
@@ -152,10 +157,16 @@ func NewMissQueue(capacity int) *MissQueue {
 }
 
 // Reset empties the queue, keeping its backing array for reuse.
-func (q *MissQueue) Reset() { q.queue = q.queue[:0] }
+func (q *MissQueue) Reset() { q.queue = q.queue[:0]; q.credit = 0 }
 
-// Full reports whether the queue has no free slot.
-func (q *MissQueue) Full() bool { return len(q.queue) >= q.cap }
+// SetCredit sets the phantom occupancy added to Full checks: entries the
+// engine already drained but that, at the cycle the owner is currently
+// ticking, would still have been queued. Always ≥ 0; the engine clears it
+// after each epoch's tick wave.
+func (q *MissQueue) SetCredit(n int) { q.credit = n }
+
+// Full reports whether the queue has no free slot (counting phantom credit).
+func (q *MissQueue) Full() bool { return len(q.queue)+q.credit >= q.cap }
 
 // Len returns the current queue occupancy.
 func (q *MissQueue) Len() int { return len(q.queue) }

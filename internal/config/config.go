@@ -229,8 +229,88 @@ func (g GPU) Validate() error {
 		// which needs at least one cycle of L2 latency.
 		return errors.New("config: L2 latency must be at least 1 cycle")
 	}
+	if g.SlackBound() < 1 {
+		// A zero bound would silently degenerate the engine to per-cycle
+		// barriers; surface the offending term instead.
+		a := g.SlackAudit()
+		return fmt.Errorf("config: derived slack bound is %d (%s = %d); every cross-boundary latency must be at least 1 cycle for bounded-slack ticking — raise IcntLatency and L2 latency to at least 1",
+			a.Bound, a.Limiting().Name, a.Limiting().Latency)
+	}
 	return nil
 }
+
+// SlackTerm is one cross-boundary latency considered by the slack audit.
+type SlackTerm struct {
+	Name    string // which latency this is
+	Latency int    // cycles
+	Why     string // why the term bounds slack (or why it does not bind tighter)
+}
+
+// SlackAudit derives the engine's provable slack window from the
+// configuration: how many consecutive cycles the work units (SM shards and
+// L2 partitions) may tick between barriers while remaining bit-identical to
+// per-cycle barriers. The bound is the minimum latency on any path by which
+// one unit's output becomes another unit's input:
+//
+//   - L1 miss → L2 response: a request serviced at cycle C yields a response
+//     with readyAt ≥ C + L2.Latency (config validation enforces ≥ 1, and the
+//     partition clamps in-flight merges to the same floor), so work produced
+//     inside an epoch of length W ≤ L2.Latency cannot need routing within
+//     that same epoch.
+//   - Request/response networks: every injected packet is delivered at
+//     ≥ send + IcntLatency + serialization, so a message sent at cycle C is
+//     invisible to its destination for at least IcntLatency cycles.
+//   - DRAM timing (TRCD/TCL/transfer) only ever adds on top of L2.Latency —
+//     DRAM is reached through the L2 path — so it can never bind tighter and
+//     contributes no separate term.
+//
+// SM-local state (L1 miss-queue occupancy, store buffers, freed CTA slots)
+// crosses the boundary through cycle-stamped ports whose visibility the
+// engine itself delays by the slack horizon, so those paths bound nothing
+// here (see DESIGN.md "Bounded-slack ticking").
+type SlackAudit struct {
+	Terms []SlackTerm
+	Bound int // min over Terms; the provable slack window
+}
+
+// Limiting returns the term that set the bound.
+func (a SlackAudit) Limiting() SlackTerm {
+	lim := a.Terms[0]
+	for _, t := range a.Terms[1:] {
+		if t.Latency < lim.Latency {
+			lim = t
+		}
+	}
+	return lim
+}
+
+// SlackAudit returns the full derivation; SlackBound returns just the bound.
+func (g GPU) SlackAudit() SlackAudit {
+	a := SlackAudit{Terms: []SlackTerm{
+		{
+			Name:    "L2.Latency",
+			Latency: g.L2.Latency,
+			Why:     "a response to a request serviced at cycle C has readyAt ≥ C + L2.Latency (in-flight merges are clamped to the same floor), so responses never become sendable inside the epoch that computed them",
+		},
+		{
+			Name:    "IcntLatency",
+			Latency: g.IcntLatency,
+			Why:     "every packet crossing the interconnect is delivered at ≥ send + IcntLatency, so a message injected inside an epoch arrives after it",
+		},
+	}}
+	a.Bound = a.Terms[0].Latency
+	for _, t := range a.Terms[1:] {
+		if t.Latency < a.Bound {
+			a.Bound = t.Latency
+		}
+	}
+	return a
+}
+
+// SlackBound returns the provable slack window: the minimum cross-unit
+// communication latency in cycles. The engine may tick work units up to this
+// many consecutive cycles between barriers without changing any statistic.
+func (g GPU) SlackBound() int { return g.SlackAudit().Bound }
 
 // DataCacheBytes returns the unified-cache space left after the shared-memory
 // carve-out; this is the space split between L1 data and prefetch storage.

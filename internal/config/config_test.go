@@ -106,3 +106,65 @@ func TestDRAMTimingDefaults(t *testing.T) {
 		t.Errorf("DRAM timing mismatch with Table 1: %+v", d)
 	}
 }
+
+func TestSlackAuditDerivation(t *testing.T) {
+	g := Default()
+	a := g.SlackAudit()
+	if len(a.Terms) < 2 {
+		t.Fatalf("audit lists %d terms, want at least the L2 and interconnect paths", len(a.Terms))
+	}
+	want := a.Terms[0].Latency
+	byName := map[string]int{}
+	for _, term := range a.Terms {
+		if term.Name == "" || term.Why == "" {
+			t.Errorf("term %+v missing name or justification", term)
+		}
+		byName[term.Name] = term.Latency
+		if term.Latency < want {
+			want = term.Latency
+		}
+	}
+	if byName["L2.Latency"] != g.L2.Latency || byName["IcntLatency"] != g.IcntLatency {
+		t.Errorf("audit terms %v do not reflect the config (L2=%d, Icnt=%d)", byName, g.L2.Latency, g.IcntLatency)
+	}
+	if a.Bound != want {
+		t.Errorf("Bound = %d, want min over terms %d", a.Bound, want)
+	}
+	if g.SlackBound() != a.Bound {
+		t.Errorf("SlackBound = %d, audit bound %d", g.SlackBound(), a.Bound)
+	}
+	if lim := a.Limiting(); lim.Latency != a.Bound {
+		t.Errorf("Limiting() returned %+v, not a bound-setting term (bound %d)", lim, a.Bound)
+	}
+}
+
+func TestSlackBoundTracksTighterTerm(t *testing.T) {
+	g := Default()
+	g.L2.Latency = 3
+	if got := g.SlackBound(); got != 3 {
+		t.Errorf("SlackBound = %d, want 3 (L2 latency binds)", got)
+	}
+	if lim := g.SlackAudit().Limiting(); lim.Name != "L2.Latency" {
+		t.Errorf("Limiting term = %q, want L2.Latency", lim.Name)
+	}
+	g = Default()
+	g.IcntLatency = 2
+	if got := g.SlackBound(); got != 2 {
+		t.Errorf("SlackBound = %d, want 2 (interconnect binds)", got)
+	}
+}
+
+func TestValidateRejectsZeroSlackBound(t *testing.T) {
+	g := Default()
+	g.IcntLatency = 0
+	err := g.Validate()
+	if err == nil {
+		t.Fatal("expected validation error for zero slack bound")
+	}
+	msg := err.Error()
+	for _, needle := range []string{"slack bound", "IcntLatency"} {
+		if !strings.Contains(msg, needle) {
+			t.Errorf("error %q does not mention %q; the message must point at the offending term", msg, needle)
+		}
+	}
+}

@@ -31,6 +31,10 @@ type Runner struct {
 	// Each running simulation holds that many Budget slots, so concurrency ×
 	// parallelism never exceeds the budget.
 	Parallelism int
+	// SlackWindow is the sim.Options.SlackWindow for each run (default 0:
+	// auto — the config-derived maximum). Results are bit-identical at every
+	// setting, so like Parallelism it is not part of the memoization key.
+	SlackWindow int
 	// Budget bounds this runner's CPU use; NewRunner wires the process-wide
 	// SharedBudget so runner pools and the snaked service cannot
 	// oversubscribe the host between them.
@@ -188,6 +192,7 @@ func (r *Runner) execute(ctx context.Context, res *runResult, label, mech string
 		NewPrefetcher: f,
 		Context:       ctx,
 		Parallelism:   granted,
+		SlackWindow:   r.SlackWindow,
 		PhaseProfile:  r.PhaseProfile,
 	}, tag)
 	if err != nil {

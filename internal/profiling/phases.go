@@ -57,10 +57,38 @@ func (p Phase) String() string {
 // silently grow back.
 type Phases struct {
 	ns [NumPhases]int64
+	// barriers counts executed epochs (each epoch crosses the cycle barrier
+	// once), epochCycles the cycles they covered; their ratio is the
+	// amortization the bounded-slack schedule achieved. Fast-forwarded cycles
+	// are in neither.
+	barriers    int64
+	epochCycles int64
 }
 
 // Add accrues ns nanoseconds to the given phase.
 func (p *Phases) Add(ph Phase, ns int64) { p.ns[ph] += ns }
+
+// AddEpoch records one executed epoch covering the given number of cycles —
+// one barrier crossing.
+func (p *Phases) AddEpoch(cycles int64) {
+	p.barriers++
+	p.epochCycles += cycles
+}
+
+// Barriers returns the number of barrier crossings (executed epochs).
+func (p *Phases) Barriers() int64 { return p.barriers }
+
+// EpochCycles returns the number of cycles covered by executed epochs.
+func (p *Phases) EpochCycles() int64 { return p.epochCycles }
+
+// CyclesPerBarrier returns the mean epoch length — executed cycles per
+// barrier crossing; zero when nothing has been recorded.
+func (p *Phases) CyclesPerBarrier() float64 {
+	if p.barriers == 0 {
+		return 0
+	}
+	return float64(p.epochCycles) / float64(p.barriers)
+}
 
 // Ns returns the nanoseconds accumulated for one phase.
 func (p *Phases) Ns(ph Phase) int64 { return p.ns[ph] }
@@ -85,14 +113,21 @@ func (p *Phases) SerialShare() float64 {
 }
 
 // Reset zeroes the accumulator.
-func (p *Phases) Reset() { p.ns = [NumPhases]int64{} }
+func (p *Phases) Reset() {
+	p.ns = [NumPhases]int64{}
+	p.barriers = 0
+	p.epochCycles = 0
+}
 
-// Map returns the accumulated nanoseconds keyed by phase name (the
-// BENCH_sim.json phase_ns schema).
+// Map returns the accumulated nanoseconds keyed by phase name, plus the
+// barrier counters under "barriers" and "epoch_cycles" (the BENCH_sim.json
+// phase_ns schema).
 func (p *Phases) Map() map[string]int64 {
-	out := make(map[string]int64, NumPhases)
+	out := make(map[string]int64, NumPhases+2)
 	for ph := Phase(0); ph < NumPhases; ph++ {
 		out[ph.String()] = p.ns[ph]
 	}
+	out["barriers"] = p.barriers
+	out["epoch_cycles"] = p.epochCycles
 	return out
 }

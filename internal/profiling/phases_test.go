@@ -21,16 +21,30 @@ func TestPhasesAccounting(t *testing.T) {
 	if got := p.SerialShare(); math.Abs(got-0.40) > 1e-12 {
 		t.Errorf("SerialShare = %f, want 0.40", got)
 	}
+	p.AddEpoch(6)
+	p.AddEpoch(2)
+	if p.Barriers() != 2 || p.EpochCycles() != 8 {
+		t.Errorf("barriers=%d epochCycles=%d, want 2 and 8", p.Barriers(), p.EpochCycles())
+	}
+	if got := p.CyclesPerBarrier(); math.Abs(got-4.0) > 1e-12 {
+		t.Errorf("CyclesPerBarrier = %f, want 4", got)
+	}
 	m := p.Map()
-	if len(m) != int(NumPhases) {
-		t.Fatalf("Map has %d entries, want %d", len(m), NumPhases)
+	if len(m) != int(NumPhases)+2 {
+		t.Fatalf("Map has %d entries, want %d", len(m), int(NumPhases)+2)
 	}
 	if m["serial-route"] != 30 || m["parallel-partition"] != 20 || m["parallel-shard"] != 40 || m["merge"] != 10 {
 		t.Errorf("Map = %v", m)
 	}
+	if m["barriers"] != 2 || m["epoch_cycles"] != 8 {
+		t.Errorf("Map barrier counters = %v", m)
+	}
 	p.Reset()
-	if p.TotalNs() != 0 {
-		t.Errorf("Reset left %d ns", p.TotalNs())
+	if p.TotalNs() != 0 || p.Barriers() != 0 || p.EpochCycles() != 0 {
+		t.Errorf("Reset left total=%d barriers=%d epochCycles=%d", p.TotalNs(), p.Barriers(), p.EpochCycles())
+	}
+	if p.CyclesPerBarrier() != 0 {
+		t.Errorf("CyclesPerBarrier on empty accumulator = %f, want 0", p.CyclesPerBarrier())
 	}
 }
 

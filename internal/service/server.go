@@ -32,6 +32,10 @@ type Options struct {
 	// Parallelism is the default per-run SM-shard worker count for jobs that
 	// do not request one (default 1).
 	Parallelism int
+	// SlackWindow is the default per-run epoch length (sim.Options
+	// .SlackWindow) for jobs that do not request one (default 0: auto, the
+	// config-derived maximum). Results are bit-identical at every setting.
+	SlackWindow int
 	// Budget is the CPU-slot budget simulations draw from (default: the
 	// process-wide harness.SharedBudget, shared with any harness.Runner in
 	// the same process so the two pools cannot oversubscribe the host
@@ -75,6 +79,7 @@ type Service struct {
 	gpu         config.GPU
 	scale       workloads.Scale
 	parallelism int
+	slack       int
 	workers     int
 	budget      *harness.Budget
 	queue       *jobQueue
@@ -141,6 +146,9 @@ func New(opt Options) *Service {
 	if opt.Parallelism < 1 {
 		opt.Parallelism = 1
 	}
+	if opt.SlackWindow < 0 {
+		opt.SlackWindow = 0
+	}
 	if opt.Budget == nil {
 		opt.Budget = harness.SharedBudget()
 	}
@@ -149,6 +157,7 @@ func New(opt Options) *Service {
 		gpu:         gpu,
 		scale:       scale,
 		parallelism: opt.Parallelism,
+		slack:       opt.SlackWindow,
 		workers:     opt.Workers,
 		budget:      opt.Budget,
 		queue:       newJobQueue(opt.QueueMax),
@@ -252,6 +261,13 @@ func (s *Service) normalize(req RunRequest) (spec, error) {
 	if sp.parallelism == 0 {
 		sp.parallelism = s.parallelism
 	}
+	if req.Slack < 0 {
+		return spec{}, errors.New("slack must be non-negative")
+	}
+	sp.slack = req.Slack
+	if sp.slack == 0 {
+		sp.slack = s.slack
+	}
 	return sp, nil
 }
 
@@ -348,7 +364,7 @@ func (s *Service) SubmitSweep(req SweepRequest) (*sweep, []*job, error) {
 				Bench: b, Mech: m, Snake: req.Snake,
 				GPU: req.GPU, Scale: req.Scale,
 				Priority: req.Priority, TimeoutMS: req.TimeoutMS,
-				Parallelism: req.Parallelism,
+				Parallelism: req.Parallelism, Slack: req.Slack,
 			})
 			if err != nil {
 				return nil, nil, err

@@ -411,8 +411,10 @@ func TestSubmitValidation(t *testing.T) {
 	}()
 
 	for name, req := range map[string]RunRequest{
-		"unknown bench": {Bench: "nope", Mech: "baseline"},
-		"unknown mech":  {Bench: "lps", Mech: "nope"},
+		"unknown bench":        {Bench: "nope", Mech: "baseline"},
+		"unknown mech":         {Bench: "lps", Mech: "nope"},
+		"negative parallelism": {Bench: "lps", Mech: "baseline", Parallelism: -1},
+		"negative slack":       {Bench: "lps", Mech: "baseline", Slack: -1},
 	} {
 		resp, body := postJSON(t, ts.URL+"/v1/runs", req)
 		if resp.StatusCode != http.StatusBadRequest {
@@ -427,5 +429,34 @@ func TestSubmitValidation(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("unknown field: %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestNormalizeSlackAndParallelismDefaults pins the local-resource knob
+// plumbing: a request's 0 means "server default", explicit values pass
+// through, and neither knob reaches the content address (covered by the
+// spec fields being outside the RunKey — see keyOf).
+func TestNormalizeSlackAndParallelismDefaults(t *testing.T) {
+	gpu := config.Scaled(2, 16)
+	scale := workloads.Scale{CTAs: 4, WarpsPerCTA: 2, Iters: 2}
+	svc := New(Options{Workers: 1, GPU: &gpu, Scale: &scale, Parallelism: 2, SlackWindow: 3})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+	}()
+	sp, err := svc.normalize(RunRequest{Bench: "lps", Mech: "baseline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.parallelism != 2 || sp.slack != 3 {
+		t.Errorf("defaults: parallelism=%d slack=%d, want 2 and 3", sp.parallelism, sp.slack)
+	}
+	sp, err = svc.normalize(RunRequest{Bench: "lps", Mech: "baseline", Parallelism: 1, Slack: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.parallelism != 1 || sp.slack != 5 {
+		t.Errorf("explicit: parallelism=%d slack=%d, want 1 and 5", sp.parallelism, sp.slack)
 	}
 }

@@ -56,6 +56,11 @@ type RunRequest struct {
 	// so a wide run trades against job concurrency rather than
 	// oversubscribing the host.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Slack is the per-run bounded-slack epoch length (sim.Options
+	// .SlackWindow): 0 uses the server default (itself 0 = auto, the
+	// config-derived maximum). Results are bit-identical at every value;
+	// like Parallelism it only changes wall clock.
+	Slack int `json:"slack,omitempty"`
 }
 
 // SweepRequest submits the cross product of benches × mechs as one sweep.
@@ -68,6 +73,7 @@ type SweepRequest struct {
 	Priority    int              `json:"priority,omitempty"`
 	TimeoutMS   int64            `json:"timeout_ms,omitempty"`
 	Parallelism int              `json:"parallelism,omitempty"`
+	Slack       int              `json:"slack,omitempty"`
 }
 
 // Status is a job's lifecycle state.
@@ -161,8 +167,9 @@ type BenchInfo struct {
 	FullName string `json:"full_name"`
 }
 
-// spec is a normalized, validated job specification. parallelism is not part
-// of the content address: it changes wall clock, never results. noForward
+// spec is a normalized, validated job specification. parallelism and slack
+// are not part of the content address: they change wall clock, never
+// results. noForward
 // marks work that arrived from a peer: it must be produced locally, never
 // forwarded again (loop prevention).
 type spec struct {
@@ -174,14 +181,15 @@ type spec struct {
 	priority    int
 	timeout     time.Duration
 	parallelism int
+	slack       int
 	noForward   bool
 	factory     harness.Factory
 }
 
 // wireRequest reconstructs a forwardable RunRequest from the normalized
 // spec. GPU and scale are always sent explicitly so the peer normalizes to
-// the same content address whatever its own defaults are; parallelism is a
-// local-resource knob and is left to the peer's default.
+// the same content address whatever its own defaults are; parallelism and
+// slack are local-resource knobs and are left to the peer's defaults.
 func (sp *spec) wireRequest() RunRequest {
 	gpu, scale := sp.gpu, sp.scale
 	req := RunRequest{

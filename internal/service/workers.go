@@ -216,6 +216,7 @@ func (s *Service) simulate(ctx context.Context, sp *spec) (*stats.Sim, error) {
 		NewPrefetcher: sp.factory,
 		Context:       ctx,
 		Parallelism:   granted,
+		SlackWindow:   sp.slack,
 	}, tag)
 	if err != nil {
 		return nil, err

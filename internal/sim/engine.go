@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 
 	"snake/internal/config"
 	"snake/internal/icnt"
@@ -51,12 +52,32 @@ type Options struct {
 	// 128 × L2Partitions (see withDefaults).
 	MaxInflightFills int
 	// Parallelism is how many workers tick work units — SM shards and L2
-	// memory partitions — concurrently within each simulated cycle (default
-	// 1: serial). Results are bit-identical for every value — units exchange
-	// state only at the cycle barrier, in fixed merge orders — so callers
+	// memory partitions — concurrently within each slack epoch (default 1:
+	// serial). Results are bit-identical for every value — units exchange
+	// state only at the epoch barrier, in fixed merge orders — so callers
 	// may pick purely on available cores. Clamped to the total unit count
-	// (NumSM + L2Partitions).
+	// (NumSM + L2Partitions). On a single-core runtime (GOMAXPROCS == 1)
+	// values > 1 degrade to serial ticking — extra workers can only steal
+	// the engine's core there — unless ForceParallelism overrides.
 	Parallelism int
+	// ForceParallelism keeps Parallelism > 1 worker groups even when
+	// GOMAXPROCS == 1. Results are identical either way; this exists for the
+	// equivalence tests, which must exercise the real multi-worker barrier
+	// on single-core CI machines.
+	ForceParallelism bool
+	// SlackWindow is the bounded-slack epoch length: how many consecutive
+	// cycles every work unit ticks between barriers. 0 (auto) and anything
+	// above the config's provable bound resolve to that bound
+	// (min(config.SlackBound, maxSlackWindow)); 1 degenerates to a barrier
+	// per cycle. Result.Stats is bit-identical at every setting — message
+	// visibility is gated on the config-derived slack horizon, never on the
+	// runtime epoch length — so callers pick purely on sync overhead. See
+	// DESIGN.md "Bounded-slack ticking".
+	SlackWindow int
+	// LatencyAudit, when non-nil, receives the minimum cross-boundary
+	// latencies actually observed during the run — the empirical floor the
+	// slack property test checks the config-derived bound against.
+	LatencyAudit *LatencyAudit
 	// PhaseProfile, when non-nil, accumulates the engine's wall-clock time
 	// per cycle phase (serial route, parallel partitions, parallel shards,
 	// serial merge) into the given accumulator across the run. Profiling
@@ -92,6 +113,14 @@ func (opt Options) withDefaults() Options {
 		opt.MLPPerWarp = 2
 	}
 	if opt.Parallelism <= 0 {
+		opt.Parallelism = 1
+	}
+	if opt.Parallelism > 1 && runtime.GOMAXPROCS(0) == 1 && !opt.ForceParallelism {
+		// One schedulable core: worker goroutines cannot overlap the engine,
+		// they can only preempt it. Serial ticking computes identical results
+		// (the equivalence matrices force the multi-worker path via
+		// ForceParallelism to prove it), so degrade instead of paying the
+		// barrier for nothing.
 		opt.Parallelism = 1
 	}
 	if max := opt.Config.NumSM + opt.Config.L2Partitions; opt.Parallelism > max {
@@ -131,13 +160,13 @@ type engine struct {
 	// resps holds partition responses waiting for response-network
 	// bandwidth, ordered by data-ready cycle.
 	resps respHeap
-	// stores is the merged write-through store queue, in (smID, seq) order
-	// within each cycle.
+	// stores is the merged write-through store queue, in (cycle, smID, seq)
+	// order; a store issued at cycle p becomes sendable at p + horizon.
 	stores []storeMsg
-	// routed is the per-cycle response slot array: the routing phase assigns
+	// routed is the per-epoch response slot array: the routing phase assigns
 	// each due request a slot in global arrival order, the owning partition's
-	// tick writes the computed response into that slot, and mergeResponses
-	// pushes slots in order — the exact push sequence the serial-arrival
+	// tick span writes the computed response into that slot, and the epoch
+	// merge pushes slots in order — the exact push sequence the serial-arrival
 	// engine produced, so heap tie-breaking (and thus every downstream
 	// statistic) is unchanged.
 	routed []resp
@@ -146,6 +175,29 @@ type engine struct {
 	ageCtr   int64
 	inflight int   // outstanding fill requests in the memory system
 	skipped  int64 // cycles elided by event-driven fast-forwarding
+
+	// Bounded-slack epoch state (DESIGN.md "Bounded-slack ticking").
+	//
+	// horizon is the visibility delay applied to every SM-side output that
+	// feeds back into the serial phase — miss-queue injection, store sends,
+	// CTA redispatch: min(config.SlackBound, maxSlackWindow), a pure function
+	// of the config. slackMax is the runtime epoch-length cap —
+	// Options.SlackWindow resolved into [1, horizon]. Statistics depend on
+	// horizon only, never on where epoch boundaries fall, which is what makes
+	// every SlackWindow setting bit-identical.
+	horizon  int64
+	slackMax int64
+	// slackOK is the production conflict fallback: a merged response whose
+	// ready cycle lands inside its own epoch (provably impossible, see the
+	// mergeEpoch assert) clears it, degrading all later epochs to length 1.
+	slackOK    bool
+	epochStart int64     // first sub-cycle of the epoch being ticked
+	utilSnap   []float64 // per-sub-cycle response-network utilization snapshots
+	respSeq    int64     // global response stamp, assigned in merge order
+	dispatchAt []int64   // matured CTA-redispatch cycles, ascending
+	storeIdx   []int     // per-shard cursor for the epoch store merge
+	minReqLat  int64     // smallest observed request-delivery latency (audit)
+	minRespLat int64     // smallest observed response-delivery latency (audit)
 
 	shStats *stats.Shards
 	// memStats holds one counter block per L2 partition; totals are
@@ -217,6 +269,8 @@ func newEngine(k *trace.Kernel, opt Options) *engine {
 	for _, sh := range e.shards {
 		e.units = append(e.units, sh)
 	}
+	e.storeIdx = make([]int, cfg.NumSM)
+	e.initSlack()
 	return e
 }
 
@@ -240,20 +294,30 @@ const (
 // the engine tolerates before declaring a deadlock.
 const deadlockIdleCycles = 1_000_000
 
-// run executes the cycle loop. Every executed cycle has the same shape:
+// run executes the epoch loop. Every executed epoch — a span of up to
+// slackMax consecutive cycles between two barriers — has the same shape:
 //
-//	serial route phase:  net.tick → due requests binned per L2 partition in
-//	                     arrival order (slot-indexed) → response sends (with
-//	                     L2 installs deferred into partition bins) → fill
-//	                     delivery into shard inboxes → request injection
-//	                     (pull, smID order) → stores
-//	parallel phase:      every work unit ticks, concurrently when
-//	                     Parallelism > 1 — partitions perform their binned
-//	                     L2 lookups, merges and DRAM timing; shards apply
-//	                     fills, run prefetchers and issue
-//	serial merge phase:  response slots pushed in arrival order → egress
-//	                     merge in (smID, seq) order → CTA refill →
-//	                     termination / idle / fast-forward bookkeeping
+//	serial route phase:  for each sub-cycle in order: net.tick → due requests
+//	                     binned per L2 partition in arrival order
+//	                     (slot-indexed) → response sends (with L2 installs
+//	                     deferred into partition bins) → fill delivery into
+//	                     shard inboxes → request injection (pull, smID order,
+//	                     horizon-matured heads only) → matured stores →
+//	                     utilization snapshot
+//	parallel phase:      every work unit ticks the whole span, concurrently
+//	                     when Parallelism > 1 — partitions perform their
+//	                     binned L2 lookups, merges and DRAM timing; shards
+//	                     apply fills, run prefetchers and issue
+//	serial merge phase:  response slots pushed in arrival order (stamped with
+//	                     a global sequence) → store merge in (cycle, smID,
+//	                     seq) order → CTA-finish maturation → termination /
+//	                     idle / fast-forward bookkeeping
+//
+// The serial phase runs a whole epoch ahead of the ticks; that is sound
+// because every tick output is invisible to the serial phase for at least
+// horizon cycles (min cross-boundary latency, config-derived), and every
+// epoch is at most horizon cycles long. With SlackWindow=1 the loop is
+// exactly the seed's per-cycle schedule.
 func (e *engine) run() error {
 	if e.opt.Parallelism > 1 {
 		e.group = startShardGroup(e.units, e.opt.Parallelism)
@@ -268,33 +332,55 @@ func (e *engine) run() error {
 	idle := int64(0)
 	clk.start(e.prof)
 	for e.cycle < e.opt.MaxCycles {
-		e.cycle++
-		// The lap at the top of the iteration closes the previous cycle's
+		start := e.cycle + 1
+		// The lap at the top of the iteration closes the previous epoch's
 		// merge phase: every continue path below re-enters here, so the
-		// merge/bookkeeping tail is charged exactly once per executed cycle.
+		// merge/bookkeeping tail is charged exactly once per executed epoch.
 		clk.lap(profiling.PhaseMerge)
-		if e.opt.Context != nil && e.cycle&(ctxCheckInterval-1) == 0 {
-			if err := e.opt.Context.Err(); err != nil {
-				return fmt.Errorf("sim: aborted at cycle %d: %w", e.cycle, err)
-			}
+		e.applyDispatches(start)
+		cur := e.slackMax
+		if !e.slackOK {
+			cur = 1
 		}
-		e.net.tick(e.cycle)
-		e.routeRequests()
-		e.drainResponses()
-		e.deliverFills()
-		e.drainMissQueues()
-		e.drainStores()
+		maxEnd := start + cur - 1
+		if maxEnd > e.opt.MaxCycles {
+			maxEnd = e.opt.MaxCycles
+		}
+		if len(e.dispatchAt) > 0 && e.dispatchAt[0]-1 < maxEnd {
+			// A matured CTA redispatch must land on an epoch start so the new
+			// warps are visible to that whole epoch's ticks (and to its serial
+			// phase), exactly as with per-cycle barriers.
+			maxEnd = e.dispatchAt[0] - 1
+		}
+		end, err := e.serialPhase(start, maxEnd)
+		if err != nil {
+			return err
+		}
+		e.cycle = end
+		e.epochStart = start
 		clk.lap(profiling.PhaseSerialRoute)
-		anyRetired := e.tickUnits(&clk)
+		e.tickWave(start, end, &clk)
+		if e.prof != nil {
+			e.prof.AddEpoch(end - start + 1)
+		}
+		retiredLast := e.mergeEpoch(start, end)
 		if e.finished() {
 			break
 		}
 		msgs := e.inFlightMsgs()
-		if anyRetired || msgs > 0 {
+		switch {
+		case retiredLast || msgs > 0:
 			idle = 0
-		} else {
-			// Deadlock guard: nothing retired and nothing in flight for a
-			// long time means a stuck warp (a bug, not a workload property).
+		case end > start:
+			// A multi-cycle epoch ends at its first zero-traffic sub-cycle
+			// (the serial phase cuts there), so the serial engine's idle
+			// counter — reset at end-1 by the in-flight traffic — would read
+			// exactly 1 here.
+			idle = 1
+		default:
+			// Zero-traffic epochs degenerate to a single cycle, so this
+			// counts per cycle and the deadlock error (if it fires) lands on
+			// the same cycle per-cycle execution reports it.
 			idle++
 			if idle > deadlockIdleCycles {
 				return errors.New("sim: deadlock: no progress and no in-flight traffic")
@@ -406,7 +492,18 @@ func (e *engine) nextInteresting() int64 {
 		}
 	}
 	if len(e.stores) > 0 {
-		if c := e.net.nextReqAccept(cur); best < 0 || c < best {
+		// The head store (earliest by merge order) cannot cross before both
+		// its maturity cycle and the request network's backlog drain.
+		c := e.stores[0].cycle + e.horizon
+		if a := e.net.nextReqAccept(cur); a > c {
+			c = a
+		}
+		if best < 0 || c < best {
+			best = c
+		}
+	}
+	if len(e.dispatchAt) > 0 {
+		if c := e.dispatchAt[0]; best < 0 || c < best {
 			best = c
 		}
 	}
@@ -415,7 +512,13 @@ func (e *engine) nextInteresting() int64 {
 			return cur + 1
 		}
 		if sh.hasQueuedReq() && e.inflight < e.opt.MaxInflightFills {
-			if c := e.net.nextReqAccept(cur); best < 0 || c < best {
+			// The queue head pops no earlier than its maturity cycle and the
+			// network's next acceptance.
+			c := e.net.nextReqAccept(cur)
+			if r := sh.nextReqReady(e.horizon); r > c {
+				c = r
+			}
+			if best < 0 || c < best {
 				best = c
 			}
 		}
@@ -456,58 +559,99 @@ func (e *engine) fillSMs() {
 	}
 }
 
-// routeRequests bins every fill request due at the L2 side this cycle onto
-// its partition, in the deterministic ingress order (send order). Each
-// request gets a slot in e.routed in that global order; the partition's tick
-// computes the response into the slot and mergeResponses pushes slots in
-// order, so the response heap sees the exact push sequence the serial
-// arrival loop produced. The L2/DRAM work itself moves off the serial path
-// into the partitions' (parallel) ticks.
+// serialPhase executes the serial route phase for the sub-cycles
+// [start, maxEnd] in order and returns the epoch's actual end: maxEnd, or
+// the first sub-cycle at which no cross-boundary message remains in flight.
+// Cutting there keeps the executed-cycle set identical to per-cycle
+// execution — the kernel-finish cycle is always a zero-traffic cycle, so the
+// epoch can never tick past it — at the cost of degenerating to one-cycle
+// epochs during compute-only stretches.
 //
-// Responses computed at cycle C are never sendable before C+1 — every access
-// path returns readyAt ≥ C + L2.Latency with L2.Latency ≥ 1 (enforced by
-// config validation) — so deferring their heap push past this cycle's
-// drainResponses changes nothing.
-func (e *engine) routeRequests() {
+// Everything here reads only pre-epoch state plus this phase's own earlier
+// sub-cycles: tick outputs are invisible for at least horizon cycles (miss
+// queue and store stamps mature at +horizon, partition responses are ready
+// no earlier than +L2 latency ≥ +horizon), and maxEnd < start + horizon.
+func (e *engine) serialPhase(start, maxEnd int64) (int64, error) {
+	e.utilSnap = e.utilSnap[:0]
+	for c := start; ; c++ {
+		if e.opt.Context != nil && c&(ctxCheckInterval-1) == 0 {
+			if err := e.opt.Context.Err(); err != nil {
+				return 0, fmt.Errorf("sim: aborted at cycle %d: %w", c, err)
+			}
+		}
+		e.net.tick(c)
+		e.routeRequests(c)
+		e.drainResponses(c)
+		e.deliverFills(c)
+		e.drainMissQueues(c)
+		e.drainStores(c)
+		e.utilSnap = append(e.utilSnap, e.net.utilization())
+		if c >= maxEnd || e.predictedMsgs() == 0 {
+			return c, nil
+		}
+	}
+}
+
+// predictedMsgs is the serial phase's view of inFlightMsgs at the end of a
+// sub-cycle: requests crossing the network, responses awaiting bandwidth
+// (both already pushed and routed-but-not-yet-computed), and fills not yet
+// delivered. It equals exactly what inFlightMsgs reports after the cycle's
+// ticks and merge under per-cycle barriers: ticks consume the whole inbox
+// (so delivered-but-unconsumed fills don't count), and tick outputs (miss
+// queue entries, stores) are not messages until the serial phase injects
+// them.
+func (e *engine) predictedMsgs() int {
+	n := e.reqs.Len() + len(e.resps) + len(e.routed)
+	for _, sh := range e.shards {
+		n += sh.fills.Len()
+	}
+	return n
+}
+
+// routeRequests bins every fill request due at the L2 side at sub-cycle c
+// onto its partition, in the deterministic ingress order (send order). Each
+// request gets a slot in e.routed in that global order; the partition's tick
+// span computes the response into the slot and the epoch merge pushes slots
+// in order, so the response heap sees the exact push sequence the serial
+// arrival loop produced. The L2/DRAM work itself moves off the serial path
+// into the partitions' (parallel) tick spans.
+//
+// Responses computed for an arrival at sub-cycle c are never sendable before
+// c + L2.Latency ≥ c + horizon — past the epoch end — so deferring their
+// heap push to the epoch merge changes nothing (asserted there).
+func (e *engine) routeRequests(c int64) {
+	grew := false
 	for {
-		r, ok := e.reqs.PopDue(e.cycle)
+		r, ok := e.reqs.PopDue(c)
 		if !ok {
 			break
 		}
 		p := e.parts[e.partOf(r.lineAddr)]
-		p.pending = append(p.pending, partReq{slot: len(e.routed), sm: r.sm, lineAddr: r.lineAddr, prefetch: r.prefetch})
+		p.pending = append(p.pending, partReq{slot: len(e.routed), sm: r.sm, lineAddr: r.lineAddr, prefetch: r.prefetch, cycle: c})
 		e.routed = append(e.routed, resp{})
+		grew = true
 	}
-	if len(e.routed) > 0 {
+	if grew {
 		// Re-alias the slot array on every partition: the appends above may
-		// have regrown its backing array since last cycle.
+		// have regrown its backing array since last epoch.
 		for _, p := range e.parts {
 			p.routed = e.routed
 		}
 	}
 }
 
-// mergeResponses pushes the cycle's partition-computed responses onto the
-// response heap in slot (global arrival) order — the deterministic merge
-// closing the partitions' parallel phase.
-func (e *engine) mergeResponses() {
-	for i := range e.routed {
-		e.resps.push(e.routed[i])
-	}
-	e.routed = e.routed[:0]
-}
-
-// drainResponses sends ready memory responses back over the interconnect,
-// stamping each with its delivery cycle and queueing it on the destination
-// shard's ingress port. The L2 install for each shipped line is deferred
-// into the owning partition's completes bin, applied during its tick this
-// same cycle (after the cycle's accesses — the same relative order the
-// serial engine had, see memPartition.tick).
-func (e *engine) drainResponses() {
+// drainResponses sends ready memory responses back over the interconnect at
+// sub-cycle c, stamping each with its delivery cycle and queueing it on the
+// destination shard's ingress port. The L2 install for each shipped line is
+// deferred into the owning partition's completes bin, applied at the same
+// sub-cycle of its tick span (after that sub-cycle's accesses — the same
+// relative order the serial engine had, see memPartition.tickSpan). Only
+// pre-epoch responses can be due: in-epoch ones are ready past the epoch end.
+func (e *engine) drainResponses(c int64) {
 	lineBytes := e.cfg.Unified.LineSize
 	for {
 		r, ok := e.resps.peek()
-		if !ok || r.readyAt > e.cycle {
+		if !ok || r.readyAt > c {
 			return
 		}
 		deliverAt, sent := e.net.trySendResp(lineBytes)
@@ -516,16 +660,20 @@ func (e *engine) drainResponses() {
 		}
 		e.resps.pop()
 		p := e.parts[r.part]
-		p.completes = append(p.completes, r.lineAddr)
+		p.completes = append(p.completes, partFill{lineAddr: r.lineAddr, cycle: c})
 		e.shards[r.sm].fills.Push(deliverAt, fillMsg{lineAddr: r.lineAddr, prefetch: r.prefetch})
+		if d := deliverAt - c; d < e.minRespLat {
+			e.minRespLat = d
+		}
 	}
 }
 
-// deliverFills moves due fills into each shard's inbox (smID order) and
-// releases their in-flight capacity, exactly when per-event delivery did.
-func (e *engine) deliverFills() {
+// deliverFills moves fills due at sub-cycle c into each shard's inbox (smID
+// order) and releases their in-flight capacity, exactly when per-event
+// delivery did.
+func (e *engine) deliverFills(c int64) {
 	for _, sh := range e.shards {
-		e.inflight -= sh.deliverDue(e.cycle)
+		e.inflight -= sh.deliverDue(c)
 	}
 }
 
@@ -534,19 +682,26 @@ func (e *engine) deliverFills() {
 const missInjectPerSM = 3
 
 // drainMissQueues pulls outgoing fill requests from each shard's request
-// port, up to missInjectPerSM per SM per cycle, subject to the in-flight cap
-// (downstream queue capacity). The pull order — shards in smID order — is
-// the deterministic merge order of the SM→memory request stream. Staged
-// prefetch requests trickle into each shared miss queue at
-// cache.PrefetchDrainPerCycle per cycle.
-func (e *engine) drainMissQueues() {
+// port at sub-cycle c, up to missInjectPerSM per SM per cycle, subject to
+// the in-flight cap (downstream queue capacity). Only heads that matured
+// past the slack horizon are candidates: a request staged at cycle p is
+// injectable from p + horizon, so requests staged by the current epoch's
+// ticks are never pulled by its own serial phase. The pull order — shards in
+// smID order — is the deterministic merge order of the SM→memory request
+// stream. Each pull is also recorded in the shard's per-sub-cycle pop
+// schedule, which the tick span replays as phantom miss-queue occupancy.
+func (e *engine) drainMissQueues(c int64) {
 	for _, sh := range e.shards {
-		sh.drainStaged(e.cycle)
+		// Every shard gets a pop-schedule slot for this sub-cycle, including
+		// the ones the early returns below never reach.
+		sh.mqPops = append(sh.mqPops, 0)
+	}
+	for si, sh := range e.shards {
 		for k := 0; k < missInjectPerSM; k++ {
 			if e.inflight >= e.opt.MaxInflightFills {
 				return
 			}
-			if !sh.peekReq() {
+			if !sh.peekReq(c, e.horizon) {
 				break
 			}
 			deliverAt, sent := e.net.trySendReq(e.opt.RequestBytes)
@@ -555,15 +710,30 @@ func (e *engine) drainMissQueues() {
 			}
 			req, _ := sh.popReq()
 			e.inflight++
-			e.reqs.Push(deliverAt, req)
+			// The horizon is modeled as the front segment of the network
+			// traversal: the request spent horizon-1 cycles of its interconnect
+			// latency maturing in the miss queue, so its remaining flight is
+			// that much shorter and the end-to-end inject→arrival latency
+			// equals the per-cycle engine's. Sound because IcntLatency ≥
+			// horizon (the slack audit's interconnect term), so arrival stays
+			// strictly in the future.
+			arriveAt := deliverAt - (e.horizon - 1)
+			e.reqs.Push(arriveAt, req)
+			e.shards[si].mqPops[len(sh.mqPops)-1]++
+			if d := arriveAt - c; d < e.minReqLat {
+				e.minReqLat = d
+			}
 		}
 	}
 }
 
-// drainStores sends write-through store traffic at low priority.
-func (e *engine) drainStores() {
+// drainStores sends matured write-through store traffic at low priority: a
+// store issued during a tick at cycle p crosses the network no earlier than
+// p + horizon. The queue is in (cycle, smID, seq) merge order, so maturity
+// is a prefix property.
+func (e *engine) drainStores(c int64) {
 	n := 0
-	for n < len(e.stores) {
+	for n < len(e.stores) && e.stores[n].cycle+e.horizon <= c {
 		if _, sent := e.net.trySendReq(e.opt.StoreBytes); !sent {
 			break
 		}
@@ -579,68 +749,128 @@ func (e *engine) drainStores() {
 	}
 }
 
-// tickUnits runs the parallel phase of the cycle — every work unit ticks
-// (memory partitions drain their request/complete bins, shards apply fills
-// and issue), on the worker group when one is running — then performs the
-// serial merges: partition responses are pushed in arrival-slot order and
-// egress streams are appended to the memory-side queues in (smID, seq)
-// order, and freed CTA slots are refilled. Returns whether any shard retired
-// an instruction.
+// tickWave runs the parallel phase of the epoch: every work unit ticks the
+// sub-cycles [start, end] (memory partitions drain their request/complete
+// bins, shards apply fills and issue), on the worker group when one is
+// running.
 //
 // Normally partitions and shards tick as one wave — they touch disjoint
 // state, so no ordering between them is needed. When phase profiling is on,
 // the wave splits in two so partition and shard wall clocks are separable;
 // the split cannot change results (same disjointness).
-func (e *engine) tickUnits(clk *phaseClock) bool {
+func (e *engine) tickWave(start, end int64, clk *phaseClock) {
 	np := len(e.parts)
 	switch {
 	case e.prof != nil:
 		if e.group != nil {
-			e.group.runSpan(e.cycle, 0, np)
+			e.group.runSpan(start, end, 0, np)
 		} else {
 			for _, p := range e.parts {
-				p.tick(e.cycle)
+				p.tickSpan(start, end)
 			}
 		}
 		clk.lap(profiling.PhaseMemPartitions)
 		if e.group != nil {
-			e.group.runSpan(e.cycle, np, len(e.units))
+			e.group.runSpan(start, end, np, len(e.units))
 		} else {
 			for _, sh := range e.shards {
-				sh.tick(e.cycle)
+				sh.tickSpan(start, end)
 			}
 		}
 		clk.lap(profiling.PhaseShards)
 	case e.group != nil:
-		e.group.runCycle(e.cycle)
+		e.group.runSpan(start, end, 0, len(e.units))
 	default:
-		for _, p := range e.parts {
-			p.tick(e.cycle)
-		}
-		for _, sh := range e.shards {
-			sh.tick(e.cycle)
+		for _, u := range e.units {
+			u.tickSpan(start, end)
 		}
 	}
-	e.mergeResponses()
-	any, refill := false, false
+}
+
+// mergeEpoch performs the serial merges closing the epoch [start, end]:
+// partition responses are pushed in arrival-slot order (each stamped with a
+// global sequence so heap ordering is independent of push/pop interleaving
+// across epoch shapes), egress store streams are merged in (cycle, smID,
+// seq) order, and CTA finishes are queued for redispatch at +horizon.
+// Returns whether any shard retired an instruction at the final sub-cycle —
+// the only per-cycle retire bit the idle bookkeeping still needs (earlier
+// sub-cycles all carried in-flight traffic, which resets the counter
+// regardless).
+func (e *engine) mergeEpoch(start, end int64) bool {
+	for i := range e.routed {
+		r := e.routed[i]
+		if r.readyAt <= end {
+			// Provably unreachable: every partition response is ready no
+			// earlier than arrival + L2.Latency ≥ arrival + horizon > end.
+			e.slackConflict(r.readyAt, end)
+		}
+		e.respSeq++
+		r.seq = e.respSeq
+		e.resps.push(r)
+	}
+	e.routed = e.routed[:0]
+
+	// Store merge: walk sub-cycles outer, shards inner, so the merged queue
+	// is in (cycle, smID, seq) order — exactly the order per-cycle barriers
+	// would have appended. Each shard's stream is already cycle-sorted.
+	for i := range e.storeIdx {
+		e.storeIdx[i] = 0
+	}
+	for c := start; c <= end; c++ {
+		for si, sh := range e.shards {
+			st := sh.out.stores
+			for e.storeIdx[si] < len(st) && st[e.storeIdx[si]].cycle <= c {
+				e.stores = append(e.stores, st[e.storeIdx[si]])
+				e.storeIdx[si]++
+			}
+		}
+	}
 	for _, sh := range e.shards {
-		if len(sh.out.stores) > 0 {
-			e.stores = append(e.stores, sh.out.stores...)
-			sh.out.stores = sh.out.stores[:0]
-		}
-		if sh.report.retired {
-			any = true
-		}
-		if sh.report.ctaFinished {
-			refill = true
+		sh.out.stores = sh.out.stores[:0]
+		sh.mqPops = sh.mqPops[:0]
+	}
+
+	// CTA maturation: a CTA finishing at sub-cycle f frees its warp slots for
+	// redispatch at f + horizon — an epoch start by construction (run caps
+	// epochs at the earliest matured dispatch), so the refill is visible to a
+	// whole epoch exactly as under per-cycle barriers. Skipped once the
+	// dispatch queue is empty: maturation would only cap future epochs for a
+	// guaranteed no-op fillSMs.
+	if e.ctaNext < len(e.kernel.CTAs) {
+		for i := int64(0); i <= end-start; i++ {
+			bit := uint64(1) << uint(i)
+			for _, sh := range e.shards {
+				if sh.report.ctaMask&bit != 0 {
+					e.dispatchAt = append(e.dispatchAt, start+i+e.horizon)
+					break
+				}
+			}
 		}
 	}
-	if refill {
-		// CTAs freed during the parallel phase are redispatched at the
-		// barrier; the new warps first issue next cycle.
+
+	lastBit := uint64(1) << uint(end-start)
+	for _, sh := range e.shards {
+		if sh.report.retiredMask&lastBit != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// applyDispatches pops matured CTA-redispatch events due at the epoch start
+// and refills freed SM slots. Events mature only at epoch starts (run caps
+// each epoch at the earliest pending event), so the pop never lands
+// mid-epoch.
+func (e *engine) applyDispatches(start int64) {
+	n := 0
+	for n < len(e.dispatchAt) && e.dispatchAt[n] <= start {
+		n++
+	}
+	if n > 0 {
+		m := copy(e.dispatchAt, e.dispatchAt[n:])
+		e.dispatchAt = e.dispatchAt[:m]
 		e.fillSMs()
 	}
-	return any
 }
 
 // inFlightMsgs counts cross-boundary messages in flight: requests crossing
@@ -704,6 +934,16 @@ func (e *engine) result() *Result {
 	res.Stats.DRAMReads += mem.DRAMReads
 	res.Stats.DRAMRowHits += mem.DRAMRowHits
 	res.Stats.DRAMRowMisses += mem.DRAMRowMisses
+	if a := e.opt.LatencyAudit; a != nil {
+		a.MinReqDelivery = e.minReqLat
+		a.MinRespDelivery = e.minRespLat
+		a.MinL2Response = latencyUnobserved
+		for _, p := range e.parts {
+			if p.minRespLat < a.MinL2Response {
+				a.MinL2Response = p.minRespLat
+			}
+		}
+	}
 	return res
 }
 
@@ -716,8 +956,18 @@ type smEnv struct {
 	sm  *sm
 }
 
-// Utilization implements prefetch.Env.
-func (v *smEnv) Utilization() float64 { return v.eng.net.utilization() }
+// Utilization implements prefetch.Env. During a tick span the live network
+// counters are an epoch ahead of the shard's sub-cycle, so the read comes
+// from the per-sub-cycle snapshots the serial phase recorded — each exactly
+// the value a per-cycle barrier schedule would have exposed at that cycle.
+// (Outside a normal epoch — white-box tests ticking shards directly — it
+// falls back to the live value.)
+func (v *smEnv) Utilization() float64 {
+	if i := v.sm.nowCycle - v.eng.epochStart; i >= 0 && i < int64(len(v.eng.utilSnap)) {
+		return v.eng.utilSnap[i]
+	}
+	return v.eng.net.utilization()
+}
 
 // FreeFraction implements prefetch.Env.
 func (v *smEnv) FreeFraction() float64 { return v.sm.l1.FreeFraction() }

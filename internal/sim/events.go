@@ -10,18 +10,34 @@ package sim
 //
 // The heap is hand-rolled rather than a container/heap adapter: heap.Push/
 // heap.Pop box every element into an interface{}, which made each in-flight
-// response allocate on the hot path. The sift rules (strict-less
-// comparisons, swap-to-end pop) mirror container/heap exactly, so pop order
-// — ties included — is bit-identical to the seed engine's.
+// response allocate on the hot path.
+//
+// Ordering is the total order (readyAt, seq): seq is a global stamp the
+// engine assigns in deterministic merge order, so the pop sequence — ties
+// included — is a pure function of the response set, independent of how heap
+// pushes interleave with pops. That independence is what lets bounded-slack
+// epochs defer a whole epoch's pushes to one merge without perturbing any
+// downstream statistic (see DESIGN.md "Bounded-slack ticking"). Responses
+// pushed with seq 0 (white-box tests) tie-break exactly like the strict-less
+// heap the seed engine used.
 type resp struct {
 	readyAt  int64
+	seq      int64
 	sm       int
 	lineAddr uint64
 	part     int
 	prefetch bool
 }
 
-// respHeap is a min-heap of responses ordered by data-ready cycle.
+// respLess is the heap's strict total order.
+func respLess(a, b *resp) bool {
+	if a.readyAt != b.readyAt {
+		return a.readyAt < b.readyAt
+	}
+	return a.seq < b.seq
+}
+
+// respHeap is a min-heap of responses ordered by (data-ready cycle, seq).
 type respHeap []resp
 
 func (h respHeap) Len() int { return len(h) }
@@ -31,7 +47,7 @@ func (h *respHeap) push(r resp) {
 	j := len(s) - 1
 	for j > 0 {
 		i := (j - 1) / 2
-		if !(s[j].readyAt < s[i].readyAt) {
+		if !respLess(&s[j], &s[i]) {
 			break
 		}
 		s[i], s[j] = s[j], s[i]
@@ -58,10 +74,10 @@ func (h *respHeap) pop() resp {
 		if j >= n {
 			break
 		}
-		if r := j + 1; r < n && s[r].readyAt < s[j].readyAt {
+		if r := j + 1; r < n && respLess(&s[r], &s[j]) {
 			j = r
 		}
-		if !(s[j].readyAt < s[i].readyAt) {
+		if !respLess(&s[j], &s[i]) {
 			break
 		}
 		s[i], s[j] = s[j], s[i]

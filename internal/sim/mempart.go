@@ -7,17 +7,25 @@ import (
 	"snake/internal/stats"
 )
 
-// partReq is one fill request routed to a partition for the current cycle.
-// slot is the request's index in the engine's per-cycle response array,
-// assigned in global arrival order during the serial routing phase; the
-// partition writes its computed response into that slot, and the merge phase
-// pushes slots in order, reproducing the serial engine's heap push order
-// exactly.
+// partReq is one fill request routed to a partition, tagged with its arrival
+// sub-cycle. slot is the request's index in the engine's per-epoch response
+// array, assigned in global arrival order during the serial routing phase;
+// the partition writes its computed response into that slot, and the merge
+// phase pushes slots in order, reproducing the serial engine's heap push
+// order exactly.
 type partReq struct {
 	slot     int
 	sm       int
 	lineAddr uint64
 	prefetch bool
+	cycle    int64
+}
+
+// partFill is one shipped-response completion, tagged with the sub-cycle its
+// response left the partition (when the L2 install becomes visible).
+type partFill struct {
+	lineAddr uint64
+	cycle    int64
 }
 
 // memPartition is one L2 sub-partition with its attached DRAM controller.
@@ -43,13 +51,17 @@ type memPartition struct {
 	// merge-order invariant, see that package's property tests).
 	ms *stats.Mem
 
-	// Per-cycle work bins, filled by the engine's serial phases and consumed
-	// (and truncated) by tick.
-	pending   []partReq // requests that arrived this cycle, arrival order
-	completes []uint64  // lines whose responses shipped this cycle
-	// routed aliases the engine's per-cycle response slot array; tick writes
-	// each pending request's response at its pre-assigned slot.
+	// Per-epoch work bins, filled by the engine's serial phase (sub-cycle
+	// tags non-decreasing) and consumed (and truncated) by tickSpan.
+	pending   []partReq  // requests that arrived this epoch, arrival order
+	completes []partFill // lines whose responses shipped this epoch
+	// routed aliases the engine's per-epoch response slot array; tickSpan
+	// writes each pending request's response at its pre-assigned slot.
 	routed []resp
+
+	// minRespLat is the smallest (readyAt - arrival) latency this partition
+	// ever returned — the slack property test's observed floor.
+	minRespLat int64
 }
 
 // newMemPartition builds partition id counting into ms (nil: a private
@@ -59,34 +71,45 @@ func newMemPartition(id int, cfg config.GPU, ms *stats.Mem) *memPartition {
 		ms = &stats.Mem{}
 	}
 	return &memPartition{
-		id:       id,
-		l2:       cache.New(cfg.L2),
-		dramCtl:  dram.New(cfg.DRAM, cfg.DRAMBanks, cfg.DRAMRowBytes, cfg.DRAMClockxfer, ms),
-		latency:  int64(cfg.L2.Latency),
-		inflight: make(map[uint64]int64),
-		ms:       ms,
+		id:         id,
+		l2:         cache.New(cfg.L2),
+		dramCtl:    dram.New(cfg.DRAM, cfg.DRAMBanks, cfg.DRAMRowBytes, cfg.DRAMClockxfer, ms),
+		latency:    int64(cfg.L2.Latency),
+		inflight:   make(map[uint64]int64),
+		ms:         ms,
+		minRespLat: int64(1)<<62 - 1,
 	}
 }
 
-// tick performs the partition's binned work for one cycle: the cycle's
-// arrivals first, then the completions of responses that shipped this cycle.
-// That order — all accesses, then all fills — is exactly the serial engine's
+// tickSpan performs the partition's binned work for the epoch [from, to],
+// walking each sub-cycle in order: that sub-cycle's arrivals first, then the
+// completions of responses that shipped at it. Within one sub-cycle that
+// order — all accesses, then all fills — is exactly the serial engine's
 // arriveRequests→drainResponses order, so results are bit-identical.
 // Deferring the completions from the serial response phase to here is
-// invisible: nothing between the two points reads L2 state, and this cycle's
-// accesses cannot observe this cycle's completions in either schedule.
-func (m *memPartition) tick(cycle int64) {
-	for i := range m.pending {
-		r := &m.pending[i]
-		readyAt := m.access(r.lineAddr, cycle)
-		m.routed[r.slot] = resp{readyAt: readyAt, sm: r.sm, lineAddr: r.lineAddr, part: m.id, prefetch: r.prefetch}
+// invisible: nothing between the two points reads L2 state, and a
+// sub-cycle's accesses cannot observe its completions in either schedule.
+// Bins are tagged with non-decreasing sub-cycles, so two index walks suffice.
+func (m *memPartition) tickSpan(from, to int64) {
+	pi, ci := 0, 0
+	for c := from; c <= to; c++ {
+		for pi < len(m.pending) && m.pending[pi].cycle <= c {
+			r := &m.pending[pi]
+			readyAt := m.access(r.lineAddr, c)
+			m.routed[r.slot] = resp{readyAt: readyAt, sm: r.sm, lineAddr: r.lineAddr, part: m.id, prefetch: r.prefetch}
+			pi++
+		}
+		for ci < len(m.completes) && m.completes[ci].cycle <= c {
+			m.completeFill(m.completes[ci].lineAddr, c)
+			ci++
+		}
 	}
 	m.pending = m.pending[:0]
-	for _, line := range m.completes {
-		m.completeFill(line, cycle)
-	}
 	m.completes = m.completes[:0]
 }
+
+// tick is the single-cycle span (kept for the white-box unit tests).
+func (m *memPartition) tick(cycle int64) { m.tickSpan(cycle, cycle) }
 
 // busy reports whether the partition holds unprocessed binned work — an
 // invariant guard for the engine's fast-forward: a busy partition pins the
@@ -107,14 +130,32 @@ func (m *memPartition) reset() {
 	m.pending = m.pending[:0]
 	m.completes = m.completes[:0]
 	m.routed = nil
+	m.minRespLat = int64(1)<<62 - 1
 	m.ms.L2Hits, m.ms.L2Misses, m.ms.L2Merges = 0, 0, 0
 }
 
 // access services a fill request arriving at the partition at cycle and
 // returns the cycle at which the line's data is ready to be sent back.
+//
+// Every path returns readyAt ≥ cycle + L2 latency: hits and DRAM misses do so
+// naturally, and in-flight merges are clamped to that floor (a merged
+// response still traverses the L2 pipeline, so it can never complete faster
+// than a hit). The floor is what bounds the slack window: a response computed
+// inside an epoch is never sendable within it (config.SlackAudit).
 func (m *memPartition) access(lineAddr uint64, cycle int64) int64 {
+	ra := m.serve(lineAddr, cycle)
+	if d := ra - cycle; d < m.minRespLat {
+		m.minRespLat = d
+	}
+	return ra
+}
+
+func (m *memPartition) serve(lineAddr uint64, cycle int64) int64 {
 	if ra, ok := m.inflight[lineAddr]; ok && ra > cycle {
 		m.ms.L2Merges++
+		if min := cycle + m.latency; ra < min {
+			ra = min
+		}
 		return ra // merge with the in-flight fetch
 	}
 	if p := m.l2.Hit(lineAddr, cycle); p.Present {

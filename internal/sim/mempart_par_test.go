@@ -41,7 +41,7 @@ func TestRouteAndTickMergesAcrossSMs(t *testing.T) {
 	e.reqs.Push(10, reqMsg{sm: 0, lineAddr: line})
 	e.reqs.Push(10, reqMsg{sm: 1, lineAddr: line})
 	e.cycle = 10
-	e.routeRequests()
+	e.routeRequests(10)
 
 	p := e.parts[e.partOf(line)]
 	if len(e.routed) != 2 || len(p.pending) != 2 {
@@ -61,7 +61,7 @@ func TestRouteAndTickMergesAcrossSMs(t *testing.T) {
 	if r0.readyAt != r1.readyAt {
 		t.Errorf("merged request ready at %d, fetch at %d: must share the in-flight data cycle", r1.readyAt, r0.readyAt)
 	}
-	e.mergeResponses()
+	e.mergeEpoch(10, 10)
 	if len(e.resps) != 2 || len(e.routed) != 0 {
 		t.Errorf("after merge: %d heap entries, %d routed slots, want 2 and 0", len(e.resps), len(e.routed))
 	}

@@ -110,7 +110,7 @@ func TestDrainResponsesDeliveryOrdering(t *testing.T) {
 	step := func(c int64) {
 		e.cycle = c
 		e.net.tick(c)
-		e.drainResponses()
+		e.drainResponses(c)
 	}
 	// Before the earliest readyAt nothing may be sent, no matter how idle the
 	// response network is.
@@ -171,14 +171,14 @@ func TestDrainResponsesSerializesBandwidth(t *testing.T) {
 	}
 	e.cycle = 1
 	e.net.tick(1)
-	e.drainResponses()
+	e.drainResponses(1)
 	if len(e.resps) == 0 {
 		t.Fatal("entire burst booked in one cycle; the backlog bound never engaged")
 	}
 	for c := int64(2); c <= 500 && len(e.resps) > 0; c++ {
 		e.cycle = c
 		e.net.tick(c)
-		e.drainResponses()
+		e.drainResponses(c)
 	}
 	if len(e.resps) != 0 {
 		t.Fatalf("%d responses still queued after 500 cycles", len(e.resps))

@@ -1,76 +1,84 @@
 package sim
 
 import (
-	"runtime"
+	"sync"
 	"sync/atomic"
 )
 
 // workUnit is one schedulable unit of the parallel phase: an SM shard or a
-// memory partition. Units are data-disjoint during ticks — shards own their
-// SM-private state, partitions own disjoint line-address sets — which is what
-// lets the group run any subset of them concurrently.
+// memory partition. Units are data-disjoint during tick spans — shards own
+// their SM-private state, partitions own disjoint line-address sets — which
+// is what lets the group run any subset of them concurrently.
 type workUnit interface {
-	tick(cycle int64)
+	tickSpan(from, to int64)
 }
 
-// shardGroup runs work-unit ticks (memory partitions and SM shards) across a
-// bounded set of persistent workers, one simulated cycle at a time, with a
-// barrier on each side of the parallel phase. The calling (engine) goroutine
-// is participant 0 and ticks its own stripe, so Parallelism=N uses N-1 extra
-// goroutines.
+// shardGroup runs work-unit tick spans (memory partitions and SM shards)
+// across a bounded set of persistent workers, one slack epoch at a time, with
+// a barrier on each side of the parallel phase. The calling (engine)
+// goroutine is participant 0 and ticks its own stripe, so Parallelism=N uses
+// N-1 extra goroutines.
 //
 // Determinism does not depend on the group at all: units are data-disjoint
-// during ticks (see workUnit), so any interleaving computes the same state.
-// The group only has to provide the two happens-before edges of the cycle:
+// during tick spans (see workUnit), so any interleaving computes the same
+// state. The group only has to provide the two happens-before edges of the
+// epoch:
 //
-//	engine's serial writes → release (epoch increment, atomic) → worker ticks
-//	worker ticks → arrive (counter increment, atomic) → engine's serial reads
+//	engine's serial writes → release (epoch increment, atomic) → worker spans
+//	worker spans → arrive (counter increment, atomic) → engine's serial reads
 //
-// A cycle is normally one combined wave over all units; with phase profiling
+// An epoch is normally one combined wave over all units; with phase profiling
 // enabled the engine instead runs two waves (partitions, then shards) via
 // runSpan so the two halves' wall clocks are separable. Either schedule
 // computes identical state — the units stay disjoint regardless of grouping.
 //
-// Workers spin briefly and then yield while waiting; on a loaded or
-// single-core machine the yield path degrades to cooperative scheduling
-// rather than burning the core the engine needs.
+// Waiters spin briefly, then park on a condition variable instead of
+// yield-spinning: on a loaded or single-core machine a Gosched loop burns
+// exactly the core the engine needs (the seed's par4-slower-than-serial
+// pathology on one core), whereas a parked worker costs nothing until the
+// engine wakes it. The wake-side epoch increment is atomic and happens
+// before the broadcast under the same mutex the waiter re-checks under, so
+// no wakeup can be lost.
 type shardGroup struct {
 	units []workUnit
 	n     int // participants, including the engine goroutine
 
-	// cycle, lo, hi and quit are plain fields: they are written by the engine
-	// before the epoch release and read by workers after observing it.
-	cycle  int64
-	lo, hi int // unit span for the current epoch
-	quit   bool
+	// from, to, lo, hi and quit are plain fields: they are written by the
+	// engine before the epoch release and read by workers after observing it.
+	from, to int64
+	lo, hi   int // unit span for the current wave
+	quit     bool
 
 	epoch   atomic.Uint64
 	arrived atomic.Int64
+
+	mu       sync.Mutex
+	wake     *sync.Cond // workers park here awaiting the next wave
+	done     *sync.Cond // the engine parks here awaiting stragglers
+	sleepers int        // workers currently parked on wake
+	joinWait bool       // engine currently parked on done
 }
 
 // startShardGroup launches n-1 workers over the units. n must be ≥ 2; a
 // wave whose span is narrower than n leaves the surplus workers idling at
-// that epoch's barrier.
+// that wave's barrier.
 func startShardGroup(units []workUnit, n int) *shardGroup {
 	g := &shardGroup{units: units, n: n}
+	g.wake = sync.NewCond(&g.mu)
+	g.done = sync.NewCond(&g.mu)
 	for w := 1; w < n; w++ {
 		go g.worker(w)
 	}
 	return g
 }
 
-// runCycle ticks every unit for cycle c and returns after all of them
-// finished (the cycle barrier).
-func (g *shardGroup) runCycle(c int64) {
-	g.runSpan(c, 0, len(g.units))
-}
-
-// runSpan ticks units [lo, hi) for cycle c as one barrier wave.
-func (g *shardGroup) runSpan(c int64, lo, hi int) {
-	g.cycle, g.lo, g.hi = c, lo, hi
-	g.epoch.Add(1) // release: workers may start this wave
+// runSpan ticks units [lo, hi) for the epoch [from, to] as one barrier wave
+// and returns after all of them finished.
+func (g *shardGroup) runSpan(from, to int64, lo, hi int) {
+	g.from, g.to, g.lo, g.hi = from, to, lo, hi
+	g.release()
 	for i := lo; i < hi; i += g.n {
-		g.units[i].tick(c)
+		g.units[i].tickSpan(from, to)
 	}
 	g.join()
 }
@@ -78,51 +86,91 @@ func (g *shardGroup) runSpan(c int64, lo, hi int) {
 // stop terminates the workers and waits for them to exit.
 func (g *shardGroup) stop() {
 	g.quit = true
-	g.epoch.Add(1)
+	g.release()
 	g.join()
 }
 
+// release opens the next wave: the epoch increment is the release edge, and
+// any parked workers are woken under the mutex afterwards. A worker that is
+// between its epoch check and its Wait holds the mutex, so the broadcast
+// cannot slip into that gap.
+func (g *shardGroup) release() {
+	g.epoch.Add(1)
+	g.mu.Lock()
+	if g.sleepers > 0 {
+		g.wake.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
 // join waits until every worker has arrived at the barrier, then resets the
-// arrival counter for the next epoch. Workers never touch the counter again
-// until they observe that next epoch, so the reset cannot race.
+// arrival counter for the next wave. Workers never touch the counter again
+// until they observe that next wave, so the reset cannot race.
 func (g *shardGroup) join() {
-	await(&g.arrived, int64(g.n-1))
+	target := int64(g.n - 1)
+	for spins := 0; spins < spinLimit; spins++ {
+		if g.arrived.Load() >= target {
+			g.arrived.Store(0)
+			return
+		}
+	}
+	g.mu.Lock()
+	g.joinWait = true
+	for g.arrived.Load() < target {
+		g.done.Wait()
+	}
+	g.joinWait = false
+	g.mu.Unlock()
 	g.arrived.Store(0)
 }
 
-// worker ticks the stripe of the epoch's span with offset ≡ w (mod n).
+// worker ticks the stripe of each wave's span with offset ≡ w (mod n).
 func (g *shardGroup) worker(w int) {
 	for epoch := uint64(1); ; epoch++ {
-		awaitEpoch(&g.epoch, epoch)
+		g.awaitEpoch(epoch)
 		if g.quit {
-			g.arrived.Add(1)
+			g.arrive()
 			return
 		}
-		c := g.cycle
+		from, to := g.from, g.to
 		for i := g.lo + w; i < g.hi; i += g.n {
-			g.units[i].tick(c)
+			g.units[i].tickSpan(from, to)
 		}
-		g.arrived.Add(1)
+		g.arrive()
 	}
 }
 
-// spinLimit is how many tight polls to attempt before yielding the
-// processor. Barriers open within nanoseconds when all participants are
-// running; the yield path exists for oversubscribed machines.
+// awaitEpoch blocks until the group's epoch reaches target: a short spin for
+// the hot all-cores-running case, then a parked wait.
+func (g *shardGroup) awaitEpoch(target uint64) {
+	for spins := 0; spins < spinLimit; spins++ {
+		if g.epoch.Load() >= target {
+			return
+		}
+	}
+	g.mu.Lock()
+	for g.epoch.Load() < target {
+		g.sleepers++
+		g.wake.Wait()
+		g.sleepers--
+	}
+	g.mu.Unlock()
+}
+
+// arrive reports this worker's wave completion; the last arrival wakes a
+// parked engine.
+func (g *shardGroup) arrive() {
+	if g.arrived.Add(1) == int64(g.n-1) {
+		g.mu.Lock()
+		if g.joinWait {
+			g.done.Signal()
+		}
+		g.mu.Unlock()
+	}
+}
+
+// spinLimit is how many tight polls to attempt before parking. Barriers open
+// within nanoseconds when all participants are running; the park path exists
+// for oversubscribed machines, where continuing to spin would steal the very
+// core the still-working participant needs.
 const spinLimit = 128
-
-func awaitEpoch(v *atomic.Uint64, target uint64) {
-	for spins := 0; v.Load() < target; spins++ {
-		if spins > spinLimit {
-			runtime.Gosched()
-		}
-	}
-}
-
-func await(v *atomic.Int64, target int64) {
-	for spins := 0; v.Load() < target; spins++ {
-		if spins > spinLimit {
-			runtime.Gosched()
-		}
-	}
-}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"snake/internal/config"
@@ -31,9 +32,13 @@ func parMechs() map[string]func(int) prefetch.Prefetcher {
 }
 
 // TestParallelEquivalenceMatrix is the tentpole's core claim: for every
-// workload and mechanism, the parallel executor's Result — totals and per-SM
-// breakdowns — is bit-identical to serial execution, at every Parallelism
-// value and with fast-forwarding on or off.
+// workload and mechanism, the executor's Result — totals and per-SM
+// breakdowns — is bit-identical to per-cycle serial execution, at every
+// Parallelism value, every SlackWindow setting (1 = barrier per cycle,
+// 2 = a short epoch, 0 = auto, the config-derived maximum), and with
+// fast-forwarding on or off. ForceParallelism keeps the multi-worker barrier
+// real even on single-core CI runners, where Parallelism would otherwise
+// degrade to serial and the matrix would silently test nothing.
 func TestParallelEquivalenceMatrix(t *testing.T) {
 	for _, name := range workloads.Names() {
 		k, err := workloads.Build(name, workloads.Tiny())
@@ -42,23 +47,30 @@ func TestParallelEquivalenceMatrix(t *testing.T) {
 		}
 		for mech, pf := range parMechs() {
 			for _, skip := range []bool{false, true} {
-				opt := Options{Config: parCfg(), NewPrefetcher: pf, DisableSkip: skip}
+				opt := Options{Config: parCfg(), NewPrefetcher: pf, DisableSkip: skip, ForceParallelism: true}
 				opt.Parallelism = 1
+				opt.SlackWindow = 1
 				want, err := Run(k, opt)
 				if err != nil {
 					t.Fatalf("%s/%s serial: %v", name, mech, err)
 				}
-				// 12 = NumSM (4) + L2Partitions (8): every work unit, SM
-				// shard or memory partition, gets its own worker.
-				for _, p := range []int{2, 3, 4, 12} {
-					opt.Parallelism = p
-					got, err := Run(k, opt)
-					if err != nil {
-						t.Fatalf("%s/%s P=%d: %v", name, mech, p, err)
-					}
-					if !reflect.DeepEqual(got, want) {
-						t.Errorf("%s/%s skip=%v: P=%d diverges from serial\n got:  %+v\n want: %+v",
-							name, mech, !skip, p, got.Stats, want.Stats)
+				for _, slack := range []int{1, 2, 0} {
+					// 12 = NumSM (4) + L2Partitions (8): every work unit, SM
+					// shard or memory partition, gets its own worker.
+					for _, p := range []int{1, 4, 12} {
+						if slack == 1 && p == 1 {
+							continue // the reference itself
+						}
+						opt.Parallelism = p
+						opt.SlackWindow = slack
+						got, err := Run(k, opt)
+						if err != nil {
+							t.Fatalf("%s/%s P=%d slack=%d: %v", name, mech, p, slack, err)
+						}
+						if !reflect.DeepEqual(got, want) {
+							t.Errorf("%s/%s skip=%v: P=%d slack=%d diverges from serial\n got:  %+v\n want: %+v",
+								name, mech, !skip, p, slack, got.Stats, want.Stats)
+						}
 					}
 				}
 			}
@@ -72,9 +84,10 @@ func TestParallelEquivalenceMatrix(t *testing.T) {
 func TestParallelRepeatDeterminism(t *testing.T) {
 	k, _ := workloads.Build("hotspot", workloads.Tiny())
 	opt := Options{
-		Config:        parCfg(),
-		NewPrefetcher: func(int) prefetch.Prefetcher { return core.NewSnake() },
-		Parallelism:   4,
+		Config:           parCfg(),
+		NewPrefetcher:    func(int) prefetch.Prefetcher { return core.NewSnake() },
+		Parallelism:      4,
+		ForceParallelism: true,
 	}
 	first, err := Run(k, opt)
 	if err != nil {
@@ -105,9 +118,10 @@ func TestParallelSequenceEquivalence(t *testing.T) {
 	kernels := []*trace.Kernel{mk("lps"), mk("hotspot"), mk("lps")}
 	run := func(p int) *SequenceResult {
 		opt := SequenceOptions{Options: Options{
-			Config:        parCfg(),
-			NewPrefetcher: func(int) prefetch.Prefetcher { return core.NewSnake() },
-			Parallelism:   p,
+			Config:           parCfg(),
+			NewPrefetcher:    func(int) prefetch.Prefetcher { return core.NewSnake() },
+			Parallelism:      p,
+			ForceParallelism: true,
 		}}
 		res, err := RunSequence(kernels, opt)
 		if err != nil {
@@ -129,20 +143,22 @@ func TestParallelSequenceEquivalence(t *testing.T) {
 func TestParallelCancellationStopsWorkers(t *testing.T) {
 	k := workloads.StreamMicro(workloads.Scale{CTAs: 8, WarpsPerCTA: 4, Iters: 32}, 4096)
 	ctx := &countdownCtx{Context: context.Background(), ok: 0}
-	_, err := Run(k, Options{Config: parCfg(), Context: ctx, Parallelism: 4})
+	_, err := Run(k, Options{Config: parCfg(), Context: ctx, Parallelism: 4, ForceParallelism: true})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 	// The engine must stay reusable after a torn-down run: a fresh run on the
 	// same goroutine succeeds.
-	if _, err := Run(k, Options{Config: parCfg(), Parallelism: 4}); err != nil {
+	if _, err := Run(k, Options{Config: parCfg(), Parallelism: 4, ForceParallelism: true}); err != nil {
 		t.Fatalf("run after cancelled run: %v", err)
 	}
 }
 
 // TestParallelOptionsClamp pins the Parallelism defaulting rules: zero and
-// negative mean serial, and a request wider than the machine clamps to one
-// worker per work unit (SM shards plus L2 partitions).
+// negative mean serial, a request wider than the machine clamps to one
+// worker per work unit (SM shards plus L2 partitions), and on a single-core
+// runtime any multi-worker request degrades to serial unless
+// ForceParallelism overrides.
 func TestParallelOptionsClamp(t *testing.T) {
 	for _, tc := range []struct{ in, want int }{
 		{0, 1},
@@ -151,10 +167,21 @@ func TestParallelOptionsClamp(t *testing.T) {
 		{4, 4},
 		{64, parCfg().NumSM + parCfg().L2Partitions},
 	} {
-		opt := Options{Config: parCfg(), Parallelism: tc.in}.withDefaults()
+		opt := Options{Config: parCfg(), Parallelism: tc.in, ForceParallelism: true}.withDefaults()
 		if opt.Parallelism != tc.want {
 			t.Errorf("Parallelism %d defaulted to %d, want %d", tc.in, opt.Parallelism, tc.want)
 		}
+	}
+	got := Options{Config: parCfg(), Parallelism: 4}.withDefaults().Parallelism
+	if want := 4; runtime.GOMAXPROCS(0) == 1 {
+		// Extra workers cannot overlap the engine on one core; they only
+		// preempt it.
+		want = 1
+		if got != want {
+			t.Errorf("GOMAXPROCS=1: Parallelism 4 resolved to %d, want serial degrade to %d", got, want)
+		}
+	} else if got != want {
+		t.Errorf("multi-core: Parallelism 4 resolved to %d, want %d", got, want)
 	}
 }
 
@@ -177,6 +204,7 @@ func TestParallelStoreMergeOrder(t *testing.T) {
 		t.Fatal("stencil workload issued no stores; pick a store-heavy kernel")
 	}
 	opt.Parallelism = 4
+	opt.ForceParallelism = true
 	got, err := Run(k, opt)
 	if err != nil {
 		t.Fatal(err)

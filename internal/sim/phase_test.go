@@ -21,33 +21,47 @@ func TestPhaseProfileEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, p := range []int{1, 4} {
-		opt := Options{
-			Config:        parCfg(),
-			NewPrefetcher: func(int) prefetch.Prefetcher { return core.NewSnake() },
-			Parallelism:   p,
-		}
-		want, err := Run(k, opt)
-		if err != nil {
-			t.Fatalf("P=%d unprofiled: %v", p, err)
-		}
-		var prof profiling.Phases
-		opt.PhaseProfile = &prof
-		got, err := Run(k, opt)
-		if err != nil {
-			t.Fatalf("P=%d profiled: %v", p, err)
-		}
-		if !reflect.DeepEqual(got, want) {
-			t.Errorf("P=%d: profiling changed results\n got:  %+v\n want: %+v", p, got.Stats, want.Stats)
-		}
-		if prof.TotalNs() <= 0 {
-			t.Fatalf("P=%d: no phase time recorded", p)
-		}
-		if prof.Ns(profiling.PhaseSerialRoute) <= 0 || prof.Ns(profiling.PhaseShards) <= 0 {
-			t.Errorf("P=%d: route=%dns shards=%dns; both run every executed cycle",
-				p, prof.Ns(profiling.PhaseSerialRoute), prof.Ns(profiling.PhaseShards))
-		}
-		if share := prof.SerialShare(); share <= 0 || share >= 1 {
-			t.Errorf("P=%d: serial share %f outside (0,1)", p, share)
+		for _, slack := range []int{1, 0} {
+			opt := Options{
+				Config:           parCfg(),
+				NewPrefetcher:    func(int) prefetch.Prefetcher { return core.NewSnake() },
+				Parallelism:      p,
+				SlackWindow:      slack,
+				ForceParallelism: true,
+			}
+			want, err := Run(k, opt)
+			if err != nil {
+				t.Fatalf("P=%d slack=%d unprofiled: %v", p, slack, err)
+			}
+			var prof profiling.Phases
+			opt.PhaseProfile = &prof
+			got, err := Run(k, opt)
+			if err != nil {
+				t.Fatalf("P=%d slack=%d profiled: %v", p, slack, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("P=%d slack=%d: profiling changed results\n got:  %+v\n want: %+v", p, slack, got.Stats, want.Stats)
+			}
+			if prof.TotalNs() <= 0 {
+				t.Fatalf("P=%d slack=%d: no phase time recorded", p, slack)
+			}
+			if prof.Ns(profiling.PhaseSerialRoute) <= 0 || prof.Ns(profiling.PhaseShards) <= 0 {
+				t.Errorf("P=%d slack=%d: route=%dns shards=%dns; both run every executed cycle",
+					p, slack, prof.Ns(profiling.PhaseSerialRoute), prof.Ns(profiling.PhaseShards))
+			}
+			if share := prof.SerialShare(); share <= 0 || share >= 1 {
+				t.Errorf("P=%d slack=%d: serial share %f outside (0,1)", p, slack, share)
+			}
+			if prof.Barriers() <= 0 || prof.EpochCycles() < prof.Barriers() {
+				t.Errorf("P=%d slack=%d: barriers=%d epochCycles=%d; every epoch crosses one barrier and ticks at least one cycle",
+					p, slack, prof.Barriers(), prof.EpochCycles())
+			}
+			if slack == 1 && prof.CyclesPerBarrier() != 1 {
+				t.Errorf("P=%d slack=1: cycles/barrier = %f, want exactly 1", p, prof.CyclesPerBarrier())
+			}
+			if slack == 0 && prof.CyclesPerBarrier() <= 1 {
+				t.Errorf("P=%d slack=auto: cycles/barrier = %f, want > 1 (epochs never lengthened)", p, prof.CyclesPerBarrier())
+			}
 		}
 	}
 }

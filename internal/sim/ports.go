@@ -36,27 +36,32 @@ type reqMsg struct {
 	prefetch bool
 }
 
-// storeMsg is one write-through store packet staged by a shard. seq is the
-// shard-local stamp assigned at issue; the barrier merge orders the global
-// store queue by (smID, seq), which reproduces the serial engine's
-// SM-iteration order exactly.
+// storeMsg is one write-through store packet staged by a shard. cycle is the
+// sub-cycle it was issued at and seq the shard-local stamp assigned at issue;
+// the epoch merge orders the global store queue by (cycle, smID, seq), which
+// reproduces per-cycle barrier merging exactly. The engine may not send a
+// store before cycle + slack horizon: the visibility delay that makes the
+// epoch-deferred merge invisible (see DESIGN.md "Bounded-slack ticking").
 type storeMsg struct {
-	sm   int
-	seq  int64
-	addr uint64
+	sm    int
+	seq   int64
+	addr  uint64
+	cycle int64
 }
 
-// egress buffers one shard's outbound messages for the cycle being ticked.
-// The shard appends during its (possibly concurrent) tick; the engine drains
-// it at the cycle barrier and it must be empty before the next tick starts.
+// egress buffers one shard's outbound messages for the epoch being ticked.
+// The shard appends during its (possibly concurrent) tick span; the engine
+// drains it at the epoch barrier and it must be empty before the next tick
+// span starts. Entries are naturally in (cycle, seq) order: sub-cycles run
+// forward and seq only grows.
 type egress struct {
 	sm     int
 	seq    int64 // monotonically increasing per-shard message stamp
 	stores []storeMsg
 }
 
-// addStore stages a write-through store packet.
-func (e *egress) addStore(addr uint64) {
+// addStore stages a write-through store packet issued at the given sub-cycle.
+func (e *egress) addStore(addr uint64, cycle int64) {
 	e.seq++
-	e.stores = append(e.stores, storeMsg{sm: e.sm, seq: e.seq, addr: addr})
+	e.stores = append(e.stores, storeMsg{sm: e.sm, seq: e.seq, addr: addr, cycle: cycle})
 }

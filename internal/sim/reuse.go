@@ -85,6 +85,11 @@ func (e *engine) reinit(k *trace.Kernel, opt Options, reusePf bool) {
 	e.ageCtr = 0
 	e.inflight = 0
 	e.skipped = 0
+	e.dispatchAt = e.dispatchAt[:0]
+	e.utilSnap = e.utilSnap[:0]
+	// Slack parameters depend on opt (SlackWindow may differ between runs on
+	// the same config), and the conflict fallback must not leak across runs.
+	e.initSlack()
 	e.shStats.Reset()
 	for i, sh := range e.shards {
 		var pf prefetch.Prefetcher

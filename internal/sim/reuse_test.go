@@ -20,11 +20,17 @@ func reuseMechs() map[string]func(int) prefetch.Prefetcher {
 }
 
 // TestPooledEquivalenceMatrix is the arena-recycling half of the equivalence
-// guarantee: an Engine reused across every workload, skip setting and
-// parallelism must produce Results bit-identical to a fresh construction for
-// each run. One Engine per mechanism survives the whole matrix, so each run
-// reinitializes state dirtied by a different kernel.
+// guarantee: an Engine reused across every workload, skip setting,
+// parallelism and slack window must produce Results bit-identical to a fresh
+// construction for each run. One Engine per mechanism survives the whole
+// matrix, so each run reinitializes state dirtied by a different kernel (the
+// slack epoch buffers included). ForceParallelism keeps the multi-worker
+// paths real on single-core runners.
 func TestPooledEquivalenceMatrix(t *testing.T) {
+	// (Parallelism, SlackWindow) pairs covering both axes without squaring
+	// the matrix: per-cycle serial, short epochs under the sharded barrier,
+	// and auto-length epochs at one worker per unit.
+	cells := []struct{ p, slack int }{{1, 1}, {4, 2}, {4, 0}, {12, 0}}
 	for mech, pf := range reuseMechs() {
 		en := NewEngine()
 		for _, name := range workloads.Names() {
@@ -33,8 +39,11 @@ func TestPooledEquivalenceMatrix(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, skip := range []bool{false, true} {
-				for _, p := range []int{1, 4, 12} {
-					opt := Options{Config: parCfg(), NewPrefetcher: pf, DisableSkip: !skip, Parallelism: p}
+				for _, cell := range cells {
+					opt := Options{
+						Config: parCfg(), NewPrefetcher: pf, DisableSkip: !skip,
+						Parallelism: cell.p, SlackWindow: cell.slack, ForceParallelism: true,
+					}
 					want, err := Run(k, opt)
 					if err != nil {
 						t.Fatalf("%s/%s fresh: %v", name, mech, err)
@@ -44,8 +53,8 @@ func TestPooledEquivalenceMatrix(t *testing.T) {
 						t.Fatalf("%s/%s pooled: %v", name, mech, err)
 					}
 					if !reflect.DeepEqual(got, want) {
-						t.Errorf("%s/%s skip=%v P=%d: pooled engine diverges from fresh\n got:  %+v\n want: %+v",
-							name, mech, skip, p, got.Stats, want.Stats)
+						t.Errorf("%s/%s skip=%v P=%d slack=%d: pooled engine diverges from fresh\n got:  %+v\n want: %+v",
+							name, mech, skip, cell.p, cell.slack, got.Stats, want.Stats)
 					}
 				}
 			}

@@ -28,23 +28,32 @@ type shard struct {
 	// fills is the memory→SM ingress port: completed responses in flight,
 	// stamped with their delivery cycle. The serial phase pushes (send order
 	// is non-decreasing in delivery cycle because the response network
-	// serializes bandwidth) and moves due messages to inbox; tick consumes.
+	// serializes bandwidth) and moves due messages to inbox; tickSpan
+	// consumes each at its stamped sub-cycle.
 	fills icnt.Ingress[fillMsg]
-	// inbox holds the fills due this cycle, in stamp order, for tick.
-	inbox []fillMsg
+	// inbox holds the fills due this epoch, in stamp order, for tickSpan;
+	// inboxStamp carries each entry's delivery sub-cycle.
+	inbox      []fillMsg
+	inboxStamp []int64
 
-	// out is the SM→memory egress port, appended to during tick and merged
-	// by the engine at the cycle barrier in (smID, seq) order.
+	// mqPops records, per epoch sub-cycle, how many requests the engine's
+	// serial phase pulled from this shard's miss queue — the schedule behind
+	// the phantom-credit occupancy tickSpan presents to the L1 (see tickSpan).
+	mqPops []int32
+
+	// out is the SM→memory egress port, appended to during tickSpan and
+	// merged by the engine at the epoch barrier in (cycle, smID, seq) order.
 	out egress
 
-	// report is tick's summary for the barrier merge.
+	// report is tickSpan's summary for the epoch merge: bit i of a mask is
+	// sub-cycle from+i.
 	report tickReport
 }
 
-// tickReport summarizes one shard tick for the serial merge phase.
+// tickReport summarizes one shard tick span for the serial merge phase.
 type tickReport struct {
-	retired     bool
-	ctaFinished bool
+	retiredMask uint64 // sub-cycles at which an instruction retired
+	ctaMask     uint64 // sub-cycles at which a CTA completed (slots freed)
 }
 
 func newShard(s *sm) *shard {
@@ -57,16 +66,19 @@ func newShard(s *sm) *shard {
 func (sh *shard) reset() {
 	sh.fills.Reset()
 	sh.inbox = sh.inbox[:0]
+	sh.inboxStamp = sh.inboxStamp[:0]
+	sh.mqPops = sh.mqPops[:0]
 	sh.out.seq = 0
 	sh.out.stores = sh.out.stores[:0]
 	sh.report = tickReport{}
 }
 
 // deliverDue moves ingress fills due at or before cycle into the inbox, in
-// stamp order, and returns how many it moved. Serial phase only: the engine
-// uses the count to release MaxInflightFills capacity before it arbitrates
-// this cycle's request injection, exactly when the serial engine's delivery
-// events released it.
+// stamp order (stamping each entry with cycle — deliveries always land
+// exactly on time, the engine never overshoots a delivery), and returns how
+// many it moved. Serial phase only: the engine uses the count to release
+// MaxInflightFills capacity before it arbitrates this sub-cycle's request
+// injection, exactly when the serial engine's delivery events released it.
 func (sh *shard) deliverDue(cycle int64) int {
 	n := 0
 	for {
@@ -75,30 +87,64 @@ func (sh *shard) deliverDue(cycle int64) int {
 			break
 		}
 		sh.inbox = append(sh.inbox, f)
+		sh.inboxStamp = append(sh.inboxStamp, cycle)
 		n++
 	}
 	return n
 }
 
-// tick executes one cycle of this shard: apply delivered fills, run the
-// prefetcher's per-cycle hook, issue from the warp schedulers, and classify
-// the stall if nothing retired. Safe to run concurrently with other shards'
-// ticks; all cross-boundary output lands in sh.out and sh.report.
-func (sh *shard) tick(cycle int64) {
+// tickSpan executes the epoch [from, to] on this shard, one sub-cycle at a
+// time: trickle staged prefetches, apply the fills delivered at that
+// sub-cycle, run the prefetcher's per-cycle hook, issue from the warp
+// schedulers, and classify the stall if nothing retired. Safe to run
+// concurrently with other units' spans; all cross-boundary output lands in
+// sh.out and sh.report.
+//
+// Phantom credit: the engine's serial phase already pulled the whole epoch's
+// injections from the miss queue, but at sub-cycle c only the pulls for
+// sub-cycles ≤ c have "happened". The pulls scheduled for later sub-cycles
+// are presented back to the L1 as phantom occupancy, so every Full check —
+// reservation fails, prefetch drain — sees exactly the occupancy per-cycle
+// barriers would have shown it.
+func (sh *shard) tickSpan(from, to int64) {
 	s := sh.sm
-	for _, f := range sh.inbox {
-		waiters := s.l1.Fill(f.lineAddr, cycle)
-		s.wake(waiters, cycle)
+	credit := 0
+	for _, n := range sh.mqPops {
+		credit += int(n)
 	}
+	fi := 0
+	var report tickReport
+	for i, c := 0, from; c <= to; i, c = i+1, c+1 {
+		if i < len(sh.mqPops) {
+			// The serial pulls at sub-cycle c precede this tick (the engine
+			// drains before the units run in the per-cycle schedule too).
+			credit -= int(sh.mqPops[i])
+		}
+		s.l1.SetMissQueueCredit(credit)
+		s.nowCycle = c
+		s.l1.DrainPrefetch(c)
+		for fi < len(sh.inbox) && sh.inboxStamp[fi] <= c {
+			waiters := s.l1.Fill(sh.inbox[fi].lineAddr, c)
+			s.wake(waiters, c)
+			fi++
+		}
+		if s.pf != nil {
+			s.pf.OnCycle(c, s.env)
+		}
+		res := s.issue(c, &sh.out)
+		if res.retired > 0 {
+			report.retiredMask |= 1 << uint(i)
+		} else {
+			s.classifyStall(res.resFail)
+		}
+		if res.ctaFinished {
+			report.ctaMask |= 1 << uint(i)
+		}
+	}
+	s.l1.SetMissQueueCredit(0)
 	sh.inbox = sh.inbox[:0]
-	if s.pf != nil {
-		s.pf.OnCycle(cycle, s.env)
-	}
-	res := s.issue(cycle, &sh.out)
-	sh.report = tickReport{retired: res.retired > 0, ctaFinished: res.ctaFinished}
-	if res.retired == 0 {
-		s.classifyStall(res.resFail)
-	}
+	sh.inboxStamp = sh.inboxStamp[:0]
+	sh.report = report
 }
 
 // --- request port (serial phase only) -----------------------------------
@@ -109,15 +155,24 @@ func (sh *shard) tick(cycle int64) {
 // sees. The pull happens at the barrier, in fixed smID order, which is the
 // deterministic merge order of the SM→memory request stream.
 
-// drainStaged trickles staged prefetch requests into the shared miss queue
-// (cache.PrefetchDrainPerCycle per cycle), the same rate-limit the serial
-// engine applied.
-func (sh *shard) drainStaged(cycle int64) { sh.sm.l1.DrainPrefetch(cycle) }
+// peekReq reports whether a fill request is ready to inject at cycle: the
+// queue head must have matured past the slack horizon (pushed at p, ready at
+// p + horizon). Requests staged during the current epoch's tick spans are
+// therefore never injection candidates within it — the visibility delay that
+// lets the serial phase run a whole epoch ahead of the ticks. FIFO order is
+// preserved: stamps are non-decreasing along the queue.
+func (sh *shard) peekReq(cycle, horizon int64) bool {
+	r, any := sh.sm.l1.PeekMiss()
+	return any && r.Cycle+horizon <= cycle
+}
 
-// peekReq reports whether a fill request is ready to inject.
-func (sh *shard) peekReq() bool {
-	_, any := sh.sm.l1.PeekMiss()
-	return any
+// nextReqReady returns the cycle at which the queue head matures (-1: empty).
+func (sh *shard) nextReqReady(horizon int64) int64 {
+	r, any := sh.sm.l1.PeekMiss()
+	if !any {
+		return -1
+	}
+	return r.Cycle + horizon
 }
 
 // popReq removes the next fill request from the port.
@@ -134,7 +189,8 @@ func (sh *shard) popReq() (reqMsg, bool) {
 // mustTickNext reports whether this shard has per-cycle work that may not be
 // elided: a prefetcher that forbids skipping right now (Snake while
 // throttled), or staged prefetches that could trickle into a non-full miss
-// queue.
+// queue (the trickle happens at the top of each tick sub-cycle, so eliding a
+// cycle elides it).
 func (sh *shard) mustTickNext(cycle int64) bool {
 	s := sh.sm
 	if s.pf != nil && !prefetch.CanSkipCycles(s.pf, cycle) {

@@ -44,18 +44,26 @@ func TestMissInjectPerSM(t *testing.T) {
 	k := workloads.StreamMicro(workloads.Tiny(), 256)
 	opt := Options{Config: tinyCfg()}.withDefaults()
 	e := newEngine(k, opt)
-	e.cycle = 1
 	e.net.tick(1)
 	// Queue one more demand miss than the per-cycle injection budget on SM 0
 	// (distinct lines, so no MSHR merging).
 	s := e.shards[0].sm
 	for i := 0; i < missInjectPerSM+1; i++ {
-		s.l1.Access(i, 0x1000_0000+uint64(i)*8192, e.cycle)
+		s.l1.Access(i, 0x1000_0000+uint64(i)*8192, 1)
 	}
 	if got := s.l1.DemandQueueLen(); got != missInjectPerSM+1 {
 		t.Fatalf("staged %d demand misses, want %d", got, missInjectPerSM+1)
 	}
-	e.drainMissQueues()
+	// Misses staged at cycle 1 mature at 1+horizon; a drain before that pulls
+	// nothing no matter how idle the network is.
+	e.drainMissQueues(e.horizon)
+	if e.inflight != 0 {
+		t.Errorf("injected %d fill requests before the slack horizon matured", e.inflight)
+	}
+	c := 1 + e.horizon
+	e.cycle = c
+	e.net.tick(c)
+	e.drainMissQueues(c)
 	if e.inflight != missInjectPerSM {
 		t.Errorf("injected %d fill requests in one cycle, want exactly missInjectPerSM=%d",
 			e.inflight, missInjectPerSM)
@@ -64,9 +72,9 @@ func TestMissInjectPerSM(t *testing.T) {
 		t.Errorf("%d misses left queued after one drain, want 1", got)
 	}
 	// The next cycle's drain picks up the leftover.
-	e.cycle = 2
-	e.net.tick(2)
-	e.drainMissQueues()
+	e.cycle = c + 1
+	e.net.tick(c + 1)
+	e.drainMissQueues(c + 1)
 	if e.inflight != missInjectPerSM+1 || s.l1.DemandQueueLen() != 0 {
 		t.Errorf("after second drain: inflight=%d queued=%d, want %d and 0",
 			e.inflight, s.l1.DemandQueueLen(), missInjectPerSM+1)
@@ -81,24 +89,24 @@ func TestDrainStoresCompactsInPlace(t *testing.T) {
 	const depth = 64
 	// Stage stores through a shard egress and merge at once, as the cycle
 	// barrier does.
-	fill := func() {
+	fill := func(c int64) {
 		out := &e.shards[0].out
 		for n := depth - len(e.stores); n > 0; n-- {
-			out.addStore(uint64(len(out.stores)) * 128)
+			out.addStore(uint64(len(out.stores))*128, c)
 		}
 		e.stores = append(e.stores, out.stores...)
 		out.stores = out.stores[:0]
 	}
-	fill()
+	fill(0)
 	capInit := cap(e.stores)
 	drained := 0
 	for c := int64(1); c <= 200; c++ {
 		e.cycle = c
 		e.net.tick(c)
 		before := len(e.stores)
-		e.drainStores()
+		e.drainStores(c + e.horizon) // matured: only bandwidth gates the drain
 		drained += before - len(e.stores)
-		fill()
+		fill(c)
 	}
 	if drained == 0 {
 		t.Fatal("no stores drained in 200 cycles")

@@ -1,0 +1,76 @@
+package sim
+
+import "fmt"
+
+// maxSlackWindow caps the slack horizon (and with it every epoch) regardless
+// of how large the config-derived bound is. Two reasons: the per-shard tick
+// reports pack one bit per sub-cycle into a uint64, and longer epochs buy
+// almost nothing once the barrier cost is amortized over a handful of cycles
+// while growing every per-epoch buffer.
+const maxSlackWindow = 8
+
+// latencyUnobserved is the sentinel minimum for latency-audit floors that
+// never saw a message.
+const latencyUnobserved = int64(1)<<62 - 1
+
+// LatencyAudit receives, via Options.LatencyAudit, the smallest
+// cross-boundary latencies a run actually exhibited. The slack property test
+// checks the config-derived bound against these empirical floors: the
+// bounded-slack schedule is sound only while no message can cross between
+// the SM side and the memory side in fewer than horizon cycles. Fields are
+// latencyUnobserved when the run carried no such message.
+type LatencyAudit struct {
+	MinReqDelivery  int64 // request-network injection → arrival at L2 side
+	MinRespDelivery int64 // response-network send → fill delivery at the SM
+	MinL2Response   int64 // partition arrival → response data ready
+}
+
+// initSlack derives the engine's slack parameters from the (validated)
+// config and options: horizon from the config alone, slackMax from
+// Options.SlackWindow clamped into [1, horizon-1]. Epochs stop one cycle
+// short of the horizon because drained prefetches are stamped one cycle
+// early (cache.L1.DrainPrefetch keeps their per-cycle injection
+// eligibility); the cap keeps even those stamps maturing strictly past
+// their own epoch. Callers constructing engines directly around unvalidated
+// configs still get a sane horizon ≥ 1.
+func (e *engine) initSlack() {
+	h := int64(e.cfg.SlackBound())
+	if h > maxSlackWindow {
+		h = maxSlackWindow
+	}
+	if h < 1 {
+		h = 1
+	}
+	e.horizon = h
+	cap := h - 1
+	if cap < 1 {
+		cap = 1
+	}
+	w := int64(e.opt.SlackWindow)
+	if w <= 0 || w > cap {
+		w = cap
+	}
+	e.slackMax = w
+	e.slackOK = true
+	e.epochStart = 0
+	e.respSeq = 0
+	e.minReqLat = latencyUnobserved
+	e.minRespLat = latencyUnobserved
+}
+
+// slackConflictFatal makes a slack conflict panic instead of degrading. It
+// is on under the race detector and in the sim tests (the equivalence
+// matrices must fail loudly, not quietly fall back to per-cycle barriers)
+// and off in production binaries, where the safe response to the impossible
+// is to keep simulating correctly at SlackWindow=1.
+var slackConflictFatal = raceEnabled
+
+// slackConflict handles a response whose ready cycle landed inside its own
+// epoch — impossible while every access path honours the L2 latency floor
+// (memPartition.access), so reaching here means that invariant broke.
+func (e *engine) slackConflict(readyAt, end int64) {
+	if slackConflictFatal {
+		panic(fmt.Sprintf("sim: slack conflict: response ready at %d within epoch ending %d (horizon %d)", readyAt, end, e.horizon))
+	}
+	e.slackOK = false
+}

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"snake/internal/config"
+	"snake/internal/prefetch"
+	"snake/internal/workloads"
+)
+
+// slackMechs widens parMechs to the full mechanism spread the slack property
+// test sweeps: every distinct cross-boundary traffic shape (demand-only,
+// chained prefetch, history tables, tree/graph walkers, magic fills).
+func slackMechs() map[string]func(int) prefetch.Prefetcher {
+	m := parMechs()
+	m["tree"] = func(int) prefetch.Prefetcher { return prefetch.NewTree() }
+	m["interwarp"] = func(int) prefetch.Prefetcher { return prefetch.NewInterWarp() }
+	return m
+}
+
+// TestSlackHorizonBoundsObservedLatencies is the empirical half of the slack
+// soundness argument. The config audit (config.SlackBound) proves no message
+// can cross between the SM side and the memory side in fewer than bound
+// cycles; this test stamps every port crossing in real runs — all benchmarks
+// × six mechanisms — and checks the derived bound against the smallest
+// latency any message actually exhibited:
+//
+//   - response delivery (L2 → SM fill) must take ≥ bound cycles,
+//   - L2 data-ready (partition arrival → response sendable) must take
+//     ≥ bound cycles,
+//   - request delivery is injected with the horizon already spent as the
+//     front segment of its interconnect flight (see drainMissQueues), so its
+//     residual latency plus that front segment must still be ≥ bound, and
+//     the residual itself must be ≥ 1 (arrival strictly in the future).
+func TestSlackHorizonBoundsObservedLatencies(t *testing.T) {
+	cfg := parCfg()
+	bound := int64(cfg.SlackBound())
+	horizon := bound
+	if horizon > maxSlackWindow {
+		horizon = maxSlackWindow
+	}
+	if horizon < 1 {
+		t.Fatalf("config-derived horizon %d; audit should guarantee >= 1", horizon)
+	}
+	var sawReq, sawResp, sawL2 bool
+	for _, name := range workloads.Names() {
+		k, err := workloads.Build(name, workloads.Tiny())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mech, pf := range slackMechs() {
+			var a LatencyAudit
+			if _, err := Run(k, Options{Config: cfg, NewPrefetcher: pf, LatencyAudit: &a}); err != nil {
+				t.Fatalf("%s/%s: %v", name, mech, err)
+			}
+			if a.MinRespDelivery != latencyUnobserved {
+				sawResp = true
+				if a.MinRespDelivery < bound {
+					t.Errorf("%s/%s: response delivered in %d cycles, below the derived bound %d",
+						name, mech, a.MinRespDelivery, bound)
+				}
+			}
+			if a.MinL2Response != latencyUnobserved {
+				sawL2 = true
+				if a.MinL2Response < bound {
+					t.Errorf("%s/%s: L2 response ready in %d cycles, below the derived bound %d",
+						name, mech, a.MinL2Response, bound)
+				}
+			}
+			if a.MinReqDelivery != latencyUnobserved {
+				sawReq = true
+				if a.MinReqDelivery < 1 {
+					t.Errorf("%s/%s: request arrival only %d cycles ahead; horizon compensation overshot",
+						name, mech, a.MinReqDelivery)
+				}
+				if got := a.MinReqDelivery + horizon - 1; got < bound {
+					t.Errorf("%s/%s: request end-to-end delivery %d cycles, below the derived bound %d",
+						name, mech, got, bound)
+				}
+			}
+		}
+	}
+	if !sawReq || !sawResp || !sawL2 {
+		t.Fatalf("audit never observed some path (req=%v resp=%v l2=%v); the property test is vacuous",
+			sawReq, sawResp, sawL2)
+	}
+}
+
+// TestSlackCancellationMidEpoch aborts a parallel bounded-slack run from
+// inside an epoch's serial phase and demands (a) the abort surfaces as the
+// context error, and (b) the engine — shard-group workers included — comes
+// back clean: reusing it afterwards yields results bit-identical to a fresh
+// engine's.
+func TestSlackCancellationMidEpoch(t *testing.T) {
+	// A kernel long enough that the engine reaches the second poll boundary
+	// (cycle ctxCheckInterval) while work is still in flight.
+	k := workloads.StreamMicro(workloads.Scale{CTAs: 8, WarpsPerCTA: 4, Iters: 32}, 4096)
+	opt := Options{Config: parCfg(), Parallelism: 4, ForceParallelism: true}
+	en := NewEngine()
+	// countdownCtx (skip_test.go) cancels deterministically on the second
+	// poll — a poll site inside an epoch's serial phase, between barriers,
+	// where a timer race could not guarantee placement.
+	ctx := &countdownCtx{Context: context.Background(), ok: 1}
+	abortOpt := opt
+	abortOpt.Context = ctx
+	if _, err := en.Run(k, abortOpt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("aborted run returned %v, want context.Canceled", err)
+	}
+	if ctx.calls <= ctx.ok {
+		t.Fatalf("context polled %d times; cancellation never fired", ctx.calls)
+	}
+	got, err := en.Run(k, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run(k, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("engine reused after mid-epoch abort diverges from fresh engine\n got:  %+v\n want: %+v",
+			got.Stats, want.Stats)
+	}
+}
+
+// TestSlackConflictFatalPanics pins the test/race-build behavior: a response
+// maturing inside its own epoch is an invariant violation and must fail
+// loudly, not silently degrade.
+func TestSlackConflictFatalPanics(t *testing.T) {
+	old := slackConflictFatal
+	slackConflictFatal = true
+	defer func() { slackConflictFatal = old }()
+	e := &engine{horizon: 8, slackOK: true}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("slackConflict did not panic with slackConflictFatal set")
+		}
+	}()
+	e.slackConflict(5, 10)
+}
+
+// TestSlackConflictDegradesInProduction pins the production behavior: the
+// same violation drops the engine to per-cycle epochs (slackOK false → every
+// later epoch has length 1), which is always correct, instead of crashing a
+// long sweep.
+func TestSlackConflictDegradesInProduction(t *testing.T) {
+	old := slackConflictFatal
+	slackConflictFatal = false
+	defer func() { slackConflictFatal = old }()
+	e := &engine{horizon: 8, slackOK: true}
+	e.slackConflict(5, 10)
+	if e.slackOK {
+		t.Fatal("slackConflict left slackOK set; production fallback to per-cycle epochs is broken")
+	}
+}
+
+// TestInitSlackClamps pins the two slack numbers' derivation: the horizon
+// comes from the config alone (capped at maxSlackWindow), and the epoch
+// length from Options.SlackWindow clamped into [1, horizon-1] with 0 (and
+// any out-of-range request) meaning auto.
+func TestInitSlackClamps(t *testing.T) {
+	cfg := config.Scaled(2, 8)
+	bound := int64(cfg.SlackBound())
+	wantHorizon := bound
+	if wantHorizon > maxSlackWindow {
+		wantHorizon = maxSlackWindow
+	}
+	auto := wantHorizon - 1
+	if auto < 1 {
+		auto = 1
+	}
+	cases := []struct {
+		window int
+		want   int64
+	}{
+		{0, auto},
+		{-3, auto},
+		{1, 1},
+		{2, 2},
+		{int(auto), auto},
+		{int(auto) + 1, auto},
+		{1 << 20, auto},
+	}
+	for _, c := range cases {
+		e := &engine{cfg: cfg, opt: Options{SlackWindow: c.window}}
+		e.initSlack()
+		if e.horizon != wantHorizon {
+			t.Errorf("SlackWindow=%d: horizon=%d, want %d", c.window, e.horizon, wantHorizon)
+		}
+		if e.slackMax != c.want {
+			t.Errorf("SlackWindow=%d: slackMax=%d, want %d", c.window, e.slackMax, c.want)
+		}
+		if !e.slackOK {
+			t.Errorf("SlackWindow=%d: slackOK not reset", c.window)
+		}
+	}
+}

@@ -81,6 +81,11 @@ type sm struct {
 	kernel   *trace.Kernel // set by the engine before the run
 	mlp      int           // per-warp MLP window (outstanding loads before blocking)
 	observer prefetch.OutcomeObserver
+
+	// nowCycle is the sub-cycle the owning shard's tickSpan is currently
+	// executing; smEnv reads it to index the engine's per-sub-cycle
+	// utilization snapshots (set before any prefetcher hook can run).
+	nowCycle int64
 }
 
 // outcomeOf maps the cache-level prefetch outcome to the prefetcher-visible
@@ -173,6 +178,7 @@ func (s *sm) reset(pf prefetch.Prefetcher, k *trace.Kernel, mlp int, reusePf boo
 	s.nBarrier = 0
 	s.kernel = k
 	s.mlp = mlp
+	s.nowCycle = 0
 	if reusePf {
 		if s.pf != nil {
 			s.pf.Reset()
@@ -338,7 +344,7 @@ func (s *sm) execute(slot int, cycle int64, eg *egress, res *issueResult) {
 		res.retired++
 
 	case trace.OpStore:
-		eg.addStore(in.Addr)
+		eg.addStore(in.Addr, cycle)
 		w.busyUntil = cycle + 1
 		s.readyAt[slot] = w.busyUntil
 		w.pc++
