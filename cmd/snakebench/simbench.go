@@ -21,10 +21,15 @@ import (
 // sim.Run on one workload, with or without event-driven cycle skipping and
 // at a given shard parallelism.
 type simBenchEntry struct {
-	Name         string  `json:"name"`
-	Bench        string  `json:"bench"`
-	DisableSkip  bool    `json:"disable_skip"`
-	Parallelism  int     `json:"parallelism,omitempty"`
+	Name        string `json:"name"`
+	Bench       string `json:"bench"`
+	DisableSkip bool   `json:"disable_skip"`
+	Parallelism int    `json:"parallelism,omitempty"`
+	// App marks launch-layer cases: Bench names an application from the
+	// workloads app registry and the op under timing is sim.RunApp (the
+	// whole launch graph), not sim.Run of one kernel.
+	App          bool    `json:"app,omitempty"`
+	Chain        bool    `json:"chain,omitempty"`
 	NsPerOp      int64   `json:"ns_per_op"`
 	CyclesPerSec float64 `json:"cycles_per_sec"`
 	AllocsPerOp  int64   `json:"allocs_per_op"`
@@ -70,7 +75,11 @@ type simBenchFile struct {
 // targets in practice. Reuse cases re-run their base case on a persistent
 // warmed sim.Engine, the steady-state shape of sweep traffic through the
 // harness engine pool: their allocs/op and bytes/op measure only the per-run
-// residual, not arena construction.
+// residual, not arena construction. App cases time sim.RunApp on a whole
+// launch graph — the multi-kernel case exercises the launch scheduler plus
+// cross-launch chain persistence, the co-tenant case exercises partitioned
+// concurrent launches — so launch-layer overhead shows up as its own row
+// instead of hiding inside kernel cases.
 type simBenchCase struct {
 	name        string
 	bench       string
@@ -78,6 +87,8 @@ type simBenchCase struct {
 	parallelism int // 0: serial engine (Parallelism 1)
 	midScale    bool
 	reuse       bool
+	app         bool // bench names an application; op is sim.RunApp
+	chain       bool // persist chain tables across launches (app cases)
 }
 
 var simBenchCases = []simBenchCase{
@@ -94,6 +105,8 @@ var simBenchCases = []simBenchCase{
 	{name: "lps-reuse", bench: "lps", reuse: true},
 	{name: "mum-reuse", bench: "mum", reuse: true},
 	{name: "nw-reuse", bench: "nw", reuse: true},
+	{name: "app-pipeline", bench: "pipeline", app: true, chain: true},
+	{name: "app-cotenant", bench: "cotenant", app: true},
 }
 
 // caseSetup returns the kernel and GPU configuration for one case. Kernels
@@ -125,6 +138,17 @@ func writeSimBench(path, baselinePath string) error {
 	}
 	nsPerOp := make(map[string]int64)
 	for _, c := range simBenchCases {
+		if c.app {
+			e, err := measureAppCase(c)
+			if err != nil {
+				return err
+			}
+			out.Entries = append(out.Entries, e)
+			nsPerOp[c.name] = e.NsPerOp
+			fmt.Fprintf(os.Stderr, "snakebench: %-12s %12d ns/op %12.0f cycles/s %8d allocs/op\n",
+				c.name, e.NsPerOp, e.CyclesPerSec, e.AllocsPerOp)
+			continue
+		}
 		k, cfg, err := caseSetup(c)
 		if err != nil {
 			return err
@@ -227,6 +251,46 @@ func writeSimBench(path, baselinePath string) error {
 		return checkRegression(baselinePath, out)
 	}
 	return nil
+}
+
+// measureAppCase times sim.RunApp on one application launch graph at the
+// standard 4×64 experiment machine — the launch-scheduler counterpart of the
+// kernel rows. The co-tenant app runs its partitioned launches concurrently,
+// the pipeline app serially with chain persistence; both regress here if the
+// launch layer grows per-launch overhead.
+func measureAppCase(c simBenchCase) (simBenchEntry, error) {
+	cfg := config.Scaled(4, 64)
+	a, _, err := workloads.Shared().App(c.bench, workloads.Scale{CTAs: 12, WarpsPerCTA: 8, Iters: 8}, cfg.NumSM, 0)
+	if err != nil {
+		return simBenchEntry{}, err
+	}
+	opt := sim.Options{
+		Config:           cfg,
+		NewPrefetcher:    func(int) prefetch.Prefetcher { return core.NewSnake() },
+		ChainPersistence: c.chain,
+	}
+	var cycles int64
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		cycles = 0
+		for i := 0; i < b.N; i++ {
+			res, err := sim.RunApp(a, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += res.Stats.Cycles
+		}
+	})
+	return simBenchEntry{
+		Name:         c.name,
+		Bench:        c.bench,
+		App:          true,
+		Chain:        c.chain,
+		NsPerOp:      r.NsPerOp(),
+		CyclesPerSec: float64(cycles) / r.T.Seconds(),
+		AllocsPerOp:  r.AllocsPerOp(),
+		BytesPerOp:   r.AllocedBytesPerOp(),
+	}, nil
 }
 
 // measurePhases runs the kernel once with a phase accumulator attached and

@@ -57,6 +57,22 @@ func (p *EnginePool) Run(k *trace.Kernel, opt sim.Options, tag string) (*sim.Res
 	return res, err
 }
 
+// RunApp simulates the application on a pooled engine and returns the engine
+// to the pool afterwards. Apps and single kernels share the same pools: the
+// engine's persistent machine is shaped by the configuration alone, and the
+// launch state rebuilds per run, so a kernel run can recycle an app run's
+// engine and vice versa.
+func (p *EnginePool) RunApp(a *trace.App, opt sim.Options, tag string) (*sim.AppResult, error) {
+	sp := p.pool(engineKey{cfg: opt.Config, tag: tag})
+	en, _ := sp.Get().(*sim.Engine)
+	if en == nil {
+		en = sim.NewEngine()
+	}
+	res, err := en.RunAppTagged(a, opt, tag)
+	sp.Put(en)
+	return res, err
+}
+
 func (p *EnginePool) pool(key engineKey) *sync.Pool {
 	p.mu.Lock()
 	defer p.mu.Unlock()

@@ -35,6 +35,10 @@ type Runner struct {
 	// auto — the config-derived maximum). Results are bit-identical at every
 	// setting, so like Parallelism it is not part of the memoization key.
 	SlackWindow int
+	// Split is the tenant-0 SM share for application runs that partition the
+	// machine (0: an even halving). It shapes the assembled app's SM masks
+	// and therefore participates in keys via the app's content digest.
+	Split int
 	// Budget bounds this runner's CPU use; NewRunner wires the process-wide
 	// SharedBudget so runner pools and the snaked service cannot
 	// oversubscribe the host between them.
@@ -60,10 +64,13 @@ type Runner struct {
 // executes the run and closes done; waiters block on done (or their own
 // context). On failure the entry is removed from the cache before done is
 // closed, so a retrying caller always finds either a fresh slot or a
-// successful result.
+// successful result. Kernel runs fill st; application runs fill app (and st
+// with the aggregate) — the key namespaces never collide because app keys
+// carry the AppDigest field.
 type runResult struct {
 	done chan struct{}
 	st   *stats.Sim
+	app  *sim.AppResult
 	err  error
 }
 
@@ -117,6 +124,20 @@ func (r *Runner) runKernel(k *trace.Kernel, key, mech string) (*stats.Sim, error
 }
 
 func (r *Runner) run(ctx context.Context, key, label, mech string, factory Factory, build func() (*trace.Kernel, error)) (*stats.Sim, error) {
+	res, err := r.memoize(ctx, key, func(res *runResult) {
+		r.execute(ctx, res, label, mech, factory, build)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.st, nil
+}
+
+// memoize runs fill under the cache discipline for key: exactly one caller
+// fills a fresh slot, concurrent callers of the same key wait on it, and
+// failed fills are dropped so any waiter (or later caller) re-attempts under
+// its own context.
+func (r *Runner) memoize(ctx context.Context, key string, fill func(*runResult)) (*runResult, error) {
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -127,7 +148,7 @@ func (r *Runner) run(ctx context.Context, key, label, mech string, factory Facto
 			res = &runResult{done: make(chan struct{})}
 			r.cache[key] = res
 			r.mu.Unlock()
-			r.execute(ctx, res, label, mech, factory, build)
+			fill(res)
 			if res.err != nil {
 				// Failures are not cached: drop the entry (unless a retry
 				// already replaced it) so later callers re-attempt.
@@ -138,13 +159,13 @@ func (r *Runner) run(ctx context.Context, key, label, mech string, factory Facto
 				r.mu.Unlock()
 			}
 			close(res.done)
-			return res.st, res.err
+			return res, res.err
 		}
 		r.mu.Unlock()
 		select {
 		case <-res.done:
 			if res.err == nil {
-				return res.st, nil
+				return res, nil
 			}
 			// The executing caller failed (possibly its own cancellation);
 			// loop and retry under our context.
@@ -257,4 +278,81 @@ func (r *Runner) SnakeVariant(bench, key string, cfg core.Config) (*stats.Sim, e
 // SnakeVariantCtx is SnakeVariant with cancellation.
 func (r *Runner) SnakeVariantCtx(ctx context.Context, bench, key string, cfg core.Config) (*stats.Sim, error) {
 	return r.RunWithCtx(ctx, bench, "snake:"+key, func(int) prefetch.Prefetcher { return core.New(cfg) })
+}
+
+// AppKey returns the content-address of an (app, mech, chain) run under this
+// runner's configuration. It interns the app (assembling it on first use for
+// this machine's SM count and the runner's Split) to obtain the content
+// digest that distinguishes the same app name across partition geometries.
+func (r *Runner) AppKey(app, mech string, chain bool) (RunKey, error) {
+	_, digest, err := r.store().App(app, r.Scale, r.Cfg.NumSM, r.Split)
+	if err != nil {
+		return RunKey{}, err
+	}
+	return RunKey{
+		Mech: mech, GPU: r.Cfg, Scale: r.Scale,
+		App: app, AppDigest: digest, Chain: chain,
+	}, nil
+}
+
+// RunApp simulates the named application workload under the named registry
+// mechanism (memoized), with chain selecting sim.Options.ChainPersistence.
+func (r *Runner) RunApp(app, mech string, chain bool) (*sim.AppResult, error) {
+	return r.RunAppCtx(context.Background(), app, mech, chain)
+}
+
+// RunAppCtx is RunApp with cancellation, under the same retry discipline as
+// RunCtx: failed fills are not cached.
+func (r *Runner) RunAppCtx(ctx context.Context, app, mech string, chain bool) (*sim.AppResult, error) {
+	key, err := r.AppKey(app, mech, chain)
+	if err != nil {
+		return nil, err
+	}
+	a, _, err := r.store().App(app, r.Scale, r.Cfg.NumSM, r.Split)
+	if err != nil {
+		return nil, err
+	}
+	res, err := r.memoize(ctx, key.Hash(), func(res *runResult) {
+		r.executeApp(ctx, res, app+"|"+mech, mech, chain, a)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.app, nil
+}
+
+// executeApp is execute's application counterpart: same budget discipline,
+// same engine pool (apps and kernels recycle each other's machines), plus
+// the chain-persistence policy.
+func (r *Runner) executeApp(ctx context.Context, res *runResult, label, mech string, chain bool, a *trace.App) {
+	budget := r.Budget
+	if budget == nil {
+		budget = SharedBudget()
+	}
+	granted, err := budget.Acquire(ctx, max(r.Parallelism, 1))
+	if err != nil {
+		res.err = err
+		return
+	}
+	defer budget.Release(granted)
+	f, err := Mechanism(mech)
+	if err != nil {
+		res.err = err
+		return
+	}
+	out, err := r.engines().RunApp(a, sim.Options{
+		Config:           r.Cfg,
+		NewPrefetcher:    f,
+		Context:          ctx,
+		Parallelism:      granted,
+		SlackWindow:      r.SlackWindow,
+		ChainPersistence: chain,
+		PhaseProfile:     r.PhaseProfile,
+	}, mech)
+	if err != nil {
+		res.err = fmt.Errorf("%s: %w", label, err)
+		return
+	}
+	res.app = out
+	res.st = &out.Stats
 }

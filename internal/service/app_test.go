@@ -1,0 +1,107 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestServiceAppJobs drives application jobs through the HTTP API: submit,
+// key separation between chain policies, cache hit on resubmission, sweep
+// cells over apps, inventory listing, and validation failures.
+func TestServiceAppJobs(t *testing.T) {
+	svc := tinyService(2)
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer svc.Shutdown(t.Context())
+
+	submit := func(req RunRequest) RunView {
+		t.Helper()
+		resp, body := postJSON(t, ts.URL+"/v1/runs?wait=1", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit %+v: %d %s", req, resp.StatusCode, body)
+		}
+		var v RunView
+		if err := json.Unmarshal(body, &v); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	warm := submit(RunRequest{App: "warmup", Mech: "snake", Chain: true})
+	if warm.Status != StatusDone || warm.Result == nil {
+		t.Fatalf("app job did not complete: %+v", warm)
+	}
+	if warm.App != "warmup" || !warm.Chain || warm.Bench != "" {
+		t.Errorf("view misreports the app job: %+v", warm)
+	}
+	if warm.Result.Insts == 0 || warm.Result.Cycles == 0 {
+		t.Errorf("empty result: %+v", warm.Result)
+	}
+
+	cold := submit(RunRequest{App: "warmup", Mech: "snake"})
+	if cold.Key == warm.Key {
+		t.Error("chain policies share one content address")
+	}
+	kernel := submit(RunRequest{Bench: "lps", Mech: "snake"})
+	if kernel.Key == warm.Key || kernel.Key == cold.Key {
+		t.Error("kernel and app jobs share a content address")
+	}
+
+	// Resubmission of an identical app job is served from the cache.
+	again := submit(RunRequest{App: "warmup", Mech: "snake", Chain: true})
+	if !again.Cached {
+		t.Errorf("identical app job was recomputed: %+v", again)
+	}
+	if *again.Result != *warm.Result {
+		t.Error("cached app result differs from the original")
+	}
+
+	// Sweeps accept app cells alongside bench cells.
+	resp, body := postJSON(t, ts.URL+"/v1/sweeps", SweepRequest{
+		Benches: []string{"lps"},
+		Apps:    []string{"pipeline", "cotenant"},
+		Mechs:   []string{"baseline", "mta"},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("sweep: %d %s", resp.StatusCode, body)
+	}
+	var sv SweepView
+	if err := json.Unmarshal(body, &sv); err != nil {
+		t.Fatal(err)
+	}
+	if sv.Total != 6 {
+		t.Fatalf("sweep of 1 bench + 2 apps x 2 mechs has %d cells, want 6", sv.Total)
+	}
+	for _, id := range []string{sv.Jobs[0].ID, sv.Jobs[len(sv.Jobs)-1].ID} {
+		waitRun(t, ts.URL, id, func(v RunView) bool { return v.Status.Terminal() }, "terminal")
+	}
+
+	// Inventory lists the app registry.
+	invResp, err := http.Get(ts.URL + "/v1/benchmarks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inv BenchmarksView
+	if err := json.NewDecoder(invResp.Body).Decode(&inv); err != nil {
+		t.Fatal(err)
+	}
+	invResp.Body.Close()
+	if len(inv.Apps) == 0 {
+		t.Error("inventory lists no apps")
+	}
+
+	// Validation: unknown app, bench+app together, bad split.
+	for _, bad := range []RunRequest{
+		{App: "nope", Mech: "snake"},
+		{App: "warmup", Bench: "lps", Mech: "snake"},
+		{App: "cotenant", Mech: "snake", Split: -1},
+		{App: "cotenant", Mech: "snake", Split: 99},
+	} {
+		resp, _ := postJSON(t, ts.URL+"/v1/runs", bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad request %+v accepted with %d", bad, resp.StatusCode)
+		}
+	}
+}

@@ -117,6 +117,7 @@ type Service struct {
 	flight   map[string]chan struct{}
 
 	benchSet map[string]bool
+	appSet   map[string]bool
 }
 
 // sweep groups the jobs of one POST /v1/sweeps submission and fans
@@ -170,6 +171,7 @@ func New(opt Options) *Service {
 		sweeps:      make(map[string]*sweep),
 		flight:      make(map[string]chan struct{}),
 		benchSet:    make(map[string]bool),
+		appSet:      make(map[string]bool),
 	}
 	if len(opt.Peers) > 0 && opt.Self != "" {
 		s.clu = cluster.New(cluster.Options{
@@ -183,6 +185,9 @@ func New(opt Options) *Service {
 	}
 	for _, b := range workloads.Names() {
 		s.benchSet[b] = true
+	}
+	for _, a := range workloads.AppNames() {
+		s.appSet[a] = true
 	}
 	s.wg.Add(opt.Workers)
 	for i := 0; i < opt.Workers; i++ {
@@ -221,12 +226,25 @@ func (s *Service) Shutdown(ctx context.Context) error {
 func (s *Service) normalize(req RunRequest) (spec, error) {
 	sp := spec{
 		bench:    req.Bench,
+		app:      req.App,
+		chain:    req.Chain,
+		split:    req.Split,
 		mech:     req.Mech,
 		priority: req.Priority,
 		gpu:      s.gpu,
 		scale:    s.scale,
 	}
-	if !s.benchSet[req.Bench] {
+	switch {
+	case req.App != "" && req.Bench != "":
+		return spec{}, errors.New("bench and app are mutually exclusive")
+	case req.App != "":
+		if !s.appSet[req.App] {
+			return spec{}, fmt.Errorf("unknown app %q (known: %v)", req.App, workloads.AppNames())
+		}
+		if req.Split < 0 {
+			return spec{}, errors.New("split must be non-negative")
+		}
+	case !s.benchSet[req.Bench]:
 		return spec{}, fmt.Errorf("unknown benchmark %q (known: %v)", req.Bench, workloads.Names())
 	}
 	if req.Snake != nil {
@@ -267,6 +285,16 @@ func (s *Service) normalize(req RunRequest) (spec, error) {
 	sp.slack = req.Slack
 	if sp.slack == 0 {
 		sp.slack = s.slack
+	}
+	if sp.app != "" {
+		// Intern the app now (for the resolved machine and scale) so
+		// ill-partitioned requests fail at submission and the content digest
+		// is ready for the job key. The intern is shared with simulate().
+		_, digest, err := workloads.Shared().App(sp.app, sp.scale, sp.gpu.NumSM, sp.split)
+		if err != nil {
+			return spec{}, err
+		}
+		sp.appDigest = digest
 	}
 	return sp, nil
 }
@@ -348,28 +376,40 @@ func (s *Service) enqueueLocked(sp spec, sweepID string) (*job, error) {
 	return j, nil
 }
 
-// SubmitSweep validates and enqueues a bench×mech grid.
+// SubmitSweep validates and enqueues a (bench ∪ app)×mech grid.
 func (s *Service) SubmitSweep(req SweepRequest) (*sweep, []*job, error) {
 	mechs := req.Mechs
 	if req.Snake != nil {
 		mechs = []string{""}
 	}
-	if len(req.Benches) == 0 || len(mechs) == 0 {
-		return nil, nil, errors.New("sweep needs at least one benchmark and one mechanism (or a snake config)")
+	if (len(req.Benches) == 0 && len(req.Apps) == 0) || len(mechs) == 0 {
+		return nil, nil, errors.New("sweep needs at least one benchmark or app, and one mechanism (or a snake config)")
 	}
 	var specs []spec
+	cell := func(r RunRequest) error {
+		r.Snake = req.Snake
+		r.GPU, r.Scale = req.GPU, req.Scale
+		r.Priority, r.TimeoutMS = req.Priority, req.TimeoutMS
+		r.Parallelism, r.Slack = req.Parallelism, req.Slack
+		sp, err := s.normalize(r)
+		if err != nil {
+			return err
+		}
+		specs = append(specs, sp)
+		return nil
+	}
 	for _, b := range req.Benches {
 		for _, m := range mechs {
-			sp, err := s.normalize(RunRequest{
-				Bench: b, Mech: m, Snake: req.Snake,
-				GPU: req.GPU, Scale: req.Scale,
-				Priority: req.Priority, TimeoutMS: req.TimeoutMS,
-				Parallelism: req.Parallelism, Slack: req.Slack,
-			})
-			if err != nil {
+			if err := cell(RunRequest{Bench: b, Mech: m}); err != nil {
 				return nil, nil, err
 			}
-			specs = append(specs, sp)
+		}
+	}
+	for _, a := range req.Apps {
+		for _, m := range mechs {
+			if err := cell(RunRequest{App: a, Chain: req.Chain, Split: req.Split, Mech: m}); err != nil {
+				return nil, nil, err
+			}
 		}
 	}
 	s.mu.Lock()
@@ -458,6 +498,10 @@ func (s *Service) handleBenchmarks(w http.ResponseWriter, _ *http.Request) {
 	v := BenchmarksView{Mechanisms: harness.MechanismNames()}
 	for _, b := range workloads.Names() {
 		v.Benchmarks = append(v.Benchmarks, BenchInfo{Name: b, FullName: full[b]})
+	}
+	descs := workloads.AppDescriptions()
+	for _, a := range workloads.AppNames() {
+		v.Apps = append(v.Apps, AppInfo{Name: a, Description: descs[a]})
 	}
 	writeJSON(w, http.StatusOK, v)
 }

@@ -36,7 +36,19 @@ import (
 // RunRequest submits one simulation job.
 type RunRequest struct {
 	// Bench names a registry benchmark (GET /v1/benchmarks lists them).
-	Bench string `json:"bench"`
+	// Mutually exclusive with App.
+	Bench string `json:"bench,omitempty"`
+	// App names a registry application workload (a multi-kernel launch graph;
+	// GET /v1/benchmarks lists them). Mutually exclusive with Bench.
+	App string `json:"app,omitempty"`
+	// Chain keeps prefetcher chain tables trained across kernel-launch
+	// boundaries (sim.Options.ChainPersistence). Only meaningful with App; it
+	// changes results and therefore participates in the content address.
+	Chain bool `json:"chain,omitempty"`
+	// Split is the tenant-0 SM share for apps that partition the machine
+	// (0: an even halving). It shapes the app's SM masks and so participates
+	// in the content address through the app digest.
+	Split int `json:"split,omitempty"`
 	// Mech names a registry mechanism; ignored when Snake is set.
 	Mech string `json:"mech"`
 	// Snake, when set, runs a custom Snake configuration instead of Mech.
@@ -63,9 +75,13 @@ type RunRequest struct {
 	Slack int `json:"slack,omitempty"`
 }
 
-// SweepRequest submits the cross product of benches × mechs as one sweep.
+// SweepRequest submits the cross product of (benches ∪ apps) × mechs as one
+// sweep. Chain and Split apply to the app cells only.
 type SweepRequest struct {
-	Benches     []string         `json:"benches"`
+	Benches     []string         `json:"benches,omitempty"`
+	Apps        []string         `json:"apps,omitempty"`
+	Chain       bool             `json:"chain,omitempty"`
+	Split       int              `json:"split,omitempty"`
 	Mechs       []string         `json:"mechs"`
 	Snake       *core.Config     `json:"snake,omitempty"` // replaces Mechs when set
 	GPU         *config.GPU      `json:"gpu,omitempty"`
@@ -117,10 +133,13 @@ func summarize(st *stats.Sim) *Result {
 	}
 }
 
-// RunView is the wire representation of a job.
+// RunView is the wire representation of a job. Exactly one of Bench and App
+// is set, mirroring the request.
 type RunView struct {
 	ID     string `json:"id"`
-	Bench  string `json:"bench"`
+	Bench  string `json:"bench,omitempty"`
+	App    string `json:"app,omitempty"`
+	Chain  bool   `json:"chain,omitempty"`
 	Mech   string `json:"mech"`
 	Key    string `json:"key"` // content address (harness.RunKey hash)
 	Status Status `json:"status"`
@@ -158,6 +177,7 @@ type StreamEnd struct {
 // BenchmarksView is the GET /v1/benchmarks payload.
 type BenchmarksView struct {
 	Benchmarks []BenchInfo `json:"benchmarks"`
+	Apps       []AppInfo   `json:"apps"`
 	Mechanisms []string    `json:"mechanisms"`
 }
 
@@ -167,6 +187,12 @@ type BenchInfo struct {
 	FullName string `json:"full_name"`
 }
 
+// AppInfo describes one registry application workload.
+type AppInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
 // spec is a normalized, validated job specification. parallelism and slack
 // are not part of the content address: they change wall clock, never
 // results. noForward
@@ -174,6 +200,10 @@ type BenchInfo struct {
 // forwarded again (loop prevention).
 type spec struct {
 	bench       string
+	app         string // application name; empty for single-kernel jobs
+	appDigest   string // content digest of the assembled app (normalize)
+	chain       bool   // sim.Options.ChainPersistence for app jobs
+	split       int    // tenant-0 SM share for partitioned apps (0: half)
 	mech        string // display name; "snake:custom" for custom configs
 	snake       *core.Config
 	gpu         config.GPU
@@ -186,6 +216,15 @@ type spec struct {
 	factory     harness.Factory
 }
 
+// workload is the display/metrics label: the benchmark name, or the app name
+// marked as such.
+func (sp *spec) workload() string {
+	if sp.app != "" {
+		return "app:" + sp.app
+	}
+	return sp.bench
+}
+
 // wireRequest reconstructs a forwardable RunRequest from the normalized
 // spec. GPU and scale are always sent explicitly so the peer normalizes to
 // the same content address whatever its own defaults are; parallelism and
@@ -194,6 +233,9 @@ func (sp *spec) wireRequest() RunRequest {
 	gpu, scale := sp.gpu, sp.scale
 	req := RunRequest{
 		Bench:     sp.bench,
+		App:       sp.app,
+		Chain:     sp.chain,
+		Split:     sp.split,
 		GPU:       &gpu,
 		Scale:     &scale,
 		Priority:  sp.priority,
@@ -207,13 +249,20 @@ func (sp *spec) wireRequest() RunRequest {
 	return req
 }
 
-// key returns the job's content address.
+// key returns the job's content address. App jobs carry the app name, its
+// content digest (covering kernels, masks, tenants, and dependency edges —
+// so one app name assembled for different machines keys apart) and the
+// chain-persistence policy; all three are omitempty-zero for kernel jobs, so
+// existing kernel keys are unchanged.
 func (sp *spec) key() string {
 	return harness.RunKey{
-		Bench: sp.bench,
-		Mech:  sp.mech,
-		Snake: sp.snake,
-		GPU:   sp.gpu,
-		Scale: sp.scale,
+		Bench:     sp.bench,
+		Mech:      sp.mech,
+		Snake:     sp.snake,
+		GPU:       sp.gpu,
+		Scale:     sp.scale,
+		App:       sp.app,
+		AppDigest: sp.appDigest,
+		Chain:     sp.chain,
 	}.Hash()
 }

@@ -44,6 +44,8 @@ func (j *job) view() RunView {
 	v := RunView{
 		ID:     j.id,
 		Bench:  j.spec.bench,
+		App:    j.spec.app,
+		Chain:  j.spec.chain,
 		Mech:   j.spec.mech,
 		Key:    j.key,
 		Status: j.status,
@@ -195,10 +197,6 @@ func (s *Service) produce(ctx context.Context, j *job) (*stats.Sim, string, erro
 // parallelism spend one bounded currency (workers × parallelism can never
 // exceed the budget in CPU terms, whatever the pool size).
 func (s *Service) simulate(ctx context.Context, sp *spec) (*stats.Sim, error) {
-	k, err := workloads.Shared().Kernel(sp.bench, sp.scale)
-	if err != nil {
-		return nil, err
-	}
 	granted, err := s.budget.Acquire(ctx, sp.parallelism)
 	if err != nil {
 		return nil, err
@@ -211,13 +209,34 @@ func (s *Service) simulate(ctx context.Context, sp *spec) (*stats.Sim, error) {
 	if sp.snake != nil {
 		tag = ""
 	}
-	out, err := harness.SharedEnginePool().Run(k, sim.Options{
+	opt := sim.Options{
 		Config:        sp.gpu,
 		NewPrefetcher: sp.factory,
 		Context:       ctx,
 		Parallelism:   granted,
 		SlackWindow:   sp.slack,
-	}, tag)
+	}
+	if sp.app != "" {
+		// Application job: the interned app was assembled (and validated) at
+		// normalize time, so this fetch is a pure cache hit. The cache and the
+		// wire carry the aggregate statistics; per-launch breakdowns are a
+		// local concern (snakesim -app prints them).
+		a, _, err := workloads.Shared().App(sp.app, sp.scale, sp.gpu.NumSM, sp.split)
+		if err != nil {
+			return nil, err
+		}
+		opt.ChainPersistence = sp.chain
+		out, err := harness.SharedEnginePool().RunApp(a, opt, tag)
+		if err != nil {
+			return nil, err
+		}
+		return &out.Stats, nil
+	}
+	k, err := workloads.Shared().Kernel(sp.bench, sp.scale)
+	if err != nil {
+		return nil, err
+	}
+	out, err := harness.SharedEnginePool().Run(k, opt, tag)
 	if err != nil {
 		return nil, err
 	}
@@ -242,7 +261,7 @@ func (s *Service) finish(j *job, st *stats.Sim, err error, cached bool, source s
 	j.mu.Unlock()
 	s.metrics.jobFinished(status)
 	if err == nil && !cached && source == "sim" {
-		s.metrics.observeWall(j.spec.bench, float64(wall)/float64(time.Millisecond))
+		s.metrics.observeWall(j.spec.workload(), float64(wall)/float64(time.Millisecond))
 	}
 	close(j.done)
 	s.notifySweep(j)

@@ -85,6 +85,16 @@ type Options struct {
 	// share Amdahl's law cares about. Not safe to share one accumulator
 	// between concurrently running engines.
 	PhaseProfile *profiling.Phases
+	// ChainPersistence keeps prefetcher state — Snake's variable-length
+	// chain tables — across kernel-launch boundaries within an App run:
+	// a launch activated by the launch scheduler starts with its SMs'
+	// tables already trained by earlier launches. False (the default)
+	// flushes prefetcher state at every scheduler activation, scoping
+	// chain detection to one launch. Irrelevant for single-launch runs
+	// (there are no scheduler activations) and independent of L1 data,
+	// which stays warm either way. See DESIGN.md "Application launch
+	// layer".
+	ChainPersistence bool
 	// DisableSkip forces the engine to execute every cycle individually
 	// instead of fast-forwarding over provably idle spans. Skipping is
 	// exact — Result.Stats is bit-identical either way (see DESIGN.md
@@ -141,9 +151,25 @@ type Result struct {
 // during the parallel phase it owns only the memory side while each shard's
 // tick owns that shard.
 type engine struct {
-	cfg    config.GPU
-	opt    Options
-	kernel *trace.Kernel
+	cfg config.GPU
+	opt Options
+
+	// Application launch state (see launch.go): the machine below survives
+	// across runs and launches; everything here is rebuilt by loadApp.
+	app       *trace.App
+	launches  []launchRun
+	pendingLn int     // launches not yet activated
+	wakeAt    []int64 // matured launch-scheduler wake cycles, ascending
+	// smBusy is per-SM launch ownership (-1: free); smAttr/smBase are the
+	// stat-attribution window per SM — the launch the counters accrue to
+	// and the snapshot the delta is taken against (launch.go claimSMs).
+	smBusy []int
+	smAttr []int
+	smBase []stats.Sim
+	// oneLaunch/oneApp are engine-owned scratch wrapping a bare kernel as
+	// a one-launch App without allocating (singleApp).
+	oneLaunch [1]trace.KernelLaunch
+	oneApp    trace.App
 
 	cycle  int64
 	net    *icntNet
@@ -171,7 +197,6 @@ type engine struct {
 	// statistic) is unchanged.
 	routed []resp
 
-	ctaNext  int // next undispatched CTA index
 	ageCtr   int64
 	inflight int   // outstanding fill requests in the memory system
 	skipped  int64 // cycles elided by event-driven fast-forwarding
@@ -237,12 +262,30 @@ func validateRun(k *trace.Kernel, opt Options) error {
 	return nil
 }
 
+// newEngine constructs a machine and loads a bare kernel as the trivial
+// one-launch App.
 func newEngine(k *trace.Kernel, opt Options) *engine {
+	e := newMachine(opt)
+	e.loadApp(e.singleApp(k))
+	return e
+}
+
+// newEngineApp constructs a machine and loads an application.
+func newEngineApp(a *trace.App, opt Options) *engine {
+	e := newMachine(opt)
+	e.loadApp(a)
+	return e
+}
+
+// newMachine allocates the persistent machine — SM shards, L2 partitions,
+// interconnect, barrier schedule, stat arenas — whose shape depends only on
+// the config. Launch state (kernels, CTA cursors, SM ownership) is installed
+// separately by loadApp and rebuilt on every run.
+func newMachine(opt Options) *engine {
 	cfg := opt.Config
 	e := &engine{
 		cfg:     cfg,
 		opt:     opt,
-		kernel:  k,
 		net:     newIcntNet(cfg),
 		shStats: stats.NewShards(cfg.NumSM),
 	}
@@ -258,7 +301,6 @@ func newEngine(k *trace.Kernel, opt Options) *engine {
 			pf = opt.NewPrefetcher(i)
 		}
 		s := newSM(i, cfg, pf, e.shStats.Shard(i), opt.MLPPerWarp)
-		s.kernel = k
 		s.env = &smEnv{eng: e, sm: s}
 		e.shards[i] = newShard(s)
 	}
@@ -270,6 +312,9 @@ func newEngine(k *trace.Kernel, opt Options) *engine {
 		e.units = append(e.units, sh)
 	}
 	e.storeIdx = make([]int, cfg.NumSM)
+	e.smBusy = make([]int, cfg.NumSM)
+	e.smAttr = make([]int, cfg.NumSM)
+	e.smBase = make([]stats.Sim, cfg.NumSM)
 	e.initSlack()
 	return e
 }
@@ -337,6 +382,7 @@ func (e *engine) run() error {
 		// merge phase: every continue path below re-enters here, so the
 		// merge/bookkeeping tail is charged exactly once per executed epoch.
 		clk.lap(profiling.PhaseMerge)
+		e.applyWakes(start)
 		e.applyDispatches(start)
 		cur := e.slackMax
 		if !e.slackOK {
@@ -351,6 +397,12 @@ func (e *engine) run() error {
 			// warps are visible to that whole epoch's ticks (and to its serial
 			// phase), exactly as with per-cycle barriers.
 			maxEnd = e.dispatchAt[0] - 1
+		}
+		if len(e.wakeAt) > 0 && e.wakeAt[0]-1 < maxEnd {
+			// Launch-scheduler wakes land on epoch starts too, for the same
+			// reason — an activated launch's first CTAs must be visible to a
+			// whole epoch.
+			maxEnd = e.wakeAt[0] - 1
 		}
 		end, err := e.serialPhase(start, maxEnd)
 		if err != nil {
@@ -507,6 +559,13 @@ func (e *engine) nextInteresting() int64 {
 			best = c
 		}
 	}
+	if len(e.wakeAt) > 0 {
+		// A pending launch activation is an engine act: the fast-forward may
+		// not jump past the wake cycle.
+		if c := e.wakeAt[0]; best < 0 || c < best {
+			best = c
+		}
+	}
 	for _, sh := range e.shards {
 		if sh.mustTickNext(cur) {
 			return cur + 1
@@ -538,19 +597,28 @@ func (e *engine) nextInteresting() int64 {
 	return best
 }
 
-// fillSMs dispatches queued CTAs onto SMs with enough free slots.
+// fillSMs dispatches queued CTAs onto SMs with enough free slots: launches in
+// App order, and within a launch one CTA per SM per pass over its shard set
+// (round-robin, the occupancy-balancing discipline the single-kernel engine
+// always had — for a one-launch App the dispatch sequence is identical).
 func (e *engine) fillSMs() {
 	for {
 		progress := false
-		for _, sh := range e.shards {
-			if e.ctaNext >= len(e.kernel.CTAs) {
-				return
+		for li := range e.launches {
+			ln := &e.launches[li]
+			if ln.state != lnRunning {
+				continue
 			}
-			need := len(e.kernel.CTAs[e.ctaNext].Warps)
-			if sh.sm.freeSlots() >= need {
-				sh.sm.dispatchCTA(e.kernel, e.ctaNext, &e.ageCtr)
-				e.ctaNext++
-				progress = true
+			for _, sh := range ln.shards {
+				if ln.ctaNext >= len(ln.kernel.CTAs) {
+					break
+				}
+				need := len(ln.kernel.CTAs[ln.ctaNext].Warps)
+				if sh.sm.freeSlots() >= need {
+					sh.sm.dispatchCTA(ln.kernel, ln.ctaNext, &e.ageCtr)
+					ln.ctaNext++
+					progress = true
+				}
 			}
 		}
 		if !progress {
@@ -833,20 +901,33 @@ func (e *engine) mergeEpoch(start, end int64) bool {
 	// CTA maturation: a CTA finishing at sub-cycle f frees its warp slots for
 	// redispatch at f + horizon — an epoch start by construction (run caps
 	// epochs at the earliest matured dispatch), so the refill is visible to a
-	// whole epoch exactly as under per-cycle barriers. Skipped once the
-	// dispatch queue is empty: maturation would only cap future epochs for a
-	// guaranteed no-op fillSMs.
-	if e.ctaNext < len(e.kernel.CTAs) {
+	// whole epoch exactly as under per-cycle barriers. Skipped once no
+	// running launch holds undispatched CTAs: maturation would only cap
+	// future epochs for a guaranteed no-op fillSMs. Only completions on the
+	// SMs of a launch with remaining CTAs matter — a slot freed on another
+	// launch's SMs can never host them.
+	if e.moreCTAs() {
 		for i := int64(0); i <= end-start; i++ {
 			bit := uint64(1) << uint(i)
-			for _, sh := range e.shards {
-				if sh.report.ctaMask&bit != 0 {
-					e.dispatchAt = append(e.dispatchAt, start+i+e.horizon)
-					break
+		launches:
+			for li := range e.launches {
+				ln := &e.launches[li]
+				if ln.state != lnRunning || ln.ctaNext >= len(ln.kernel.CTAs) {
+					continue
+				}
+				for _, sh := range ln.shards {
+					if sh.report.ctaMask&bit != 0 {
+						e.dispatchAt = append(e.dispatchAt, start+i+e.horizon)
+						break launches
+					}
 				}
 			}
 		}
 	}
+
+	// Launch retirement: detected here, in the epoch whose ticks completed
+	// the launch's last CTA (see launch.go retireScan).
+	e.retireScan(start, end)
 
 	lastBit := uint64(1) << uint(end-start)
 	for _, sh := range e.shards {
@@ -884,11 +965,15 @@ func (e *engine) inFlightMsgs() int {
 	return n
 }
 
-// finished reports whether all CTAs have been dispatched and completed and
-// no traffic is in flight.
+// finished reports whether every launch has retired, all SMs have drained
+// and no traffic is in flight. For a one-launch App this computes exactly
+// the single-kernel predicate (the launch retires in the merge of the first
+// epoch where its CTAs are exhausted and its SMs drained).
 func (e *engine) finished() bool {
-	if e.ctaNext < len(e.kernel.CTAs) {
-		return false
+	for i := range e.launches {
+		if e.launches[i].state != lnRetired {
+			return false
+		}
 	}
 	for _, sh := range e.shards {
 		if !sh.sm.done() {
@@ -906,6 +991,9 @@ type throttleReporter interface {
 
 // result aggregates statistics (call once, after the final run).
 func (e *engine) result() *Result {
+	// Close the launch attribution windows before the end-of-run L1/throttle
+	// accounting below, so per-launch stats cover execution windows only.
+	e.finalizeLaunchStats()
 	for i, sh := range e.shards {
 		sh.sm.l1.FinishRun()
 		if tr, ok := sh.sm.pf.(throttleReporter); ok {

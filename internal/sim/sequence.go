@@ -90,13 +90,14 @@ func RunSequence(kernels []*trace.Kernel, opt SequenceOptions) (*SequenceResult,
 	return out, nil
 }
 
-// prepareKernel rewires the engine for the next kernel in a sequence.
+// prepareKernel rewires the engine for the next kernel in a sequence: flush
+// policies apply first, then the kernel is loaded as a fresh one-launch App
+// on the still-running clock (the initial activation wave in loadApp never
+// flushes — RunSequence's ResetPrefetchers is the only policy here, exactly
+// as before the launch layer).
 func (e *engine) prepareKernel(k *trace.Kernel, flushL1, resetPf bool) {
-	e.kernel = k
-	e.ctaNext = 0
 	for _, sh := range e.shards {
 		s := sh.sm
-		s.kernel = k
 		if flushL1 {
 			s.l1.Reset()
 		}
@@ -105,5 +106,6 @@ func (e *engine) prepareKernel(k *trace.Kernel, flushL1, resetPf bool) {
 			s.l1.SetTrained(s.pf.Trained())
 		}
 	}
+	e.loadApp(e.singleApp(k))
 	e.fillSMs()
 }

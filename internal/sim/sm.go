@@ -152,13 +152,15 @@ func newSM(id int, cfg config.GPU, pf prefetch.Prefetcher, st *stats.Sim, mlp in
 
 // reset restores the SM to its just-constructed state for a new run: warp
 // slots, scheduler slices, occupancy counters and the L1 are all cleared in
-// place. pf handling depends on reusePf: when true the SM keeps its existing
+// place. The kernel pointer is cleared too — launch activation
+// (launch.go activateEligible) installs the kernel whose CTAs the SM will
+// host. pf handling depends on reusePf: when true the SM keeps its existing
 // prefetcher instances (the caller guarantees the new run uses the same
 // mechanism configuration) and resets them; when false pf replaces them and
 // the L1's storage organization is re-derived from the new prefetcher. The
 // per-run statistics accumulator is reset by the engine (stats.Shards.Reset),
 // not here — s.st keeps pointing into it.
-func (s *sm) reset(pf prefetch.Prefetcher, k *trace.Kernel, mlp int, reusePf bool) {
+func (s *sm) reset(pf prefetch.Prefetcher, mlp int, reusePf bool) {
 	clear(s.warps)
 	for i := range s.readyAt {
 		s.readyAt[i] = neverReady
@@ -176,7 +178,7 @@ func (s *sm) reset(pf prefetch.Prefetcher, k *trace.Kernel, mlp int, reusePf boo
 	s.nReady = 0
 	s.nWaitMem = 0
 	s.nBarrier = 0
-	s.kernel = k
+	s.kernel = nil
 	s.mlp = mlp
 	s.nowCycle = 0
 	if reusePf {

@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSubInvertsMerge checks the delta discipline the launch attribution
+// relies on: for snapshots a and b of one accumulator, (a merged with d).Sub(a)
+// recovers d for every additive field. Uses the same exhaustively filled
+// sample as the Merge tests so a field added to Sim without a Sub line fails
+// here.
+func TestSubInvertsMerge(t *testing.T) {
+	base := fullSim(3)
+	delta := fullSim(7)
+	sum := base
+	sum.Merge(&delta)
+	sum.Sub(&base)
+	// Merge takes max for Cycles; Sub subtracts plainly. Align expectations.
+	want := delta
+	want.Cycles = maxI64(base.Cycles, delta.Cycles) - base.Cycles
+	// Neither Merge nor Sub touches EnergyJ (filled post-run), so the base
+	// value survives.
+	want.EnergyJ = base.EnergyJ
+	if !reflect.DeepEqual(sum, want) {
+		t.Errorf("Sub did not invert Merge:\n got %+v\nwant %+v", sum, want)
+	}
+}
+
+// TestSubZeroesEqualSnapshots: x.Sub(x) must be all-zero for every field —
+// catches fields Sub forgets (they would survive as doubled values in launch
+// deltas).
+func TestSubZeroesEqualSnapshots(t *testing.T) {
+	x := fullSim(11)
+	y := x
+	x.Sub(&y)
+	x.EnergyJ = 0 // EnergyJ is post-run, excluded from delta accounting
+	var zero Sim
+	if !reflect.DeepEqual(x, zero) {
+		t.Errorf("x.Sub(x) != 0: %+v", x)
+	}
+}
+
+// fullSim returns a Sim with every int64 field (including nested Prefetch and
+// the L1 array) set to a distinct non-zero value derived from seed, via
+// reflection so new fields are picked up automatically.
+func fullSim(seed int64) Sim {
+	var s Sim
+	n := seed
+	fill := func(v reflect.Value) {
+		var rec func(reflect.Value)
+		rec = func(v reflect.Value) {
+			switch v.Kind() {
+			case reflect.Int64:
+				n += seed
+				v.SetInt(n)
+			case reflect.Float64:
+				n += seed
+				v.SetFloat(float64(n))
+			case reflect.Struct:
+				for i := 0; i < v.NumField(); i++ {
+					rec(v.Field(i))
+				}
+			case reflect.Array:
+				for i := 0; i < v.Len(); i++ {
+					rec(v.Index(i))
+				}
+			}
+		}
+		rec(v)
+	}
+	fill(reflect.ValueOf(&s).Elem())
+	return s
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestTenantRollup(t *testing.T) {
+	ls := Launches{
+		{Index: 0, Kernel: "a", Tenant: 1, Stats: Sim{Insts: 10, Cycles: 100}},
+		{Index: 1, Kernel: "b", Tenant: 0, Stats: Sim{Insts: 5, Cycles: 40}},
+		{Index: 2, Kernel: "c", Tenant: 1, Stats: Sim{Insts: 7, Cycles: 60}},
+	}
+	got := ls.Tenants()
+	if len(got) != 2 {
+		t.Fatalf("got %d tenants, want 2", len(got))
+	}
+	if got[0].ID != 0 || got[1].ID != 1 {
+		t.Errorf("tenants not sorted by ID: %+v", got)
+	}
+	if got[0].Launches != 1 || got[0].Stats.Insts != 5 {
+		t.Errorf("tenant 0 rollup wrong: %+v", got[0])
+	}
+	if got[1].Launches != 2 || got[1].Stats.Insts != 17 || got[1].Stats.Cycles != 100 {
+		t.Errorf("tenant 1 rollup wrong: %+v", got[1])
+	}
+}

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Application traces: an App is an ordered list of kernel launches with
+// dependency edges, per-launch SM masks and tenant IDs — the unit of work the
+// launch scheduler in internal/sim consumes. A bare Kernel is the trivial
+// one-launch App (see SingleLaunch).
+
+// KernelLaunch is one kernel launch within an App.
+type KernelLaunch struct {
+	Kernel *Kernel
+	// DependsOn lists earlier launch indices that must retire before this
+	// launch may start. Indices are positions in App.Launches and must be
+	// strictly smaller than this launch's own index (the App is a DAG in
+	// topological order).
+	DependsOn []int `json:",omitempty"`
+	// SMMask restricts the launch to a subset of SMs: bit i set means SM i
+	// may host this launch's CTAs. Zero means all SMs. Non-zero masks
+	// require NumSM ≤ 64 at run time.
+	SMMask uint64 `json:",omitempty"`
+	// Tenant identifies the co-resident application instance this launch
+	// belongs to, for per-tenant stat rollups. Launches of different
+	// tenants on disjoint SM masks run concurrently, contending through
+	// the shared memory partitions.
+	Tenant int `json:",omitempty"`
+}
+
+// App is an application trace: kernel launches in issue order.
+type App struct {
+	Name     string
+	Launches []KernelLaunch
+}
+
+// SingleLaunch wraps a bare kernel as the trivial one-launch App: full SM
+// mask, tenant 0, no dependencies.
+func SingleLaunch(k *Kernel) *App {
+	return &App{Name: k.Name, Launches: []KernelLaunch{{Kernel: k}}}
+}
+
+// Validate checks structural invariants of the App: non-empty, every launch
+// carries a valid kernel, dependency edges point strictly backwards.
+func (a *App) Validate() error {
+	if a.Name == "" {
+		return errors.New("trace: app has no name")
+	}
+	if len(a.Launches) == 0 {
+		return fmt.Errorf("trace: app %q has no launches", a.Name)
+	}
+	for i, l := range a.Launches {
+		if l.Kernel == nil {
+			return fmt.Errorf("trace: app %q launch %d has no kernel", a.Name, i)
+		}
+		if err := l.Kernel.Validate(); err != nil {
+			return fmt.Errorf("trace: app %q launch %d: %w", a.Name, i, err)
+		}
+		for _, d := range l.DependsOn {
+			if d < 0 || d >= i {
+				return fmt.Errorf("trace: app %q launch %d depends on %d (must be an earlier launch)", a.Name, i, d)
+			}
+		}
+		if l.Tenant < 0 {
+			return fmt.Errorf("trace: app %q launch %d has negative tenant %d", a.Name, i, l.Tenant)
+		}
+	}
+	return nil
+}
+
+// MaxSM returns the highest SM index referenced by any non-zero launch mask,
+// or -1 when every launch runs with the full (zero) mask.
+func (a *App) MaxSM() int {
+	max := -1
+	for _, l := range a.Launches {
+		if l.SMMask == 0 {
+			continue
+		}
+		if hi := bits.Len64(l.SMMask) - 1; hi > max {
+			max = hi
+		}
+	}
+	return max
+}
+
+// TotalInsts returns the total dynamic instruction count across all launches.
+func (a *App) TotalInsts() int {
+	n := 0
+	for _, l := range a.Launches {
+		n += l.Kernel.TotalInsts()
+	}
+	return n
+}
+
+// Tenants returns the number of distinct tenant IDs (max ID + 1).
+func (a *App) Tenants() int {
+	max := 0
+	for _, l := range a.Launches {
+		if l.Tenant > max {
+			max = l.Tenant
+		}
+	}
+	return max + 1
+}
+
+// Digest returns a content hash of the App (launch structure plus full kernel
+// contents), suitable for cache keys: two Apps with equal digests produce
+// identical simulations. The hash is over the canonical JSON encoding, which
+// is deterministic for these types.
+func (a *App) Digest() (string, error) {
+	h := sha256.New()
+	if err := json.NewEncoder(h).Encode(a); err != nil {
+		return "", fmt.Errorf("trace: digest app %q: %w", a.Name, err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

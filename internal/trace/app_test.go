@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func validApp() *App {
+	k1 := validKernel()
+	k2 := validKernel()
+	k2.Name = "k2"
+	return &App{
+		Name: "app",
+		Launches: []KernelLaunch{
+			{Kernel: k1, SMMask: 0x3},
+			{Kernel: k2, SMMask: 0xc, Tenant: 1},
+			{Kernel: k1, DependsOn: []int{0, 1}},
+		},
+	}
+}
+
+func TestSingleLaunch(t *testing.T) {
+	k := validKernel()
+	a := SingleLaunch(k)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != k.Name || len(a.Launches) != 1 || a.Launches[0].Kernel != k {
+		t.Errorf("SingleLaunch wrapped wrong: %+v", a)
+	}
+	if a.Launches[0].SMMask != 0 || a.Launches[0].Tenant != 0 {
+		t.Error("SingleLaunch must use full mask and tenant 0")
+	}
+	if a.MaxSM() != -1 {
+		t.Errorf("MaxSM on full-mask app = %d, want -1", a.MaxSM())
+	}
+}
+
+func TestAppValidate(t *testing.T) {
+	good := validApp()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*App)
+	}{
+		{"no name", func(a *App) { a.Name = "" }},
+		{"no launches", func(a *App) { a.Launches = nil }},
+		{"nil kernel", func(a *App) { a.Launches[1].Kernel = nil }},
+		{"invalid kernel", func(a *App) {
+			k := *a.Launches[1].Kernel
+			k.Name = ""
+			a.Launches[1].Kernel = &k
+		}},
+		{"self dep", func(a *App) { a.Launches[1].DependsOn = []int{1} }},
+		{"forward dep", func(a *App) { a.Launches[1].DependsOn = []int{2} }},
+		{"negative dep", func(a *App) { a.Launches[1].DependsOn = []int{-1} }},
+		{"negative tenant", func(a *App) { a.Launches[1].Tenant = -1 }},
+	}
+	for _, tc := range cases {
+		a := validApp()
+		tc.mut(a)
+		if err := a.Validate(); err == nil {
+			t.Errorf("%s: validated", tc.name)
+		}
+	}
+}
+
+func TestAppAccessors(t *testing.T) {
+	a := validApp()
+	if got := a.Tenants(); got != 2 {
+		t.Errorf("Tenants = %d, want 2", got)
+	}
+	if got := a.MaxSM(); got != 3 {
+		t.Errorf("MaxSM = %d, want 3", got)
+	}
+	want := 0
+	for _, l := range a.Launches {
+		want += l.Kernel.TotalInsts()
+	}
+	if got := a.TotalInsts(); got != want {
+		t.Errorf("TotalInsts = %d, want %d", got, want)
+	}
+}
+
+func TestAppDigest(t *testing.T) {
+	a := validApp()
+	d1, err := a.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := validApp().Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Error("digest not deterministic for equal apps")
+	}
+	b := validApp()
+	b.Launches[0].SMMask = 0x1
+	d3, err := b.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d1 {
+		t.Error("digest ignores launch masks")
+	}
+	c := validApp()
+	c.Launches[2].Kernel.CTAs[0].BaseAddr++
+	d4, err := c.Digest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d4 == d1 {
+		t.Error("digest ignores kernel content")
+	}
+}
+
+func TestAppBinaryRoundTrip(t *testing.T) {
+	a := validApp()
+	var buf bytes.Buffer
+	if err := a.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAppBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, got) {
+		t.Error("binary round trip changed the app")
+	}
+}
+
+func TestAppJSONRoundTrip(t *testing.T) {
+	a := validApp()
+	var buf bytes.Buffer
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAppJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, got) {
+		t.Error("json round trip changed the app")
+	}
+}
+
+func TestAppBinaryRejectsKernelFile(t *testing.T) {
+	// The two binary formats carry distinct magics: loading a kernel trace
+	// as an app (or garbage as either) must fail loudly.
+	var buf bytes.Buffer
+	if err := validKernel().WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAppBinary(&buf); err == nil {
+		t.Error("kernel trace accepted as app")
+	}
+	if _, err := ReadAppBinary(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage accepted as app")
+	}
+}
+
+func TestAppSaveLoadFile(t *testing.T) {
+	a := validApp()
+	dir := t.TempDir()
+	for _, name := range []string{"a.app", "a.json"} {
+		path := filepath.Join(dir, name)
+		if err := a.SaveFile(path); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := LoadAppFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(a, got) {
+			t.Errorf("%s: round trip changed the app", name)
+		}
+	}
+}

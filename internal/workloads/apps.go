@@ -1,0 +1,164 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"snake/internal/trace"
+)
+
+// Application workloads: synthetic multi-kernel and two-tenant Apps assembled
+// from the Table 2 benchmark kernels. Each spec names the launch structure —
+// dependency edges, SM placement, tenant IDs — and the kernels come from the
+// same generators (and, through Store.App, the same interned instances) as
+// the single-kernel suite.
+
+// maskSel selects a launch's SM placement; the concrete bit mask is resolved
+// at assembly time from the machine's SM count and the tenant-0 share.
+type maskSel uint8
+
+const (
+	maskFull  maskSel = iota // all SMs (SMMask 0)
+	maskLower                // SMs [0, split)
+	maskUpper                // SMs [split, numSM)
+)
+
+// appLaunch is one launch slot in an app spec.
+type appLaunch struct {
+	bench  string
+	deps   []int
+	mask   maskSel
+	tenant int
+}
+
+// appSpec declares an application's launch structure.
+type appSpec struct {
+	desc     string
+	launches []appLaunch
+}
+
+// appRegistry holds the synthetic applications. "warmup" relaunches one
+// kernel so chain tables trained by launch i directly cover launch i+1's
+// addresses (the cleanest view of Snake's cross-launch warm-up); "pipeline"
+// chains distinct kernels (producer→consumer); "cotenant" co-locates two
+// tenants on disjoint SM halves with no ordering edges, contending through
+// the shared L2/DRAM; "fanout" is a diamond — one producer, two dependent
+// kernels running concurrently on disjoint halves, one join.
+var appRegistry = map[string]appSpec{
+	"warmup": {
+		desc: "lps relaunched 3x (chain-table warm-up across launches)",
+		launches: []appLaunch{
+			{bench: "lps"},
+			{bench: "lps", deps: []int{0}},
+			{bench: "lps", deps: []int{1}},
+		},
+	},
+	"pipeline": {
+		desc: "cp -> hotspot -> lps (dependent multi-kernel chain)",
+		launches: []appLaunch{
+			{bench: "cp"},
+			{bench: "hotspot", deps: []int{0}},
+			{bench: "lps", deps: []int{1}},
+		},
+	},
+	"cotenant": {
+		desc: "lps (tenant 0, lower SMs) beside mum (tenant 1, upper SMs)",
+		launches: []appLaunch{
+			{bench: "lps", mask: maskLower},
+			{bench: "mum", mask: maskUpper, tenant: 1},
+		},
+	},
+	"fanout": {
+		desc: "cp -> {hotspot, srad} on disjoint halves -> nw",
+		launches: []appLaunch{
+			{bench: "cp"},
+			{bench: "hotspot", deps: []int{0}, mask: maskLower},
+			{bench: "srad", deps: []int{0}, mask: maskUpper, tenant: 1},
+			{bench: "nw", deps: []int{1, 2}},
+		},
+	},
+}
+
+// appOrder is the presentation order.
+var appOrder = []string{"warmup", "pipeline", "cotenant", "fanout"}
+
+// AppNames returns the application workload names in presentation order.
+func AppNames() []string {
+	out := make([]string, len(appOrder))
+	copy(out, appOrder)
+	return out
+}
+
+// AppDescriptions maps each application name to a one-line description.
+func AppDescriptions() map[string]string {
+	out := make(map[string]string, len(appRegistry))
+	for name, spec := range appRegistry {
+		out[name] = spec.desc
+	}
+	return out
+}
+
+// BuildApp constructs the named application at the given scale for a machine
+// with numSM SMs. split is the tenant-0 SM share for half-mask placements
+// (0: numSM/2); apps whose launches all use the full mask ignore both numSM
+// and split.
+func BuildApp(name string, sc Scale, numSM, split int) (*trace.App, error) {
+	return assembleApp(name, sc, numSM, split, func(bench string) (*trace.Kernel, error) {
+		return Build(bench, sc)
+	})
+}
+
+// assembleApp resolves an app spec into a trace.App, fetching kernels through
+// kernelFn (Build for standalone use, Store.Kernel for interned sharing).
+func assembleApp(name string, sc Scale, numSM, split int, kernelFn func(bench string) (*trace.Kernel, error)) (*trace.App, error) {
+	spec, ok := appRegistry[name]
+	if !ok {
+		known := make([]string, 0, len(appRegistry))
+		for k := range appRegistry {
+			known = append(known, k)
+		}
+		sort.Strings(known)
+		return nil, fmt.Errorf("workloads: unknown app %q (known: %v)", name, known)
+	}
+	masked := false
+	for _, l := range spec.launches {
+		if l.mask != maskFull {
+			masked = true
+		}
+	}
+	if masked {
+		if numSM < 2 || numSM > 64 {
+			return nil, fmt.Errorf("workloads: app %q partitions SMs; need 2 <= NumSM <= 64, got %d", name, numSM)
+		}
+		if split == 0 {
+			split = numSM / 2
+		}
+		if split < 1 || split >= numSM {
+			return nil, fmt.Errorf("workloads: app %q tenant-0 SM share %d out of range [1, %d]", name, split, numSM-1)
+		}
+	}
+	a := &trace.App{Name: name}
+	for i, l := range spec.launches {
+		k, err := kernelFn(l.bench)
+		if err != nil {
+			return nil, fmt.Errorf("workloads: app %q launch %d: %w", name, i, err)
+		}
+		var mask uint64
+		switch l.mask {
+		case maskLower:
+			mask = (uint64(1) << uint(split)) - 1
+		case maskUpper:
+			mask = ((uint64(1) << uint(numSM)) - 1) &^ ((uint64(1) << uint(split)) - 1)
+		}
+		a.Launches = append(a.Launches, trace.KernelLaunch{
+			Kernel:    k,
+			DependsOn: l.deps,
+			SMMask:    mask,
+			Tenant:    l.tenant,
+		})
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

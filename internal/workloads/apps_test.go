@@ -1,0 +1,124 @@
+package workloads
+
+import (
+	"testing"
+)
+
+func TestBuildAppAll(t *testing.T) {
+	for _, name := range AppNames() {
+		a, err := BuildApp(name, Tiny(), 4, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.Name != name {
+			t.Errorf("%s: app named %q", name, a.Name)
+		}
+	}
+}
+
+func TestBuildAppUnknown(t *testing.T) {
+	if _, err := BuildApp("nope", Tiny(), 4, 0); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestBuildAppMaskGeometry(t *testing.T) {
+	a, err := BuildApp("cotenant", Tiny(), 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Launches[0].SMMask; got != 0x3 {
+		t.Errorf("lower mask = %#x, want 0x3", got)
+	}
+	if got := a.Launches[1].SMMask; got != 0x3c {
+		t.Errorf("upper mask = %#x, want 0x3c", got)
+	}
+	// Default split is an even halving.
+	a, err = BuildApp("cotenant", Tiny(), 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Launches[0].SMMask != 0x3 || a.Launches[1].SMMask != 0xc {
+		t.Errorf("default split masks = %#x/%#x, want 0x3/0xc",
+			a.Launches[0].SMMask, a.Launches[1].SMMask)
+	}
+	// 64 SMs is the mask-width boundary; the upper mask must not overflow.
+	a, err = BuildApp("cotenant", Tiny(), 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Launches[0].SMMask | a.Launches[1].SMMask; got != ^uint64(0) {
+		t.Errorf("64-SM masks do not cover the machine: %#x", got)
+	}
+	if a.Launches[0].SMMask&a.Launches[1].SMMask != 0 {
+		t.Error("tenant masks overlap")
+	}
+}
+
+func TestBuildAppMaskErrors(t *testing.T) {
+	cases := []struct {
+		numSM, split int
+	}{
+		{1, 0},  // too few SMs to partition
+		{65, 0}, // beyond the 64-bit mask
+		{4, 4},  // tenant 0 takes every SM
+		{4, -1}, // negative share
+	}
+	for _, tc := range cases {
+		if _, err := BuildApp("cotenant", Tiny(), tc.numSM, tc.split); err == nil {
+			t.Errorf("numSM=%d split=%d accepted", tc.numSM, tc.split)
+		}
+	}
+	// Full-mask apps don't partition and accept any machine.
+	if _, err := BuildApp("warmup", Tiny(), 0, 0); err != nil {
+		t.Errorf("full-mask app rejected: %v", err)
+	}
+}
+
+// TestStoreAppSharesKernels: interning an app reuses the store's interned
+// kernels — the "warmup" app relaunches one kernel three times but builds it
+// once, and a later single-kernel fetch of the same benchmark builds nothing.
+func TestStoreAppSharesKernels(t *testing.T) {
+	s := NewStore()
+	a, digest, err := s.App("warmup", Tiny(), 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest == "" {
+		t.Error("empty digest")
+	}
+	if got := s.Builds(); got != 1 {
+		t.Errorf("builds after app intern = %d, want 1", got)
+	}
+	if a.Launches[0].Kernel != a.Launches[1].Kernel {
+		t.Error("relaunched kernel not shared within the app")
+	}
+	k, err := s.Kernel("lps", Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != a.Launches[0].Kernel {
+		t.Error("app kernel not shared with the single-kernel store path")
+	}
+	if got := s.Builds(); got != 1 {
+		t.Errorf("builds after kernel fetch = %d, want 1", got)
+	}
+	// A second intern of the same key returns the same app and digest.
+	a2, d2, err := s.App("warmup", Tiny(), 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != a || d2 != digest {
+		t.Error("re-intern did not share the entry")
+	}
+	// Failed assemblies are not retained.
+	if _, _, err := s.App("nope", Tiny(), 4, 0); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, _, err := s.App("cotenant", Tiny(), 1, 0); err == nil {
+		t.Error("unpartitionable machine accepted")
+	}
+}
