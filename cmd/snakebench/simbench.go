@@ -383,10 +383,13 @@ const (
 // at most barrierRegressionTolerance× the baseline's barrier waves per
 // kilocycle, with small absolute wobbles (epoch cuts move with workload
 // timing noise) excused below barrierAbsFloor of absolute growth. Both must
-// be exceeded to flag.
+// be exceeded to flag. Wide-horizon epochs pushed the committed levels to
+// ~13–37 waves/kcycle (they were ~130–140 under the old 8-cycle cap), so the
+// floor is a few absolute waves, not tens — at these densities a 20-wave
+// regression would already be a 1.5–2.5× collapse of epoch length.
 const (
-	barrierRegressionTolerance = 1.25
-	barrierAbsFloor            = 20.0
+	barrierRegressionTolerance = 1.20
+	barrierAbsFloor            = 3.0
 )
 
 // checkRegression compares the fresh measurements against the committed

@@ -38,6 +38,7 @@ func main() {
 		noskip     = flag.Bool("noskip", false, "disable event-driven cycle skipping (same stats, slower)")
 		parallel   = flag.Int("parallel", 1, "SM-shard workers per simulated cycle (same stats at any value)")
 		slack      = flag.Int("slack", 0, "bounded-slack epoch length in cycles (0: auto from config; same stats at any value)")
+		slackaudit = flag.Bool("slackaudit", false, "print the config's slack-bound derivation and exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
@@ -56,6 +57,11 @@ func main() {
 		return
 	}
 
+	if *slackaudit {
+		printSlackAudit(config.Scaled(*sms, *warps))
+		return
+	}
+
 	sc := workloads.Scale{CTAs: *ctas, WarpsPerCTA: *wpc, Iters: *iters}
 	factory, err := harness.Mechanism(*pf)
 	if err != nil {
@@ -71,6 +77,7 @@ func main() {
 
 	var s *stats.Sim
 	var appRes *sim.AppResult
+	var slackRes sim.SlackInfo
 	name := *bench
 	if *app != "" {
 		a, _, err := workloads.Shared().App(*app, sc, *sms, *split)
@@ -83,6 +90,7 @@ func main() {
 			fatal(err)
 		}
 		s = &appRes.Stats
+		slackRes = appRes.Slack
 		name = fmt.Sprintf("%s (%d launches, chain=%v)", *app, len(a.Launches), *chain)
 	} else {
 		k, err := workloads.Shared().Kernel(*bench, sc)
@@ -94,10 +102,14 @@ func main() {
 			fatal(err)
 		}
 		s = &res.Stats
+		slackRes = res.Slack
 		name = k.Name
 	}
 	fmt.Printf("benchmark        %s\n", name)
 	fmt.Printf("mechanism        %s\n", *pf)
+	fmt.Printf("slack            horizon=%d window=%d turnaround=%d (bound by %s%s)\n",
+		slackRes.Horizon, slackRes.Window, slackRes.Turnaround, slackRes.BindingTerm,
+		clampNote(slackRes))
 	fmt.Printf("cycles           %d\n", s.Cycles)
 	fmt.Printf("instructions     %d\n", s.Insts)
 	fmt.Printf("loads            %d\n", s.Loads)
@@ -134,6 +146,35 @@ func main() {
 			}
 		}
 	}
+}
+
+// clampNote annotates the slack line when the requested window exceeded the
+// config's provable bound and was clamped down.
+func clampNote(si sim.SlackInfo) string {
+	if !si.Clamped {
+		return ""
+	}
+	return fmt.Sprintf("; requested %d clamped", si.Requested)
+}
+
+// printSlackAudit prints the config's slack-bound derivation: every
+// cross-unit latency term the audit considers, which one binds, and the
+// resulting horizon and turnaround the engine will run with.
+func printSlackAudit(cfg config.GPU) {
+	a := cfg.SlackAudit()
+	lim := a.Limiting()
+	fmt.Printf("slack audit (bound = min cross-unit latency)\n")
+	for _, t := range a.Terms {
+		mark := " "
+		if t.Name == lim.Name && t.Latency == lim.Latency {
+			mark = "*"
+		}
+		fmt.Printf("  %s %-12s %6d  %s\n", mark, t.Name, t.Latency, t.Why)
+	}
+	fmt.Printf("bound            %d cycles (binding term: %s)\n", a.Bound, lim.Name)
+	fmt.Printf("epoch horizon    %d cycles (miss-queue and store visibility delay)\n", a.Bound)
+	fmt.Printf("turnaround       %d cycles (modeled injection residency, CTA redispatch)\n",
+		min(a.Bound, sim.TurnaroundCap))
 }
 
 func fatal(err error) {

@@ -462,18 +462,33 @@ func (l *L1) DrainPrefetch(cycle int64) {
 		// prefetch drainable at cycle c was eligible for injection at c
 		// itself under per-cycle engine scheduling (drain and inject shared
 		// one serial pass), one cycle ahead of a demand miss issued at c.
-		// The -1 keeps that eligibility under slack ticking, where maturity
-		// is stamp + horizon; epochs are capped at horizon-1 cycles so the
-		// earlier stamp still matures strictly past its own epoch.
+		// Under slack ticking (maturity = stamp + horizon) the early stamp
+		// still matures past its own epoch: drains at an epoch's first
+		// sub-cycle run in the serial phase itself (engine.serialPhase's
+		// hoisted drain), and every later drain's stamp is ≥ the epoch
+		// start, so even full-horizon epochs are safe.
 		r.Cycle = cycle - 1
 		l.mq.Push(r)
 	}
 }
 
-// SetMissQueueCredit sets phantom occupancy on the shared miss queue: slots
-// the engine drained for later sub-cycles of the current slack epoch, which
-// at this tick's cycle would still have been occupied. Keeps Full checks —
-// and therefore reservation-fail stats — identical to per-cycle draining.
+// SetMissQueueInjectionModel sets the miss queue's virtual injection
+// schedule: a request occupies a slot until the cycle the modeled hardware
+// would have injected it (turnaround residency, budget per cycle, queue
+// order), no matter when the engine physically pulls it (which can be a
+// full slack horizon later). The engine sets it once per run.
+func (l *L1) SetMissQueueInjectionModel(turn int64, budget int) {
+	l.mq.SetInjectionModel(turn, budget)
+}
+
+// SetMissQueueClock advances the miss queue's occupancy clock and sets the
+// phantom credit: requests the engine already pulled whose modeled residency
+// has not yet elapsed at this tick's cycle. Keeps Full checks — and
+// therefore reservation-fail stats — a pure function of stamps and the
+// cycle, identical across epoch shapes.
+func (l *L1) SetMissQueueClock(now int64, credit int) { l.mq.SetClock(now, credit) }
+
+// SetMissQueueCredit sets phantom occupancy without moving the clock.
 func (l *L1) SetMissQueueCredit(n int) { l.mq.SetCredit(n) }
 
 // MissQueueLen returns the combined outgoing queue occupancy.
@@ -485,6 +500,15 @@ func (l *L1) DemandQueueLen() int { return l.mq.Len() }
 
 // DemandQueueFull reports whether the shared outgoing miss queue is full.
 func (l *L1) DemandQueueFull() bool { return l.mq.Full() }
+
+// DemandQueueFullAt reports fullness as of a future cycle without advancing
+// the queue's clock: residency aging can free slots with no engine action.
+func (l *L1) DemandQueueFullAt(cycle int64) bool { return l.mq.FullAt(cycle) }
+
+// DemandQueueRelief returns the cycle at which residency aging alone brings
+// the shared miss queue below capacity (-1: not over capacity). The engine's
+// fast-forward must not skip past it while staged prefetches wait to drain.
+func (l *L1) DemandQueueRelief() int64 { return l.mq.ReliefCycle() }
 
 // PrefetchQueueLen returns the staged (not yet drained) prefetch-queue
 // occupancy. The engine's fast-forward must not skip cycles while staged

@@ -134,14 +134,39 @@ func (m *MSHR) Free() int { return m.entries - len(m.inflight) }
 // MissQueue is the fixed-capacity queue of outgoing fill requests between the
 // L1 and the interconnect. Congestion here is the dominant cause of
 // reservation fails on recent GPU generations (§2 of the paper).
+//
+// Occupancy is virtual: the engine holds entries physically until their
+// injection maturity (stamp + horizon, which can be far wider than the
+// modeled queue residency), but a request occupies a slot only until its
+// virtual injection cycle — when the modeled hardware would have handed it
+// to the interconnect: after the turnaround delay, in queue order, at most
+// budget entries per cycle. The virtual injection cycle is fixed at Push
+// (it depends only on the entry's stamp and its predecessors), so capacity
+// checks — un-aged entries plus the engine's credit for entries already
+// pulled ahead whose virtual injection hasn't arrived at the owner's cycle
+// — are a pure function of stamps and the clock, independent of how the
+// engine batches its pulls.
 type MissQueue struct {
 	cap   int
 	queue []MissRequest
-	// credit is phantom occupancy: slots the engine has drained ahead of the
-	// cycle this queue is being ticked at (bounded-slack epochs pop a whole
-	// epoch's worth up front). Full must report the occupancy the owner
-	// would have seen at its own cycle, so credit counts toward capacity.
+	// credit is phantom occupancy: entries the engine already drained that,
+	// at the cycle this queue is being ticked at, would still have been
+	// within their modeled residency.
 	credit int
+	// turn is the modeled minimum queue residency in cycles and budget the
+	// modeled injections per cycle (turn 0: virtual injection off, every
+	// physical entry counts — the legacy fixed-occupancy behaviour).
+	turn   int64
+	budget int
+	// lastVInj / lastCnt track the tail of the virtual injection schedule:
+	// the latest assigned injection cycle and how many entries it carries.
+	lastVInj int64
+	lastCnt  int
+	// aged is the count of leading entries whose virtual injection cycle
+	// has arrived at the last SetClock cycle. Injection cycles are
+	// non-decreasing along the queue, so the aged region is always a prefix
+	// and the cursor only advances.
+	aged int
 }
 
 // MissRequest is one outgoing fill request.
@@ -149,6 +174,10 @@ type MissRequest struct {
 	LineAddr uint64
 	Prefetch bool
 	Cycle    int64
+	// VInj is the virtual injection cycle assigned by MissQueue.Push: the
+	// cycle the modeled hardware would have injected this request, given
+	// its stamp, the turnaround delay, and the per-cycle injection budget.
+	VInj int64
 }
 
 // NewMissQueue builds a miss queue with the given capacity.
@@ -157,25 +186,92 @@ func NewMissQueue(capacity int) *MissQueue {
 }
 
 // Reset empties the queue, keeping its backing array for reuse.
-func (q *MissQueue) Reset() { q.queue = q.queue[:0]; q.credit = 0 }
+func (q *MissQueue) Reset() {
+	q.queue = q.queue[:0]
+	q.credit = 0
+	q.aged = 0
+	q.lastVInj = 0
+	q.lastCnt = 0
+}
 
-// SetCredit sets the phantom occupancy added to Full checks: entries the
-// engine already drained but that, at the cycle the owner is currently
-// ticking, would still have been queued. Always ≥ 0; the engine clears it
-// after each epoch's tick wave.
+// SetInjectionModel sets the virtual injection schedule's parameters: the
+// minimum residency before injection (turn; 0 disables virtual occupancy)
+// and the modeled injections per cycle (budget).
+func (q *MissQueue) SetInjectionModel(turn int64, budget int) {
+	q.turn = turn
+	q.budget = budget
+}
+
+// SetClock advances the occupancy clock to now and sets the phantom credit:
+// entries the engine already drained but whose virtual injection, at now,
+// has not yet arrived. Always ≥ 0; the engine clears credit after each
+// epoch's tick wave. The clock only moves forward.
+func (q *MissQueue) SetClock(now int64, credit int) {
+	q.credit = credit
+	for q.aged < len(q.queue) && q.queue[q.aged].VInj <= now {
+		q.aged++
+	}
+}
+
+// SetCredit sets the phantom credit without moving the clock.
 func (q *MissQueue) SetCredit(n int) { q.credit = n }
 
-// Full reports whether the queue has no free slot (counting phantom credit).
-func (q *MissQueue) Full() bool { return len(q.queue)+q.credit >= q.cap }
+// Full reports whether the queue has no free slot: un-aged entries plus
+// phantom credit reach capacity.
+func (q *MissQueue) Full() bool { return len(q.queue)-q.aged+q.credit >= q.cap }
 
-// Len returns the current queue occupancy.
+// FullAt reports Full as of a future clock value without advancing it.
+func (q *MissQueue) FullAt(now int64) bool {
+	a := q.aged
+	for a < len(q.queue) && q.queue[a].VInj <= now {
+		a++
+	}
+	return len(q.queue)-a+q.credit >= q.cap
+}
+
+// ReliefCycle returns the cycle at which virtual injections alone (no
+// pushes, pops, or credit) bring occupancy below capacity: the injection
+// cycle of the (len-cap+1)-th oldest entry. -1 when virtual occupancy is
+// off or the physical queue is already below capacity.
+func (q *MissQueue) ReliefCycle() int64 {
+	if q.turn <= 0 || len(q.queue) < q.cap {
+		return -1
+	}
+	return q.queue[len(q.queue)-q.cap].VInj
+}
+
+// Len returns the physical queue occupancy (entries awaiting the engine's
+// pull, aged or not).
 func (q *MissQueue) Len() int { return len(q.queue) }
 
-// Push appends a request; it panics if the queue is full (callers must check
-// Full first — a full queue is a reservation fail, not a programming error).
+// Push appends a request and assigns its virtual injection cycle; it panics
+// if the queue is full (callers must check Full first — a full queue is a
+// reservation fail, not a programming error). The physical queue may exceed
+// cap: aged entries no longer occupy modeled slots but stay queued until
+// the engine pulls them at injection maturity.
 func (q *MissQueue) Push(r MissRequest) {
 	if q.Full() {
 		panic("cache: push to full miss queue")
+	}
+	if q.turn <= 0 {
+		// Virtual occupancy off: the entry occupies until physically popped.
+		r.VInj = 1<<62 - 1
+	} else {
+		c := r.Cycle + q.turn
+		if c < q.lastVInj {
+			c = q.lastVInj
+		}
+		if c == q.lastVInj {
+			if q.lastCnt >= q.budget {
+				c++
+				q.lastVInj, q.lastCnt = c, 1
+			} else {
+				q.lastCnt++
+			}
+		} else {
+			q.lastVInj, q.lastCnt = c, 1
+		}
+		r.VInj = c
 	}
 	q.queue = append(q.queue, r)
 }
@@ -188,6 +284,9 @@ func (q *MissQueue) Pop() (MissRequest, bool) {
 	r := q.queue[0]
 	copy(q.queue, q.queue[1:])
 	q.queue = q.queue[:len(q.queue)-1]
+	if q.aged > 0 {
+		q.aged--
+	}
 	return r, true
 }
 

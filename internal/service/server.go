@@ -286,6 +286,13 @@ func (s *Service) normalize(req RunRequest) (spec, error) {
 	if sp.slack == 0 {
 		sp.slack = s.slack
 	}
+	if bound := sp.gpu.SlackBound(); sp.slack > bound {
+		// Not an error: the engine clamps the window to the provable bound
+		// and results are bit-identical at every setting. But the caller asked
+		// for an epoch length the hardware model cannot admit, so say so.
+		sp.warning = fmt.Sprintf("slack %d exceeds the config bound %d; the engine clamps the epoch window to %d",
+			sp.slack, bound, bound)
+	}
 	if sp.app != "" {
 		// Intern the app now (for the resolved machine and scale) so
 		// ill-partitioned requests fail at submission and the content digest

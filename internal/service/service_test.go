@@ -459,4 +459,21 @@ func TestNormalizeSlackAndParallelismDefaults(t *testing.T) {
 	if sp.parallelism != 1 || sp.slack != 5 {
 		t.Errorf("explicit: parallelism=%d slack=%d, want 1 and 5", sp.parallelism, sp.slack)
 	}
+	if sp.warning != "" {
+		t.Errorf("in-bound slack: warning %q, want none", sp.warning)
+	}
+	// A window beyond the config's provable bound is not an error — the
+	// engine clamps it and results are unchanged — but normalize records an
+	// advisory the run view surfaces.
+	bound := sp.gpu.SlackBound()
+	sp, err = svc.normalize(RunRequest{Bench: "lps", Mech: "baseline", Slack: bound + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.slack != bound+1 {
+		t.Errorf("over-bound slack: %d, want %d passed through", sp.slack, bound+1)
+	}
+	if !strings.Contains(sp.warning, fmt.Sprintf("bound %d", bound)) {
+		t.Errorf("over-bound slack: warning %q, want the bound %d named", sp.warning, bound)
+	}
 }

@@ -148,10 +148,14 @@ type RunView struct {
 	// "disk", "peer"), a forwarded execution on the owning peer
 	// ("forward:memory", "forward:disk", "forward:sim"), or a local
 	// simulation ("sim").
-	Source string  `json:"source,omitempty"`
-	Error  string  `json:"error,omitempty"`
-	WallMS float64 `json:"wall_ms,omitempty"`
-	Result *Result `json:"result,omitempty"`
+	Source string `json:"source,omitempty"`
+	Error  string `json:"error,omitempty"`
+	// Warning carries normalize-time advisories that did not reject the
+	// request — e.g. a slack window beyond the config's provable bound,
+	// which the engine clamps (results are unchanged, only wall clock).
+	Warning string  `json:"warning,omitempty"`
+	WallMS  float64 `json:"wall_ms,omitempty"`
+	Result  *Result `json:"result,omitempty"`
 }
 
 // SweepView is the wire representation of a sweep.
@@ -212,6 +216,7 @@ type spec struct {
 	timeout     time.Duration
 	parallelism int
 	slack       int
+	warning     string // normalize-time advisory (e.g. slack beyond the bound)
 	noForward   bool
 	factory     harness.Factory
 }

@@ -42,15 +42,16 @@ func (j *job) view() RunView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := RunView{
-		ID:     j.id,
-		Bench:  j.spec.bench,
-		App:    j.spec.app,
-		Chain:  j.spec.chain,
-		Mech:   j.spec.mech,
-		Key:    j.key,
-		Status: j.status,
-		Cached: j.cached,
-		Source: j.source,
+		ID:      j.id,
+		Bench:   j.spec.bench,
+		App:     j.spec.app,
+		Chain:   j.spec.chain,
+		Mech:    j.spec.mech,
+		Key:     j.key,
+		Status:  j.status,
+		Cached:  j.cached,
+		Source:  j.source,
+		Warning: j.spec.warning,
 	}
 	if j.err != nil {
 		v.Error = j.err.Error()

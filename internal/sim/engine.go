@@ -68,11 +68,12 @@ type Options struct {
 	// SlackWindow is the bounded-slack epoch length: how many consecutive
 	// cycles every work unit ticks between barriers. 0 (auto) and anything
 	// above the config's provable bound resolve to that bound
-	// (min(config.SlackBound, maxSlackWindow)); 1 degenerates to a barrier
-	// per cycle. Result.Stats is bit-identical at every setting — message
-	// visibility is gated on the config-derived slack horizon, never on the
-	// runtime epoch length — so callers pick purely on sync overhead. See
-	// DESIGN.md "Bounded-slack ticking".
+	// (config.SlackBound, the full audit-derived horizon); 1 degenerates to
+	// a barrier per cycle. Result.Stats is bit-identical at every setting —
+	// message visibility is gated on the config-derived slack horizon, never
+	// on the runtime epoch length — so callers pick purely on sync overhead.
+	// Result.Slack reports the resolved parameters. See DESIGN.md
+	// "Bounded-slack ticking".
 	SlackWindow int
 	// LatencyAudit, when non-nil, receives the minimum cross-boundary
 	// latencies actually observed during the run — the empirical floor the
@@ -143,6 +144,7 @@ func (opt Options) withDefaults() Options {
 type Result struct {
 	Stats stats.Sim   // aggregated over SMs, plus global counters
 	PerSM []stats.Sim // per-SM counters
+	Slack SlackInfo   // resolved bounded-slack parameters the run used
 }
 
 // engine is the live simulation state: the memory side (interconnect, L2
@@ -201,21 +203,34 @@ type engine struct {
 	inflight int   // outstanding fill requests in the memory system
 	skipped  int64 // cycles elided by event-driven fast-forwarding
 
+	// inflightRel defers in-flight capacity releases: a delivered fill frees
+	// its slot horizon−turnaround cycles after delivery. The pull charges
+	// capacity at stamp+horizon, but the modeled injection happened at
+	// stamp+turnaround; stretching the release by the same difference keeps
+	// each request's occupancy window at its modeled length (injection to
+	// delivery), so the MaxInflightFills cap binds with per-cycle-model
+	// pressure instead of evaporating at wide horizons. Entries are in
+	// ascending release order (deliveries are processed in cycle order).
+	inflightRel []capRelease
+
 	// Bounded-slack epoch state (DESIGN.md "Bounded-slack ticking").
 	//
-	// horizon is the visibility delay applied to every SM-side output that
-	// feeds back into the serial phase — miss-queue injection, store sends,
-	// CTA redispatch: min(config.SlackBound, maxSlackWindow), a pure function
-	// of the config. slackMax is the runtime epoch-length cap —
-	// Options.SlackWindow resolved into [1, horizon]. Statistics depend on
-	// horizon only, never on where epoch boundaries fall, which is what makes
-	// every SlackWindow setting bit-identical.
+	// horizon is the visibility delay applied to miss-queue injection —
+	// the full config.SlackBound, a pure function of the config. turn is
+	// the turnaround delay applied to store sends, CTA redispatch and
+	// launch wakes: min(horizon, TurnaroundCap), also config-pure. slackMax
+	// is the runtime epoch-length cap — Options.SlackWindow resolved into
+	// [1, horizon]. Statistics depend on horizon and turn only, never on
+	// where epoch boundaries fall, which is what makes every SlackWindow
+	// setting bit-identical.
 	horizon  int64
+	turn     int64
 	slackMax int64
 	// slackOK is the production conflict fallback: a merged response whose
 	// ready cycle lands inside its own epoch (provably impossible, see the
 	// mergeEpoch assert) clears it, degrading all later epochs to length 1.
 	slackOK    bool
+	slackInfo  SlackInfo // resolved slack parameters, surfaced in Result
 	epochStart int64     // first sub-cycle of the epoch being ticked
 	utilSnap   []float64 // per-sub-cycle response-network utilization snapshots
 	respSeq    int64     // global response stamp, assigned in merge order
@@ -389,6 +404,17 @@ func (e *engine) run() error {
 			cur = 1
 		}
 		maxEnd := start + cur - 1
+		if cur > e.turn {
+			// Adaptive epoch cutter: stores and CTA retirements replay after
+			// the turnaround delay, so the epoch may not extend past the
+			// earliest cycle such an event could occur plus turn-1 (see
+			// actBound). Windows ≤ turn are contained unconditionally.
+			if t := e.actBound(start); t >= 0 {
+				if lim := t + e.turn - 1; lim < maxEnd {
+					maxEnd = lim
+				}
+			}
+		}
 		if maxEnd > e.opt.MaxCycles {
 			maxEnd = e.opt.MaxCycles
 		}
@@ -570,15 +596,35 @@ func (e *engine) nextInteresting() int64 {
 		if sh.mustTickNext(cur) {
 			return cur + 1
 		}
-		if sh.hasQueuedReq() && e.inflight < e.opt.MaxInflightFills {
-			// The queue head pops no earlier than its maturity cycle and the
-			// network's next acceptance.
-			c := e.net.nextReqAccept(cur)
-			if r := sh.nextReqReady(e.horizon); r > c {
-				c = r
+		if sh.sm.l1.PrefetchQueueLen() > 0 {
+			// Staged prefetches behind a full miss queue: residency aging
+			// un-fulls the queue with no engine action in between, and the
+			// drain trickle resumes at that very cycle. Until then every
+			// elided cycle's drain is a provable no-op (no pushes or pulls
+			// happen while skipping, so fullness is pure aging).
+			if r := sh.sm.l1.DemandQueueRelief(); r >= 0 && (best < 0 || r < best) {
+				best = r
 			}
-			if best < 0 || c < best {
-				best = c
+		}
+		if sh.hasQueuedReq() {
+			if e.inflight < e.opt.MaxInflightFills {
+				// The queue head pops no earlier than its maturity cycle and
+				// the network's next acceptance.
+				c := e.net.nextReqAccept(cur)
+				if r := sh.nextReqReady(e.horizon); r > c {
+					c = r
+				}
+				if best < 0 || c < best {
+					best = c
+				}
+			} else if len(e.inflightRel) > 0 {
+				// Blocked on the in-flight cap: a deferred capacity release
+				// is the engine act that can unblock the pull. (With none
+				// pending, capacity frees only via future deliveries, which
+				// the fill and partition bounds already pin.)
+				if c := e.inflightRel[0].at; best < 0 || c < best {
+					best = c
+				}
 			}
 		}
 		if f := sh.nextFill(); f >= 0 && (best < 0 || f < best) {
@@ -651,8 +697,30 @@ func (e *engine) serialPhase(start, maxEnd int64) (int64, error) {
 		e.routeRequests(c)
 		e.drainResponses(c)
 		e.deliverFills(c)
+		e.releaseInflight(c)
 		e.drainMissQueues(c)
 		e.drainStores(c)
+		if c == start {
+			// Hoisted first-sub-cycle prefetch drain: entries drained at c
+			// are stamped c-1 (cache.L1.DrainPrefetch keeps their per-cycle
+			// injection eligibility), so a drain inside the tick span's
+			// first sub-cycle would mature at start-1+horizon — inside a
+			// full-horizon epoch. Running that one drain here, serially,
+			// after this sub-cycle's injection pull — the same
+			// drain-after-pull order per-cycle execution has — removes the
+			// early stamp from the span and lets epochs reach the full
+			// horizon. Drains at later sub-cycles mature at ≥ start+horizon
+			// and stay tick-side.
+			for _, sh := range e.shards {
+				// The drain's Full check must see this sub-cycle's occupancy:
+				// advance the residency clock to start with zero credit (every
+				// entry pulled in earlier epochs has expired by now — pulls
+				// happen at stamp+horizon ≥ stamp+turnaround).
+				sh.sm.l1.SetMissQueueClock(c, 0)
+				sh.sm.l1.DrainPrefetch(c)
+				sh.predrained = true
+			}
+		}
 		e.utilSnap = append(e.utilSnap, e.net.utilization())
 		if c >= maxEnd || e.predictedMsgs() == 0 {
 			return c, nil
@@ -736,12 +804,42 @@ func (e *engine) drainResponses(c int64) {
 	}
 }
 
+// capRelease is one deferred in-flight capacity release (see inflightRel).
+type capRelease struct {
+	at int64
+	n  int
+}
+
 // deliverFills moves fills due at sub-cycle c into each shard's inbox (smID
-// order) and releases their in-flight capacity, exactly when per-event
-// delivery did.
+// order) and schedules their in-flight capacity release: immediately when
+// horizon equals the turnaround, deferred by the difference otherwise (see
+// inflightRel).
 func (e *engine) deliverFills(c int64) {
+	n := 0
 	for _, sh := range e.shards {
-		e.inflight -= sh.deliverDue(c)
+		n += sh.deliverDue(c)
+	}
+	if n == 0 {
+		return
+	}
+	if d := e.horizon - e.turn; d > 0 {
+		e.inflightRel = append(e.inflightRel, capRelease{at: c + d, n: n})
+	} else {
+		e.inflight -= n
+	}
+}
+
+// releaseInflight applies the deferred capacity releases due at or before
+// sub-cycle c, compacting the queue in place so its backing array is reused.
+func (e *engine) releaseInflight(c int64) {
+	n := 0
+	for n < len(e.inflightRel) && e.inflightRel[n].at <= c {
+		e.inflight -= e.inflightRel[n].n
+		n++
+	}
+	if n > 0 {
+		m := copy(e.inflightRel, e.inflightRel[n:])
+		e.inflightRel = e.inflightRel[:m]
 	}
 }
 
@@ -756,15 +854,11 @@ const missInjectPerSM = 3
 // injectable from p + horizon, so requests staged by the current epoch's
 // ticks are never pulled by its own serial phase. The pull order — shards in
 // smID order — is the deterministic merge order of the SM→memory request
-// stream. Each pull is also recorded in the shard's per-sub-cycle pop
-// schedule, which the tick span replays as phantom miss-queue occupancy.
+// stream. Each pull records the entry's residency expiry in the shard's
+// schedule (shard.popReq), which the tick span replays as phantom
+// miss-queue occupancy.
 func (e *engine) drainMissQueues(c int64) {
 	for _, sh := range e.shards {
-		// Every shard gets a pop-schedule slot for this sub-cycle, including
-		// the ones the early returns below never reach.
-		sh.mqPops = append(sh.mqPops, 0)
-	}
-	for si, sh := range e.shards {
 		for k := 0; k < missInjectPerSM; k++ {
 			if e.inflight >= e.opt.MaxInflightFills {
 				return
@@ -787,7 +881,6 @@ func (e *engine) drainMissQueues(c int64) {
 			// strictly in the future.
 			arriveAt := deliverAt - (e.horizon - 1)
 			e.reqs.Push(arriveAt, req)
-			e.shards[si].mqPops[len(sh.mqPops)-1]++
 			if d := arriveAt - c; d < e.minReqLat {
 				e.minReqLat = d
 			}
@@ -797,8 +890,12 @@ func (e *engine) drainMissQueues(c int64) {
 
 // drainStores sends matured write-through store traffic at low priority: a
 // store issued during a tick at cycle p crosses the network no earlier than
-// p + horizon. The queue is in (cycle, smID, seq) merge order, so maturity
-// is a prefix property.
+// p + horizon — the same visibility delay as fill requests, so the two
+// request-direction traffic classes stay phase-aligned and their bandwidth
+// contention matches the per-cycle model's (both shifted uniformly; the
+// network's budget is time-invariant). Fire-and-forget: nothing downstream
+// observes a store's send cycle, so the shift is latency-neutral. The queue
+// is in (cycle, smID, seq) merge order, so maturity is a prefix property.
 func (e *engine) drainStores(c int64) {
 	n := 0
 	for n < len(e.stores) && e.stores[n].cycle+e.horizon <= c {
@@ -859,7 +956,7 @@ func (e *engine) tickWave(start, end int64, clk *phaseClock) {
 // partition responses are pushed in arrival-slot order (each stamped with a
 // global sequence so heap ordering is independent of push/pop interleaving
 // across epoch shapes), egress store streams are merged in (cycle, smID,
-// seq) order, and CTA finishes are queued for redispatch at +horizon.
+// seq) order, and CTA finishes are queued for redispatch at +turnaround.
 // Returns whether any shard retired an instruction at the final sub-cycle —
 // the only per-cycle retire bit the idle bookkeeping still needs (earlier
 // sub-cycles all carried in-flight traffic, which resets the counter
@@ -888,27 +985,40 @@ func (e *engine) mergeEpoch(start, end int64) bool {
 		for si, sh := range e.shards {
 			st := sh.out.stores
 			for e.storeIdx[si] < len(st) && st[e.storeIdx[si]].cycle <= c {
-				e.stores = append(e.stores, st[e.storeIdx[si]])
+				m := st[e.storeIdx[si]]
+				if m.cycle+e.horizon <= end {
+					// Provably unreachable: stores mature after the full
+					// horizon and epochs never span more than the horizon,
+					// so no store can mature inside its own epoch.
+					e.slackConflict(m.cycle+e.horizon, end)
+				}
+				e.stores = append(e.stores, m)
 				e.storeIdx[si]++
 			}
 		}
 	}
 	for _, sh := range e.shards {
 		sh.out.stores = sh.out.stores[:0]
-		sh.mqPops = sh.mqPops[:0]
+		sh.mqExpiry = sh.mqExpiry[:0]
 	}
 
 	// CTA maturation: a CTA finishing at sub-cycle f frees its warp slots for
-	// redispatch at f + horizon — an epoch start by construction (run caps
-	// epochs at the earliest matured dispatch), so the refill is visible to a
-	// whole epoch exactly as under per-cycle barriers. Skipped once no
-	// running launch holds undispatched CTAs: maturation would only cap
-	// future epochs for a guaranteed no-op fillSMs. Only completions on the
-	// SMs of a launch with remaining CTAs matter — a slot freed on another
-	// launch's SMs can never host them.
+	// redispatch at f + turnaround — an epoch start by construction (run
+	// caps epochs at the earliest matured dispatch), so the refill is
+	// visible to a whole epoch exactly as under per-cycle barriers. Skipped
+	// once no running launch holds undispatched CTAs: maturation would only
+	// cap future epochs for a guaranteed no-op fillSMs. Only completions on
+	// the SMs of a launch with remaining CTAs matter — a slot freed on
+	// another launch's SMs can never host them.
 	if e.moreCTAs() {
-		for i := int64(0); i <= end-start; i++ {
-			bit := uint64(1) << uint(i)
+		anyCTA := false
+		for _, sh := range e.shards {
+			if sh.report.cta.anySet() {
+				anyCTA = true
+				break
+			}
+		}
+		for i := int64(0); anyCTA && i <= end-start; i++ {
 		launches:
 			for li := range e.launches {
 				ln := &e.launches[li]
@@ -916,8 +1026,14 @@ func (e *engine) mergeEpoch(start, end int64) bool {
 					continue
 				}
 				for _, sh := range ln.shards {
-					if sh.report.ctaMask&bit != 0 {
-						e.dispatchAt = append(e.dispatchAt, start+i+e.horizon)
+					if sh.report.cta.test(i) {
+						at := start + i + e.turn
+						if at <= end {
+							// Unreachable: the epoch cutter's exit lookahead
+							// is armed whenever undispatched CTAs remain.
+							e.slackConflict(at, end)
+						}
+						e.dispatchAt = append(e.dispatchAt, at)
 						break launches
 					}
 				}
@@ -929,9 +1045,9 @@ func (e *engine) mergeEpoch(start, end int64) bool {
 	// the launch's last CTA (see launch.go retireScan).
 	e.retireScan(start, end)
 
-	lastBit := uint64(1) << uint(end-start)
+	last := end - start
 	for _, sh := range e.shards {
-		if sh.report.retiredMask&lastBit != 0 {
+		if sh.report.retired.test(last) {
 			return true
 		}
 	}
@@ -1008,7 +1124,7 @@ func (e *engine) result() *Result {
 	for i := range perSM {
 		perSM[i].Cycles = e.cycle
 	}
-	res := &Result{Stats: e.shStats.Total(), PerSM: perSM}
+	res := &Result{Stats: e.shStats.Total(), PerSM: perSM, Slack: e.slackInfo}
 	res.Stats.Cycles = e.cycle
 	res.Stats.IcntBytes = e.net.totalBytes()
 	res.Stats.IcntPeakBytes = e.net.peakBytes(e.cycle)

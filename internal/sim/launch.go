@@ -261,13 +261,15 @@ func (e *engine) retireScan(start, end int64) {
 		if !done {
 			continue
 		}
-		var m uint64
+		last := int64(-1)
 		for _, sh := range ln.shards {
-			m |= sh.report.ctaMask
+			if l := sh.report.cta.lastSet(); l > last {
+				last = l
+			}
 		}
 		c := end
-		if m != 0 {
-			c = start + int64(bits.Len64(m)) - 1
+		if last >= 0 {
+			c = start + last
 		}
 		ln.state = lnRetired
 		ln.retire = c
@@ -275,7 +277,13 @@ func (e *engine) retireScan(start, end int64) {
 			e.smBusy[sh.sm.id] = -1
 		}
 		if e.pendingLn > 0 {
-			e.pushWake(c + e.horizon)
+			if c+e.turn <= end {
+				// Unreachable: the epoch cutter's exit lookahead is armed
+				// whenever a launch is pending, so no CTA retirement can
+				// occur early enough for its wake to land in its own epoch.
+				e.slackConflict(c+e.turn, end)
+			}
+			e.pushWake(c + e.turn)
 		}
 	}
 }

@@ -67,6 +67,10 @@ func TestParallelEquivalenceMatrix(t *testing.T) {
 						if err != nil {
 							t.Fatalf("%s/%s P=%d slack=%d: %v", name, mech, p, slack, err)
 						}
+						// Result.Slack echoes the requested window, which
+						// differs across cells by design; the oracle is the
+						// simulation output.
+						got.Slack = want.Slack
 						if !reflect.DeepEqual(got, want) {
 							t.Errorf("%s/%s skip=%v: P=%d slack=%d diverges from serial\n got:  %+v\n want: %+v",
 								name, mech, !skip, p, slack, got.Stats, want.Stats)

@@ -123,6 +123,7 @@ func (e *engine) reinitApp(a *trace.App, opt Options, reusePf bool) {
 	e.memStats.Reset()
 	e.ageCtr = 0
 	e.inflight = 0
+	e.inflightRel = e.inflightRel[:0]
 	e.skipped = 0
 	e.dispatchAt = e.dispatchAt[:0]
 	e.utilSnap = e.utilSnap[:0]

@@ -36,24 +36,38 @@ type shard struct {
 	inbox      []fillMsg
 	inboxStamp []int64
 
-	// mqPops records, per epoch sub-cycle, how many requests the engine's
-	// serial phase pulled from this shard's miss queue — the schedule behind
-	// the phantom-credit occupancy tickSpan presents to the L1 (see tickSpan).
-	mqPops []int32
+	// mqExpiry records, per request the engine's serial phase pulled from
+	// this shard's miss queue this epoch, the sub-cycle at which the entry's
+	// modeled queue residency elapses (stamp + turnaround), in ascending
+	// order — the schedule behind the phantom-credit occupancy tickSpan
+	// presents to the L1 (see tickSpan).
+	mqExpiry []int64
 
 	// out is the SM→memory egress port, appended to during tickSpan and
 	// merged by the engine at the epoch barrier in (cycle, smID, seq) order.
 	out egress
 
-	// report is tickSpan's summary for the epoch merge: bit i of a mask is
+	// report is tickSpan's summary for the epoch merge: bit i of a set is
 	// sub-cycle from+i.
 	report tickReport
+
+	// predrained records that the engine's serial phase already ran this
+	// epoch's first-sub-cycle prefetch drain (after that sub-cycle's
+	// injection pull, matching the per-cycle drain-after-pull order), so
+	// tickSpan must skip the drain at its first sub-cycle. Hoisting that
+	// one drain is what lets epochs span the full horizon: its entries are
+	// stamped one cycle early (cache.L1.DrainPrefetch) and would otherwise
+	// mature inside a full-width epoch.
+	predrained bool
 }
 
 // tickReport summarizes one shard tick span for the serial merge phase.
+// The bitsets are variable-width — one bit per epoch sub-cycle, sized by
+// tickSpan to the span it runs — so the horizon is bounded by the config
+// audit alone, not by a word size.
 type tickReport struct {
-	retiredMask uint64 // sub-cycles at which an instruction retired
-	ctaMask     uint64 // sub-cycles at which a CTA completed (slots freed)
+	retired epochBits // sub-cycles at which an instruction retired
+	cta     epochBits // sub-cycles at which a CTA completed (slots freed)
 }
 
 func newShard(s *sm) *shard {
@@ -67,10 +81,12 @@ func (sh *shard) reset() {
 	sh.fills.Reset()
 	sh.inbox = sh.inbox[:0]
 	sh.inboxStamp = sh.inboxStamp[:0]
-	sh.mqPops = sh.mqPops[:0]
+	sh.mqExpiry = sh.mqExpiry[:0]
 	sh.out.seq = 0
 	sh.out.stores = sh.out.stores[:0]
-	sh.report = tickReport{}
+	sh.report.retired.reset(0)
+	sh.report.cta.reset(0)
+	sh.predrained = false
 }
 
 // deliverDue moves ingress fills due at or before cycle into the inbox, in
@@ -101,28 +117,32 @@ func (sh *shard) deliverDue(cycle int64) int {
 // sh.out and sh.report.
 //
 // Phantom credit: the engine's serial phase already pulled the whole epoch's
-// injections from the miss queue, but at sub-cycle c only the pulls for
-// sub-cycles ≤ c have "happened". The pulls scheduled for later sub-cycles
-// are presented back to the L1 as phantom occupancy, so every Full check —
-// reservation fails, prefetch drain — sees exactly the occupancy per-cycle
-// barriers would have shown it.
+// injections from the miss queue, but at sub-cycle c some of those entries'
+// modeled residency (stamp + turnaround) has not yet elapsed. They are
+// presented back to the L1 as phantom occupancy — and the clock ages the
+// still-queued entries — so every Full check (reservation fails, prefetch
+// drain) sees exactly the occupancy the virtual-residency model defines,
+// independent of epoch shape.
 func (sh *shard) tickSpan(from, to int64) {
 	s := sh.sm
-	credit := 0
-	for _, n := range sh.mqPops {
-		credit += int(n)
-	}
+	exp := 0
+	words := int((to-from)>>6) + 1
+	sh.report.retired.reset(words)
+	sh.report.cta.reset(words)
 	fi := 0
-	var report tickReport
-	for i, c := 0, from; c <= to; i, c = i+1, c+1 {
-		if i < len(sh.mqPops) {
-			// The serial pulls at sub-cycle c precede this tick (the engine
-			// drains before the units run in the per-cycle schedule too).
-			credit -= int(sh.mqPops[i])
+	for i, c := int64(0), from; c <= to; i, c = i+1, c+1 {
+		for exp < len(sh.mqExpiry) && sh.mqExpiry[exp] <= c {
+			exp++
 		}
-		s.l1.SetMissQueueCredit(credit)
+		s.l1.SetMissQueueClock(c, len(sh.mqExpiry)-exp)
 		s.nowCycle = c
-		s.l1.DrainPrefetch(c)
+		if i == 0 && sh.predrained {
+			// The serial phase ran this sub-cycle's prefetch drain (see
+			// engine.serialPhase); running it again would double-drain.
+			sh.predrained = false
+		} else {
+			s.l1.DrainPrefetch(c)
+		}
 		for fi < len(sh.inbox) && sh.inboxStamp[fi] <= c {
 			waiters := s.l1.Fill(sh.inbox[fi].lineAddr, c)
 			s.wake(waiters, c)
@@ -133,18 +153,17 @@ func (sh *shard) tickSpan(from, to int64) {
 		}
 		res := s.issue(c, &sh.out)
 		if res.retired > 0 {
-			report.retiredMask |= 1 << uint(i)
+			sh.report.retired.set(i)
 		} else {
 			s.classifyStall(res.resFail)
 		}
 		if res.ctaFinished {
-			report.ctaMask |= 1 << uint(i)
+			sh.report.cta.set(i)
 		}
 	}
-	s.l1.SetMissQueueCredit(0)
+	s.l1.SetMissQueueClock(to, 0)
 	sh.inbox = sh.inbox[:0]
 	sh.inboxStamp = sh.inboxStamp[:0]
-	sh.report = report
 }
 
 // --- request port (serial phase only) -----------------------------------
@@ -175,12 +194,15 @@ func (sh *shard) nextReqReady(horizon int64) int64 {
 	return r.Cycle + horizon
 }
 
-// popReq removes the next fill request from the port.
+// popReq removes the next fill request from the port, recording its virtual
+// injection cycle — when its modeled queue residency elapses — for
+// tickSpan's phantom credit.
 func (sh *shard) popReq() (reqMsg, bool) {
 	r, ok := sh.sm.l1.PopMiss()
 	if !ok {
 		return reqMsg{}, false
 	}
+	sh.mqExpiry = append(sh.mqExpiry, r.VInj)
 	return reqMsg{sm: sh.sm.id, lineAddr: r.LineAddr, prefetch: r.Prefetch}, true
 }
 
@@ -190,13 +212,15 @@ func (sh *shard) popReq() (reqMsg, bool) {
 // elided: a prefetcher that forbids skipping right now (Snake while
 // throttled), or staged prefetches that could trickle into a non-full miss
 // queue (the trickle happens at the top of each tick sub-cycle, so eliding a
-// cycle elides it).
+// cycle elides it). Fullness is evaluated at cycle+1 — the next tick's
+// sub-cycle — because residency aging can un-full the queue with no engine
+// action in between.
 func (sh *shard) mustTickNext(cycle int64) bool {
 	s := sh.sm
 	if s.pf != nil && !prefetch.CanSkipCycles(s.pf, cycle) {
 		return true
 	}
-	return s.l1.PrefetchQueueLen() > 0 && !s.l1.DemandQueueFull()
+	return s.l1.PrefetchQueueLen() > 0 && !s.l1.DemandQueueFullAt(cycle+1)
 }
 
 // hasQueuedReq reports whether the request port has drainable demand work.

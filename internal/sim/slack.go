@@ -1,13 +1,25 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
 
-// maxSlackWindow caps the slack horizon (and with it every epoch) regardless
-// of how large the config-derived bound is. Two reasons: the per-shard tick
-// reports pack one bit per sub-cycle into a uint64, and longer epochs buy
-// almost nothing once the barrier cost is amortized over a handful of cycles
-// while growing every per-epoch buffer.
-const maxSlackWindow = 8
+	"snake/internal/trace"
+)
+
+// TurnaroundCap bounds the engine's turnaround delay: the fixed number of
+// cycles between a tick-side event (a store issue, a CTA's last warp
+// retiring) and the serial engine replaying it on the memory side (the store
+// maturing for network injection, freed warp slots redispatching, a
+// successor launch waking). The per-cycle engine replays these the next
+// serial pass; bounded-slack ticking defers them by a constant so that every
+// epoch shape yields the same replay cycle. Earlier revisions tied that
+// constant to the horizon itself (then capped at 8), which meant widening
+// the slack window bought barrier amortization at the price of modeling
+// latency. The turnaround is now min(horizon, TurnaroundCap): identical to
+// the old behaviour at every bound, but pinned — lifting the horizon to the
+// full config bound no longer moves store or re-dispatch timing at all.
+const TurnaroundCap = 8
 
 // latencyUnobserved is the sentinel minimum for latency-audit floors that
 // never saw a message.
@@ -25,37 +37,74 @@ type LatencyAudit struct {
 	MinL2Response   int64 // partition arrival → response data ready
 }
 
+// SlackInfo reports the slack parameters a run actually used, so callers see
+// the effective schedule instead of a silently clamped request.
+type SlackInfo struct {
+	// Horizon is the config-derived visibility bound (config.SlackBound):
+	// the minimum number of cycles any message needs to cross between the
+	// SM side and the memory side, and therefore the widest admissible
+	// epoch.
+	Horizon int64
+	// Window is the effective epoch-length cap: Options.SlackWindow
+	// resolved into [1, Horizon] (0 or negative selects Horizon).
+	Window int64
+	// Turnaround is the store / CTA re-dispatch replay delay,
+	// min(Horizon, TurnaroundCap).
+	Turnaround int64
+	// Requested is Options.SlackWindow as given (≤ 0 means auto).
+	Requested int
+	// Clamped reports that Requested exceeded Horizon and was clamped down.
+	Clamped bool
+	// BindingTerm names the config.SlackAudit term that set Horizon.
+	BindingTerm string
+}
+
 // initSlack derives the engine's slack parameters from the (validated)
-// config and options: horizon from the config alone, slackMax from
-// Options.SlackWindow clamped into [1, horizon-1]. Epochs stop one cycle
-// short of the horizon because drained prefetches are stamped one cycle
-// early (cache.L1.DrainPrefetch keeps their per-cycle injection
-// eligibility); the cap keeps even those stamps maturing strictly past
-// their own epoch. Callers constructing engines directly around unvalidated
-// configs still get a sane horizon ≥ 1.
+// config and options: horizon from the config alone — the full audit bound,
+// no fixed cap — and slackMax from Options.SlackWindow clamped into
+// [1, horizon]. Epochs may span the whole horizon: the drained-prefetch
+// one-cycle-early stamp that used to force a horizon−1 cap is handled at its
+// source (the serial phase runs the epoch's first prefetch drain itself; see
+// engine.serialPhase). Callers constructing engines directly around
+// unvalidated configs still get a sane horizon ≥ 1.
 func (e *engine) initSlack() {
-	h := int64(e.cfg.SlackBound())
-	if h > maxSlackWindow {
-		h = maxSlackWindow
-	}
+	a := e.cfg.SlackAudit()
+	h := int64(a.Bound)
 	if h < 1 {
 		h = 1
 	}
 	e.horizon = h
-	cap := h - 1
-	if cap < 1 {
-		cap = 1
+	e.turn = h
+	if e.turn > TurnaroundCap {
+		e.turn = TurnaroundCap
 	}
 	w := int64(e.opt.SlackWindow)
-	if w <= 0 || w > cap {
-		w = cap
+	clamped := w > h
+	if w <= 0 || clamped {
+		w = h
 	}
 	e.slackMax = w
+	e.slackInfo = SlackInfo{
+		Horizon:     h,
+		Window:      w,
+		Turnaround:  e.turn,
+		Requested:   e.opt.SlackWindow,
+		Clamped:     clamped,
+		BindingTerm: a.Limiting().Name,
+	}
 	e.slackOK = true
 	e.epochStart = 0
 	e.respSeq = 0
 	e.minReqLat = latencyUnobserved
 	e.minRespLat = latencyUnobserved
+	// A miss-queue entry occupies a modeled slot until its virtual injection
+	// cycle — turnaround residency plus per-cycle budget delays, in queue
+	// order — however much later the engine pulls it (stamp + horizon).
+	// Virtual occupancy keeps backpressure — reservation fails, prefetch
+	// throttling — independent of the horizon the epoch machinery runs at.
+	for _, sh := range e.shards {
+		sh.sm.l1.SetMissQueueInjectionModel(e.turn, missInjectPerSM)
+	}
 }
 
 // slackConflictFatal makes a slack conflict panic instead of degrading. It
@@ -65,12 +114,161 @@ func (e *engine) initSlack() {
 // is to keep simulating correctly at SlackWindow=1.
 var slackConflictFatal = raceEnabled
 
-// slackConflict handles a response whose ready cycle landed inside its own
+// slackConflict handles an event whose replay cycle landed inside its own
 // epoch — impossible while every access path honours the L2 latency floor
-// (memPartition.access), so reaching here means that invariant broke.
-func (e *engine) slackConflict(readyAt, end int64) {
+// (memPartition.access) and the epoch cutter honours the turnaround bound
+// (actBound), so reaching here means one of those invariants broke.
+func (e *engine) slackConflict(matureAt, end int64) {
 	if slackConflictFatal {
-		panic(fmt.Sprintf("sim: slack conflict: response ready at %d within epoch ending %d (horizon %d)", readyAt, end, e.horizon))
+		panic(fmt.Sprintf("sim: slack conflict: event matures at %d within epoch ending %d (horizon %d, turnaround %d)", matureAt, end, e.horizon, e.turn))
 	}
 	e.slackOK = false
+}
+
+// --- adaptive epoch cutter ----------------------------------------------
+//
+// CTA retirements replay after the turnaround delay, which is shorter than
+// a wide horizon — so an epoch is admissible only while no shard can retire
+// a CTA early enough for its slot-refill to land inside the epoch. actBound
+// computes a conservative lower bound on the earliest cycle any warp could
+// retire through an OpExit (relevant only while CTA re-dispatch or a
+// pending launch could consume the freed slots), and the epoch loop caps
+// the window at actBound + turnaround − 1. Stores need no bound: they
+// mature after the full horizon (drainStores), which no epoch can span.
+// During exit-heavy dispatch phases the cap shrinks epochs back toward the
+// turnaround (exactly the old schedule); during memory stalls — where wide
+// windows actually pay — every blocked warp's wake floor pushes the bound
+// out and epochs stretch to the full horizon.
+//
+// Soundness of the per-warp floors:
+//
+//   - Every instruction costs at least one cycle (even zero-latency compute
+//     advances busyUntil past the issue cycle), so pc-to-op instruction
+//     distance is a valid lower bound on cycles-to-issue; replays,
+//     reservation fails and barriers only delay further.
+//   - A memory-blocked warp wakes no earlier than the first pending fill
+//     delivery; a response not yet sent cannot be delivered before
+//     start + horizon (the response network's latency is ≥ the bound).
+//   - A barrier-parked warp needs some non-barrier warp to retire first and
+//     is released to issue the cycle after, hence the aMin+1 floor.
+//   - Dispatches and wakes land only at epoch starts (run() caps maxEnd at
+//     them), so a scan at the epoch start sees every warp that could issue
+//     within the epoch; skip spans issue nothing at all.
+func (e *engine) actBound(start int64) int64 {
+	if e.pendingLn == 0 && !e.moreCTAs() {
+		return -1 // no consumer for freed slots: exits need no replay cap
+	}
+	best := int64(-1)
+	for _, sh := range e.shards {
+		s := sh.sm
+		if s.resident == 0 {
+			continue
+		}
+		fwake := start + e.horizon
+		if f := sh.nextFill(); f >= 0 && f < fwake {
+			fwake = f
+		}
+		if fwake < start {
+			fwake = start
+		}
+		// aMin: the earliest any ready or memory-blocked warp can issue;
+		// barrier releases chain off one of those retiring.
+		aMin := int64(-1)
+		for slot := range s.warps {
+			var c int64
+			switch s.warps[slot].state {
+			case wsReady:
+				if c = s.readyAt[slot]; c < start {
+					c = start
+				}
+			case wsWaitMem:
+				c = fwake
+			default:
+				continue
+			}
+			if aMin < 0 || c < aMin {
+				aMin = c
+			}
+		}
+		for slot := range s.warps {
+			w := &s.warps[slot]
+			var base int64
+			switch w.state {
+			case wsReady:
+				if base = s.readyAt[slot]; base < start {
+					base = start
+				}
+			case wsWaitMem:
+				base = fwake
+			case wsBarrier:
+				if aMin < 0 {
+					continue
+				}
+				base = aMin + 1
+			default:
+				continue
+			}
+			if d := w.opDist(trace.OpExit, &w.nextExit); d >= 0 {
+				if c := base + int64(d); best < 0 || c < best {
+					best = c
+				}
+			}
+		}
+		if best == start {
+			return start
+		}
+	}
+	return best
+}
+
+// --- variable-width epoch reports ----------------------------------------
+
+// epochBits is a per-shard, per-epoch bitset with one bit per sub-cycle:
+// bit i covers sub-cycle from+i of the span. Backing words are recycled
+// across epochs (and across runs through shard.reset), so steady-state
+// epochs allocate nothing.
+type epochBits []uint64
+
+// reset resizes the bitset to cover words 64-bit words and clears it.
+func (b *epochBits) reset(words int) {
+	s := *b
+	if cap(s) < words {
+		*b = make([]uint64, words)
+		return
+	}
+	s = s[:words]
+	for i := range s {
+		s[i] = 0
+	}
+	*b = s
+}
+
+// set marks sub-cycle offset i.
+func (b epochBits) set(i int64) { b[i>>6] |= 1 << uint(i&63) }
+
+// test reports whether sub-cycle offset i is marked. Offsets past the
+// current width read as unset.
+func (b epochBits) test(i int64) bool {
+	w := int(i >> 6)
+	return w < len(b) && b[w]&(1<<uint(i&63)) != 0
+}
+
+// anySet reports whether any sub-cycle is marked.
+func (b epochBits) anySet() bool {
+	for _, w := range b {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// lastSet returns the highest marked sub-cycle offset (-1: none).
+func (b epochBits) lastSet() int64 {
+	for w := len(b) - 1; w >= 0; w-- {
+		if b[w] != 0 {
+			return int64(w)<<6 + int64(bits.Len64(b[w])) - 1
+		}
+	}
+	return -1
 }

@@ -38,47 +38,53 @@ func slackMechs() map[string]func(int) prefetch.Prefetcher {
 func TestSlackHorizonBoundsObservedLatencies(t *testing.T) {
 	cfg := parCfg()
 	bound := int64(cfg.SlackBound())
-	horizon := bound
-	if horizon > maxSlackWindow {
-		horizon = maxSlackWindow
-	}
+	horizon := bound // the full audit bound — no fixed cap
 	if horizon < 1 {
 		t.Fatalf("config-derived horizon %d; audit should guarantee >= 1", horizon)
 	}
 	var sawReq, sawResp, sawL2 bool
-	for _, name := range workloads.Names() {
-		k, err := workloads.Build(name, workloads.Tiny())
-		if err != nil {
-			t.Fatal(err)
+	for wi, window := range slackWindowSweep(bound) {
+		// One full benchmark × mechanism matrix at auto (the wide horizon);
+		// the explicit window sweep reruns a single benchmark per window —
+		// the audit floors are schedule properties, not workload properties.
+		names := workloads.Names()
+		if window != 0 {
+			names = names[wi%len(names) : wi%len(names)+1]
 		}
-		for mech, pf := range slackMechs() {
-			var a LatencyAudit
-			if _, err := Run(k, Options{Config: cfg, NewPrefetcher: pf, LatencyAudit: &a}); err != nil {
-				t.Fatalf("%s/%s: %v", name, mech, err)
+		for _, name := range names {
+			k, err := workloads.Build(name, workloads.Tiny())
+			if err != nil {
+				t.Fatal(err)
 			}
-			if a.MinRespDelivery != latencyUnobserved {
-				sawResp = true
-				if a.MinRespDelivery < bound {
-					t.Errorf("%s/%s: response delivered in %d cycles, below the derived bound %d",
-						name, mech, a.MinRespDelivery, bound)
+			for mech, pf := range slackMechs() {
+				var a LatencyAudit
+				if _, err := Run(k, Options{Config: cfg, NewPrefetcher: pf, SlackWindow: int(window), LatencyAudit: &a}); err != nil {
+					t.Fatalf("%s/%s: %v", name, mech, err)
 				}
-			}
-			if a.MinL2Response != latencyUnobserved {
-				sawL2 = true
-				if a.MinL2Response < bound {
-					t.Errorf("%s/%s: L2 response ready in %d cycles, below the derived bound %d",
-						name, mech, a.MinL2Response, bound)
+				if a.MinRespDelivery != latencyUnobserved {
+					sawResp = true
+					if a.MinRespDelivery < bound {
+						t.Errorf("%s/%s w=%d: response delivered in %d cycles, below the derived bound %d",
+							name, mech, window, a.MinRespDelivery, bound)
+					}
 				}
-			}
-			if a.MinReqDelivery != latencyUnobserved {
-				sawReq = true
-				if a.MinReqDelivery < 1 {
-					t.Errorf("%s/%s: request arrival only %d cycles ahead; horizon compensation overshot",
-						name, mech, a.MinReqDelivery)
+				if a.MinL2Response != latencyUnobserved {
+					sawL2 = true
+					if a.MinL2Response < bound {
+						t.Errorf("%s/%s w=%d: L2 response ready in %d cycles, below the derived bound %d",
+							name, mech, window, a.MinL2Response, bound)
+					}
 				}
-				if got := a.MinReqDelivery + horizon - 1; got < bound {
-					t.Errorf("%s/%s: request end-to-end delivery %d cycles, below the derived bound %d",
-						name, mech, got, bound)
+				if a.MinReqDelivery != latencyUnobserved {
+					sawReq = true
+					if a.MinReqDelivery < 1 {
+						t.Errorf("%s/%s w=%d: request arrival only %d cycles ahead; horizon compensation overshot",
+							name, mech, window, a.MinReqDelivery)
+					}
+					if got := a.MinReqDelivery + horizon - 1; got < bound {
+						t.Errorf("%s/%s w=%d: request end-to-end delivery %d cycles, below the derived bound %d",
+							name, mech, window, got, bound)
+					}
 				}
 			}
 		}
@@ -87,6 +93,13 @@ func TestSlackHorizonBoundsObservedLatencies(t *testing.T) {
 		t.Fatalf("audit never observed some path (req=%v resp=%v l2=%v); the property test is vacuous",
 			sawReq, sawResp, sawL2)
 	}
+}
+
+// slackWindowSweep is the satellite window grid: auto plus
+// {1, 2, bound/2, bound, bound+1} — per-cycle, a narrow window, a mid-width
+// window, the full horizon, and an oversized request that must clamp.
+func slackWindowSweep(bound int64) []int64 {
+	return []int64{0, 1, 2, bound / 2, bound, bound + 1}
 }
 
 // TestSlackCancellationMidEpoch aborts a parallel bounded-slack run from
@@ -98,31 +111,34 @@ func TestSlackCancellationMidEpoch(t *testing.T) {
 	// A kernel long enough that the engine reaches the second poll boundary
 	// (cycle ctxCheckInterval) while work is still in flight.
 	k := workloads.StreamMicro(workloads.Scale{CTAs: 8, WarpsPerCTA: 4, Iters: 32}, 4096)
-	opt := Options{Config: parCfg(), Parallelism: 4, ForceParallelism: true}
-	en := NewEngine()
-	// countdownCtx (skip_test.go) cancels deterministically on the second
-	// poll — a poll site inside an epoch's serial phase, between barriers,
-	// where a timer race could not guarantee placement.
-	ctx := &countdownCtx{Context: context.Background(), ok: 1}
-	abortOpt := opt
-	abortOpt.Context = ctx
-	if _, err := en.Run(k, abortOpt); !errors.Is(err, context.Canceled) {
-		t.Fatalf("aborted run returned %v, want context.Canceled", err)
-	}
-	if ctx.calls <= ctx.ok {
-		t.Fatalf("context polled %d times; cancellation never fired", ctx.calls)
-	}
-	got, err := en.Run(k, opt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want, err := Run(k, opt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(got, want) {
-		t.Fatalf("engine reused after mid-epoch abort diverges from fresh engine\n got:  %+v\n want: %+v",
-			got.Stats, want.Stats)
+	bound := int64(parCfg().SlackBound())
+	for _, window := range []int64{2, bound, bound + 1} {
+		opt := Options{Config: parCfg(), Parallelism: 4, ForceParallelism: true, SlackWindow: int(window)}
+		en := NewEngine()
+		// countdownCtx (skip_test.go) cancels deterministically on the second
+		// poll — a poll site inside an epoch's serial phase, between barriers,
+		// where a timer race could not guarantee placement.
+		ctx := &countdownCtx{Context: context.Background(), ok: 1}
+		abortOpt := opt
+		abortOpt.Context = ctx
+		if _, err := en.Run(k, abortOpt); !errors.Is(err, context.Canceled) {
+			t.Fatalf("w=%d: aborted run returned %v, want context.Canceled", window, err)
+		}
+		if ctx.calls <= ctx.ok {
+			t.Fatalf("w=%d: context polled %d times; cancellation never fired", window, ctx.calls)
+		}
+		got, err := en.Run(k, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Run(k, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("w=%d: engine reused after mid-epoch abort diverges from fresh engine\n got:  %+v\n want: %+v",
+				window, got.Stats, want.Stats)
+		}
 	}
 }
 
@@ -157,44 +173,123 @@ func TestSlackConflictDegradesInProduction(t *testing.T) {
 	}
 }
 
-// TestInitSlackClamps pins the two slack numbers' derivation: the horizon
-// comes from the config alone (capped at maxSlackWindow), and the epoch
-// length from Options.SlackWindow clamped into [1, horizon-1] with 0 (and
-// any out-of-range request) meaning auto.
+// TestInitSlackClamps pins the slack numbers' derivation: the horizon is
+// the full config audit bound (no fixed cap), the turnaround is
+// min(horizon, TurnaroundCap), and the epoch length comes from
+// Options.SlackWindow clamped into [1, horizon] with 0 (and any
+// out-of-range request) meaning auto — plus the SlackInfo surfacing of
+// exactly those resolutions.
 func TestInitSlackClamps(t *testing.T) {
 	cfg := config.Scaled(2, 8)
 	bound := int64(cfg.SlackBound())
-	wantHorizon := bound
-	if wantHorizon > maxSlackWindow {
-		wantHorizon = maxSlackWindow
+	if bound <= TurnaroundCap {
+		t.Fatalf("config bound %d not wide; the wide-horizon cases below are vacuous", bound)
 	}
-	auto := wantHorizon - 1
-	if auto < 1 {
-		auto = 1
-	}
+	wantTurn := int64(TurnaroundCap)
 	cases := []struct {
-		window int
-		want   int64
+		window  int
+		want    int64
+		clamped bool
 	}{
-		{0, auto},
-		{-3, auto},
-		{1, 1},
-		{2, 2},
-		{int(auto), auto},
-		{int(auto) + 1, auto},
-		{1 << 20, auto},
+		{0, bound, false},
+		{-3, bound, false},
+		{1, 1, false},
+		{2, 2, false},
+		{int(bound / 2), bound / 2, false},
+		{int(bound), bound, false},
+		{int(bound) + 1, bound, true},
+		{1 << 20, bound, true},
 	}
 	for _, c := range cases {
 		e := &engine{cfg: cfg, opt: Options{SlackWindow: c.window}}
 		e.initSlack()
-		if e.horizon != wantHorizon {
-			t.Errorf("SlackWindow=%d: horizon=%d, want %d", c.window, e.horizon, wantHorizon)
+		if e.horizon != bound {
+			t.Errorf("SlackWindow=%d: horizon=%d, want the full bound %d", c.window, e.horizon, bound)
+		}
+		if e.turn != wantTurn {
+			t.Errorf("SlackWindow=%d: turn=%d, want %d", c.window, e.turn, wantTurn)
 		}
 		if e.slackMax != c.want {
 			t.Errorf("SlackWindow=%d: slackMax=%d, want %d", c.window, e.slackMax, c.want)
 		}
 		if !e.slackOK {
 			t.Errorf("SlackWindow=%d: slackOK not reset", c.window)
+		}
+		info := SlackInfo{
+			Horizon: bound, Window: c.want, Turnaround: wantTurn,
+			Requested: c.window, Clamped: c.clamped, BindingTerm: cfg.SlackAudit().Limiting().Name,
+		}
+		if e.slackInfo != info {
+			t.Errorf("SlackWindow=%d: slackInfo=%+v, want %+v", c.window, e.slackInfo, info)
+		}
+	}
+}
+
+// TestSlackWindowSweepEquivalence is the wide-horizon equivalence matrix:
+// serial and parallel runs at every sweep window — including the full bound
+// and an oversized request — must be bit-identical to the per-cycle
+// reference, for a bare kernel and for an app-layer launch graph with chain
+// persistence both ways (launch retirement wakes cross epochs too).
+func TestSlackWindowSweepEquivalence(t *testing.T) {
+	cfg := parCfg()
+	bound := int64(cfg.SlackBound())
+	k, err := workloads.Build("lps", workloads.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := workloads.BuildApp("pipeline", workloads.Tiny(), cfg.NumSM, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, persist := range []bool{false, true} {
+		var refApp *AppResult
+		for _, window := range slackWindowSweep(bound) {
+			for _, p := range []int{1, 4} {
+				opt := Options{
+					Config: cfg, Parallelism: p, ForceParallelism: p > 1,
+					SlackWindow: int(window), ChainPersistence: persist,
+				}
+				got, err := RunApp(app, opt)
+				if err != nil {
+					t.Fatalf("persist=%v w=%d P=%d: %v", persist, window, p, err)
+				}
+				if refApp == nil {
+					ref := opt
+					ref.Parallelism, ref.ForceParallelism, ref.SlackWindow = 1, false, 1
+					if refApp, err = RunApp(app, ref); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if !reflect.DeepEqual(got.Stats, refApp.Stats) || !reflect.DeepEqual(got.Launches, refApp.Launches) {
+					t.Errorf("persist=%v w=%d P=%d: app stats diverge from per-cycle reference", persist, window, p)
+				}
+			}
+		}
+	}
+	var refK *Result
+	for _, window := range slackWindowSweep(bound) {
+		for _, p := range []int{1, 4} {
+			got, err := Run(k, Options{
+				Config: cfg, NewPrefetcher: parMechs()["snake"], Parallelism: p,
+				ForceParallelism: p > 1, SlackWindow: int(window),
+			})
+			if err != nil {
+				t.Fatalf("w=%d P=%d: %v", window, p, err)
+			}
+			if refK == nil {
+				if refK, err = Run(k, Options{Config: cfg, NewPrefetcher: parMechs()["snake"], SlackWindow: 1}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !reflect.DeepEqual(got.Stats, refK.Stats) {
+				t.Errorf("w=%d P=%d: kernel stats diverge from per-cycle reference", window, p)
+			}
+			if got.Slack.Horizon != bound || got.Slack.Window < 1 || got.Slack.Window > bound {
+				t.Errorf("w=%d P=%d: Result.Slack = %+v, horizon/window out of range", window, p, got.Slack)
+			}
+			if wantClamp := window > bound; got.Slack.Clamped != wantClamp {
+				t.Errorf("w=%d P=%d: Result.Slack.Clamped = %v, want %v", window, p, got.Slack.Clamped, wantClamp)
+			}
 		}
 	}
 }

@@ -38,9 +38,37 @@ type warpCtx struct {
 	// parallelism).
 	outstanding int
 
+	// nextExit memoizes the index of the warp's next OpExit at or past pc
+	// for the adaptive epoch cutter's activity lookahead (engine.actBound).
+	// -1: not scanned yet; len(Insts): none remain. The lazy rescan
+	// (opDist) only ever moves forward, so the total scan cost is one
+	// program pass per warp per run.
+	nextExit int32
+
 	// Oracle load streams (populated only when the prefetcher wants them).
 	futPCs   []uint64
 	futAddrs []uint64
+}
+
+// opDist returns the instruction distance from pc to the warp's next op of
+// the given kind, memoized through *memo (-1: the program has none left).
+// Valid only for live warps (prog set). The memo invariant — no matching op
+// in [scan origin, memo) — holds because pc only advances, so a stale memo
+// below pc can be rescanned from pc itself.
+func (w *warpCtx) opDist(op trace.Op, memo *int32) int {
+	i := int(*memo)
+	if i < w.pc {
+		insts := w.prog.Insts
+		i = w.pc
+		for i < len(insts) && insts[i].Op != op {
+			i++
+		}
+		*memo = int32(i)
+	}
+	if i >= len(w.prog.Insts) {
+		return -1
+	}
+	return i - w.pc
 }
 
 // sm models one streaming multiprocessor: warp slots, scheduler slices, the
@@ -228,10 +256,11 @@ func (s *sm) dispatchCTA(k *trace.Kernel, ctaIdx int, age *int64) {
 		w := &s.warps[slot]
 		*age++
 		*w = warpCtx{
-			state:  wsReady,
-			ctaIdx: ctaIdx,
-			prog:   &cta.Warps[wi],
-			age:    *age,
+			state:    wsReady,
+			ctaIdx:   ctaIdx,
+			prog:     &cta.Warps[wi],
+			age:      *age,
+			nextExit: -1,
 		}
 		if s.oracle {
 			w.futPCs, w.futAddrs = loadStream(w.prog)
