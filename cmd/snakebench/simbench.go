@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -28,12 +29,22 @@ type simBenchEntry struct {
 	// App marks launch-layer cases: Bench names an application from the
 	// workloads app registry and the op under timing is sim.RunApp (the
 	// whole launch graph), not sim.Run of one kernel.
-	App          bool    `json:"app,omitempty"`
-	Chain        bool    `json:"chain,omitempty"`
-	NsPerOp      int64   `json:"ns_per_op"`
-	CyclesPerSec float64 `json:"cycles_per_sec"`
-	AllocsPerOp  int64   `json:"allocs_per_op"`
-	BytesPerOp   int64   `json:"bytes_per_op"`
+	App   bool `json:"app,omitempty"`
+	Chain bool `json:"chain,omitempty"`
+	// Reuse marks pooled-engine cases (the op is RunTagged on a warmed
+	// persistent Engine); their allocs/op is the steady-state residual.
+	Reuse bool `json:"reuse,omitempty"`
+	// BarrierOverheadOnly marks parallel rows measured on a machine whose
+	// GOMAXPROCS cannot host the workers (forced multi-worker execution on
+	// one core): the row still exercises the real barrier/scatter machinery —
+	// its allocs/op is fully meaningful — but its wall clock shows barrier
+	// overhead, never parallel speedup, so speedup- and share-based gates
+	// don't apply.
+	BarrierOverheadOnly bool    `json:"barrier_overhead_only,omitempty"`
+	NsPerOp             int64   `json:"ns_per_op"`
+	CyclesPerSec        float64 `json:"cycles_per_sec"`
+	AllocsPerOp         int64   `json:"allocs_per_op"`
+	BytesPerOp          int64   `json:"bytes_per_op"`
 }
 
 // simBenchFile is the machine-readable perf trajectory CI uploads per PR.
@@ -53,12 +64,21 @@ type simBenchFile struct {
 	// profiled run is separate from the timed ops above, so profiling
 	// overhead never pollutes ns/op.
 	PhaseNs map[string]map[string]int64 `json:"phase_ns,omitempty"`
-	// SerialShare is the serial fraction (route + merge over total) of each
-	// profiled run. The regression guard watches the P>1 cases: the serial
-	// share is what bounds parallel speedup (Amdahl), so letting it grow
-	// silently would erode the executor without any single ns/op case
+	// SerialShare is the serial fraction (drain + route + merge over total)
+	// of each profiled run. The regression guard watches the P>1 cases: the
+	// serial share is what bounds parallel speedup (Amdahl), so letting it
+	// grow silently would erode the executor without any single ns/op case
 	// tripping.
 	SerialShare map[string]float64 `json:"serial_share,omitempty"`
+	// RouteShare and MergeShare split the serial share into its gated
+	// components: the route phase (the per-epoch prefix-sum over partition
+	// ingress rings) and the merge phase (heap pushes, store scatter
+	// bookkeeping, CTA maturation). Together they are the old monolithic
+	// serial phase minus the drain, and genuinely parallel runs gate their
+	// sum absolutely (routeMergeShareMax); the drain rides the relative
+	// serial-share guard.
+	RouteShare map[string]float64 `json:"route_share,omitempty"`
+	MergeShare map[string]float64 `json:"merge_share,omitempty"`
 	// BarriersPerKcycle is barrier waves per thousand simulated cycles for
 	// each profiled run at -slack auto. The regression guard watches it
 	// alongside SerialShare: bounded-slack ticking amortizes the per-cycle
@@ -102,9 +122,19 @@ var simBenchCases = []simBenchCase{
 	{name: "lps-par4", bench: "lps", midScale: true, parallelism: 4},
 	{name: "mum-par1", bench: "mum", midScale: true, parallelism: 1},
 	{name: "mum-par4", bench: "mum", midScale: true, parallelism: 4},
+	{name: "nw-par1", bench: "nw", midScale: true, parallelism: 1},
+	{name: "nw-par4", bench: "nw", midScale: true, parallelism: 4},
 	{name: "lps-reuse", bench: "lps", reuse: true},
 	{name: "mum-reuse", bench: "mum", reuse: true},
 	{name: "nw-reuse", bench: "nw", reuse: true},
+	// Pooled parallel rows: the allocation-flat claim. A warmed engine
+	// re-running under a 4-worker crew must stay at the serial-pooled
+	// steady state (par1-reuse is the reference; checkParallelAllocsFlat
+	// gates the ratio on every bench run, baseline or not).
+	{name: "lps-par1-reuse", bench: "lps", midScale: true, parallelism: 1, reuse: true},
+	{name: "lps-par4-reuse", bench: "lps", midScale: true, parallelism: 4, reuse: true},
+	{name: "mum-par1-reuse", bench: "mum", midScale: true, parallelism: 1, reuse: true},
+	{name: "mum-par4-reuse", bench: "mum", midScale: true, parallelism: 4, reuse: true},
 	{name: "app-pipeline", bench: "pipeline", app: true, chain: true},
 	{name: "app-cotenant", bench: "cotenant", app: true},
 }
@@ -136,6 +166,8 @@ func writeSimBench(path, baselinePath string) error {
 		SerialShare:       make(map[string]float64),
 		BarriersPerKcycle: make(map[string]float64),
 	}
+	out.RouteShare = make(map[string]float64)
+	out.MergeShare = make(map[string]float64)
 	nsPerOp := make(map[string]int64)
 	for _, c := range simBenchCases {
 		if c.app {
@@ -158,6 +190,10 @@ func writeSimBench(path, baselinePath string) error {
 			NewPrefetcher: func(int) prefetch.Prefetcher { return core.NewSnake() },
 			DisableSkip:   c.disableSkip,
 			Parallelism:   c.parallelism,
+			// Parallel rows must measure the real multi-worker machinery even
+			// when GOMAXPROCS would clamp it away; on a 1-core machine the row
+			// is then marked barrier-overhead-only below.
+			ForceParallelism: c.parallelism > 1,
 		}
 		var cycles int64
 		var r testing.BenchmarkResult
@@ -193,31 +229,40 @@ func writeSimBench(path, baselinePath string) error {
 			})
 		}
 		e := simBenchEntry{
-			Name:         c.name,
-			Bench:        c.bench,
-			DisableSkip:  c.disableSkip,
-			Parallelism:  c.parallelism,
-			NsPerOp:      r.NsPerOp(),
-			CyclesPerSec: float64(cycles) / r.T.Seconds(),
-			AllocsPerOp:  r.AllocsPerOp(),
-			BytesPerOp:   r.AllocedBytesPerOp(),
+			Name:                c.name,
+			Bench:               c.bench,
+			DisableSkip:         c.disableSkip,
+			Parallelism:         c.parallelism,
+			Reuse:               c.reuse,
+			BarrierOverheadOnly: c.parallelism > 1 && out.MaxProcs == 1,
+			NsPerOp:             r.NsPerOp(),
+			CyclesPerSec:        float64(cycles) / r.T.Seconds(),
+			AllocsPerOp:         r.AllocsPerOp(),
+			BytesPerOp:          r.AllocedBytesPerOp(),
 		}
 		out.Entries = append(out.Entries, e)
 		nsPerOp[c.name] = e.NsPerOp
-		fmt.Fprintf(os.Stderr, "snakebench: %-12s %12d ns/op %12.0f cycles/s %8d allocs/op\n",
+		fmt.Fprintf(os.Stderr, "snakebench: %-16s %12d ns/op %12.0f cycles/s %8d allocs/op\n",
 			c.name, e.NsPerOp, e.CyclesPerSec, e.AllocsPerOp)
-		if c.parallelism != 0 {
+		if c.parallelism != 0 && !c.reuse {
 			// One extra profiled run, outside the timing loop: phase wall
 			// clocks for the parallel cases (par1 included, as the serial
-			// reference the share comparison needs).
+			// reference the share comparison needs). Reuse rows profile
+			// identically to their fresh siblings, so they are skipped.
 			prof, profCycles, err := measurePhases(k, cfg, c.parallelism, 0)
 			if err != nil {
 				return err
 			}
 			out.PhaseNs[c.name] = prof.Map()
 			out.SerialShare[c.name] = prof.SerialShare()
+			out.RouteShare[c.name] = prof.RouteShare()
+			out.MergeShare[c.name] = prof.MergeShare()
 			if profCycles > 0 {
 				out.BarriersPerKcycle[c.name] = 1000 * float64(prof.Barriers()) / float64(profCycles)
+			}
+			if rm := out.RouteShare[c.name] + out.MergeShare[c.name]; c.parallelism > 1 && !e.BarrierOverheadOnly && rm > routeMergeShareMax {
+				return fmt.Errorf("snakebench: %s route+merge share %.3f (route %.3f, merge %.3f) exceeds %.2f: the per-epoch route/merge passes must stay noise-level",
+					c.name, rm, out.RouteShare[c.name], out.MergeShare[c.name], routeMergeShareMax)
 			}
 		}
 	}
@@ -233,10 +278,15 @@ func writeSimBench(path, baselinePath string) error {
 		if c.parallelism <= 1 {
 			continue
 		}
-		serialName := fmt.Sprintf("%s-par1", c.bench)
+		// Each parN row's reference is its par1 sibling with the same suffix
+		// (so lps-par4-reuse compares against lps-par1-reuse, not lps-par1).
+		serialName := strings.Replace(c.name, fmt.Sprintf("-par%d", c.parallelism), "-par1", 1)
 		if serial, ok := nsPerOp[serialName]; ok && nsPerOp[c.name] > 0 {
 			out.ParallelSpeedup[c.name] = float64(serial) / float64(nsPerOp[c.name])
 		}
+	}
+	if err := checkParallelAllocsFlat(out.Entries); err != nil {
+		return err
 	}
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
@@ -293,6 +343,45 @@ func measureAppCase(c simBenchCase) (simBenchEntry, error) {
 	}, nil
 }
 
+// routeMergeShareMax is the absolute ceiling on the route-plus-merge share of
+// a genuinely parallel (P>1, multi-core) profiled run — the pieces of the old
+// monolithic serial phase that the counting-scatter design claims are cheap:
+// planRoute is an O(#partitions) prefix-sum per epoch, and the merge is heap
+// pushes plus O(span × active shards) scatter bookkeeping. Unlike the
+// relative serial-share guard this gate holds against the fresh measurement
+// alone — a baseline that drifted up would not excuse it. (The remaining
+// serial drain — the per-sub-cycle injection pump — is guarded relatively,
+// via SerialShare.)
+const routeMergeShareMax = 0.06
+
+// checkParallelAllocsFlat is the allocation-flat parallel-mode gate: each
+// pooled parN row must allocate within allocRegressionTolerance of its par1
+// sibling (plus the small-count floor), on every bench run — allocation
+// counts are deterministic, so this needs no committed baseline. A parallel
+// pooled run that allocates beyond the serial steady state means some arena
+// (routed slab, due views, scatter scratch, crew) stopped recycling.
+func checkParallelAllocsFlat(entries []simBenchEntry) error {
+	byName := make(map[string]simBenchEntry, len(entries))
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	for _, e := range entries {
+		if !e.Reuse || e.Parallelism <= 1 {
+			continue
+		}
+		serial, ok := byName[strings.Replace(e.Name, fmt.Sprintf("-par%d", e.Parallelism), "-par1", 1)]
+		if !ok || serial.AllocsPerOp <= 0 {
+			continue
+		}
+		if e.AllocsPerOp > allocFloor &&
+			float64(e.AllocsPerOp) > float64(serial.AllocsPerOp)*allocRegressionTolerance {
+			return fmt.Errorf("snakebench: %s allocates %d/op vs %s's %d/op: parallel pooled runs must stay allocation-flat (tolerance %.2fx)",
+				e.Name, e.AllocsPerOp, serial.Name, serial.AllocsPerOp, allocRegressionTolerance)
+		}
+	}
+	return nil
+}
+
 // measurePhases runs the kernel once with a phase accumulator attached and
 // returns the per-phase wall clock plus the run's simulated cycle count
 // (the denominator for barriers-per-kilocycle).
@@ -304,6 +393,9 @@ func measurePhases(k *trace.Kernel, cfg config.GPU, parallelism, slack int) (*pr
 		Parallelism:   parallelism,
 		SlackWindow:   slack,
 		PhaseProfile:  &prof,
+		// Profile the real multi-worker phase split even where GOMAXPROCS
+		// would clamp it away (the shares are then barrier-overhead shares).
+		ForceParallelism: parallelism > 1,
 	}
 	res, err := sim.Run(k, opt)
 	if err != nil {
@@ -314,18 +406,20 @@ func measurePhases(k *trace.Kernel, cfg config.GPU, parallelism, slack int) (*pr
 
 // reportPhases implements snakebench -phases: per-phase engine wall clock
 // and serial share for the parallel benchmark cases, at serial execution and
-// at the requested parallelism. This is the Amdahl report: the serial-route
+// at the requested parallelism. This is the Amdahl report: the drain, route
 // and merge columns are the part of the cycle no amount of -parallel can
-// compress, and the share column is their fraction of the total. The
-// barriers and cyc/barrier columns show how well bounded-slack ticking
-// amortizes the wave barrier (honors -slack; cyc/barrier counts only ticked
-// cycles, so skipped spans do not inflate it).
+// compress, and the share column is their fraction of the total — with route%
+// and merge% broken out so each serial phase's trajectory is visible on its
+// own (their sum must stay noise-level; see routeMergeShareMax). The barriers and
+// cyc/barrier columns show how well bounded-slack ticking amortizes the wave
+// barrier (honors -slack; cyc/barrier counts only ticked cycles, so skipped
+// spans do not inflate it).
 func reportPhases(parallel, slack int) error {
 	if parallel <= 1 {
 		parallel = 4
 	}
-	fmt.Printf("%-6s %3s %14s %20s %16s %12s %12s %8s %10s %12s\n",
-		"bench", "P", "serial-route", "parallel-partition", "parallel-shard", "merge", "total", "share", "barriers", "cyc/barrier")
+	fmt.Printf("%-6s %3s %12s %10s %12s %12s %10s %12s %8s %8s %8s %10s %12s\n",
+		"bench", "P", "drain", "route", "partitions", "shards", "merge", "total", "share", "route%", "merge%", "barriers", "cyc/barrier")
 	for _, bench := range []string{"lps", "mum", "nw"} {
 		k, err := workloads.Shared().Kernel(bench, workloads.Scale{CTAs: 24, WarpsPerCTA: 8, Iters: 8})
 		if err != nil {
@@ -337,14 +431,17 @@ func reportPhases(parallel, slack int) error {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%-6s %3d %13dµs %19dµs %15dµs %11dµs %11dµs %7.1f%% %10d %12.2f\n",
+			fmt.Printf("%-6s %3d %11dµs %9dµs %11dµs %11dµs %9dµs %11dµs %7.1f%% %7.2f%% %7.2f%% %10d %12.2f\n",
 				bench, p,
+				prof.Ns(profiling.PhaseSerialDrain)/1e3,
 				prof.Ns(profiling.PhaseSerialRoute)/1e3,
 				prof.Ns(profiling.PhaseMemPartitions)/1e3,
 				prof.Ns(profiling.PhaseShards)/1e3,
 				prof.Ns(profiling.PhaseMerge)/1e3,
 				prof.TotalNs()/1e3,
 				100*prof.SerialShare(),
+				100*prof.RouteShare(),
+				100*prof.MergeShare(),
 				prof.Barriers(),
 				prof.CyclesPerBarrier())
 		}
@@ -354,8 +451,14 @@ func reportPhases(parallel, slack int) error {
 
 // regressionTolerance is the allowed throughput drop vs the committed
 // baseline before the bench-regression guard fails: new ns/op may be at most
-// 1.25× the old (a >20% throughput drop).
-const regressionTolerance = 1.25
+// 1.25× the old (a >20% throughput drop). Parallel rows are the executor's
+// headline number and get the tighter parRegressionTolerance: a par4 case
+// whose ns/op grows past 1.20× the baseline fails even where a serial case
+// would still squeak by.
+const (
+	regressionTolerance    = 1.25
+	parRegressionTolerance = 1.20
+)
 
 // Allocation regressions use a tighter ratio: allocation counts are far less
 // noisy than wall time, so >20% growth in allocs/op or bytes/op is a real
@@ -427,12 +530,31 @@ func checkRegression(baselinePath string, fresh simBenchFile) error {
 		if !ok {
 			continue
 		}
-		flag(e.Name, "ns/op", e.NsPerOp, o.NsPerOp, regressionTolerance, 0)
+		// Allocation counts are environment-independent and always compared;
+		// wall time is only comparable when both measurements ran in the same
+		// parallel regime (a barrier-overhead-only row against a genuinely
+		// parallel baseline, or vice versa, measures the machine, not the code).
+		if e.BarrierOverheadOnly == o.BarrierOverheadOnly {
+			tol := regressionTolerance
+			if e.Parallelism > 1 {
+				tol = parRegressionTolerance
+			}
+			flag(e.Name, "ns/op", e.NsPerOp, o.NsPerOp, tol, 0)
+		}
 		flag(e.Name, "allocs/op", e.AllocsPerOp, o.AllocsPerOp, allocRegressionTolerance, allocFloor)
 		flag(e.Name, "bytes/op", e.BytesPerOp, o.BytesPerOp, allocRegressionTolerance, bytesFloor)
 	}
 	for _, e := range fresh.Entries {
 		if e.Parallelism <= 1 {
+			continue
+		}
+		// Share/barrier profiles only mean something for genuinely parallel
+		// rows: when either side is barrier-overhead-only the phase split
+		// measures one core's scheduler interleaving, not the executor.
+		if e.BarrierOverheadOnly {
+			continue
+		}
+		if o, ok := old[e.Name]; ok && o.BarrierOverheadOnly {
 			continue
 		}
 		got, gok := fresh.SerialShare[e.Name]

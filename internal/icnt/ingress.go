@@ -1,6 +1,9 @@
 package icnt
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Ingress is a cycle-stamped FIFO delivery queue: the typed port through
 // which one side of the SM/memory shard boundary receives in-flight messages
@@ -20,16 +23,18 @@ import "fmt"
 // The queue is a growable ring: steady-state traffic reuses the backing
 // array, keeping the simulator's cycle loop allocation-free.
 type Ingress[T any] struct {
-	buf  []stamped[T]
+	buf  []Stamped[T]
 	head int
 	len  int
 	last int64 // last pushed stamp, for the monotonicity check
 }
 
-// stamped is one queued message with its delivery cycle.
-type stamped[T any] struct {
-	cycle int64
-	msg   T
+// Stamped is one queued message with its delivery cycle. It is exported so
+// DueView can hand zero-copy windows of the ring to consumers (the engine's
+// parallel route phase) without repacking entries.
+type Stamped[T any] struct {
+	Cycle int64
+	Msg   T
 }
 
 // Push appends a message due at the given cycle. Stamps must be
@@ -44,7 +49,7 @@ func (q *Ingress[T]) Push(cycle int64, msg T) {
 	if q.len == len(q.buf) {
 		q.grow()
 	}
-	q.buf[(q.head+q.len)%len(q.buf)] = stamped[T]{cycle: cycle, msg: msg}
+	q.buf[(q.head+q.len)%len(q.buf)] = Stamped[T]{Cycle: cycle, Msg: msg}
 	q.len++
 }
 
@@ -54,7 +59,7 @@ func (q *Ingress[T]) grow() {
 	if n == 0 {
 		n = 8
 	}
-	next := make([]stamped[T], n)
+	next := make([]Stamped[T], n)
 	for i := 0; i < q.len; i++ {
 		next[i] = q.buf[(q.head+i)%len(q.buf)]
 	}
@@ -65,13 +70,13 @@ func (q *Ingress[T]) grow() {
 // PopDue removes and returns the oldest message if it is due at or before
 // now. Messages come out in exactly the order they were pushed.
 func (q *Ingress[T]) PopDue(now int64) (T, bool) {
-	if q.len == 0 || q.buf[q.head].cycle > now {
+	if q.len == 0 || q.buf[q.head].Cycle > now {
 		var zero T
 		return zero, false
 	}
 	e := &q.buf[q.head]
-	msg := e.msg
-	var zero stamped[T]
+	msg := e.Msg
+	var zero Stamped[T]
 	*e = zero // release references for GC
 	q.head = (q.head + 1) % len(q.buf)
 	q.len--
@@ -83,15 +88,58 @@ func (q *Ingress[T]) PopDue(now int64) (T, bool) {
 // append style lets hot-loop callers reuse a buffer across cycles without a
 // per-call closure allocation.
 func (q *Ingress[T]) DrainTo(now int64, buf []T) []T {
-	for q.len > 0 && q.buf[q.head].cycle <= now {
+	for q.len > 0 && q.buf[q.head].Cycle <= now {
 		e := &q.buf[q.head]
-		buf = append(buf, e.msg)
-		var zero stamped[T]
+		buf = append(buf, e.Msg)
+		var zero Stamped[T]
 		*e = zero
 		q.head = (q.head + 1) % len(q.buf)
 		q.len--
 	}
 	return buf
+}
+
+// DueView returns the messages due at or before now as up to two contiguous
+// windows of the ring (the prefix wraps across the array end at most once),
+// in push order: a first, then b. Nothing is removed or copied — callers that
+// consume the view pair it with Drop(len(a)+len(b)). Because stamps are
+// non-decreasing, the due set is always a prefix, located by binary search.
+//
+// The view stays valid until the next Push, Pop, Drain, Drop or Reset; the
+// engine's parallel route phase takes it after all of an epoch's pushes and
+// drops it at the epoch merge, so work units may read it concurrently in
+// between.
+func (q *Ingress[T]) DueView(now int64) (a, b []Stamped[T]) {
+	n := sort.Search(q.len, func(i int) bool {
+		return q.buf[(q.head+i)%len(q.buf)].Cycle > now
+	})
+	if n == 0 {
+		return nil, nil
+	}
+	if end := q.head + n; end <= len(q.buf) {
+		return q.buf[q.head:end], nil
+	}
+	return q.buf[q.head:], q.buf[:q.head+n-len(q.buf)]
+}
+
+// Drop removes the oldest n messages (a consumed DueView prefix), zeroing
+// their slots so references are released. Dropping more than Len panics: it
+// would corrupt the ring accounting.
+func (q *Ingress[T]) Drop(n int) {
+	if n <= 0 {
+		return
+	}
+	if n > q.len {
+		panic(fmt.Sprintf("icnt: ingress drop %d of %d queued", n, q.len))
+	}
+	if end := q.head + n; end <= len(q.buf) {
+		clear(q.buf[q.head:end])
+	} else {
+		clear(q.buf[q.head:])
+		clear(q.buf[:end-len(q.buf)])
+	}
+	q.head = (q.head + n) % len(q.buf)
+	q.len -= n
 }
 
 // NextCycle returns the delivery cycle of the oldest queued message, or -1
@@ -100,7 +148,7 @@ func (q *Ingress[T]) NextCycle() int64 {
 	if q.len == 0 {
 		return -1
 	}
-	return q.buf[q.head].cycle
+	return q.buf[q.head].Cycle
 }
 
 // Len returns the number of queued messages.

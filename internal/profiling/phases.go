@@ -3,18 +3,24 @@ package profiling
 import "fmt"
 
 // Phase names one section of the simulation engine's cycle pipeline. The
-// engine's wall clock divides into exactly these four buckets (see DESIGN.md
-// "Memory-side parallelism"): the serial routing phase, the two halves of
-// the parallel phase (memory partitions and SM shards), and the serial merge
-// plus end-of-cycle bookkeeping.
+// engine's wall clock divides into exactly these five buckets (see DESIGN.md
+// "Memory-side parallelism" and "Deterministic parallel routing"): the serial
+// per-sub-cycle drain pump, the O(#partitions) route prefix-sum, the two
+// halves of the parallel phase (memory partitions and SM shards), and the
+// serial merge plus end-of-cycle bookkeeping.
 type Phase uint8
 
 // Engine phases, in cycle order.
 const (
-	// PhaseSerialRoute is the serial head of the cycle: network tick, request
-	// routing into partition bins, response bandwidth arbitration, fill
-	// delivery into shard inboxes, request pull and store drain.
-	PhaseSerialRoute Phase = iota
+	// PhaseSerialDrain is the serial head of the cycle: network tick,
+	// response bandwidth arbitration, fill delivery into shard inboxes,
+	// request pull (with partition binning at push) and store drain.
+	PhaseSerialDrain Phase = iota
+	// PhaseSerialRoute is the route phase: the per-partition due counts and
+	// the prefix-sum that assigns each partition its contiguous response
+	// slot range — O(#partitions), not O(#requests), since the counting
+	// moved to injection time.
+	PhaseSerialRoute
 	// PhaseMemPartitions is the memory half of the parallel phase: each L2
 	// sub-partition performs its binned lookups, in-flight merges and DRAM
 	// timing.
@@ -22,8 +28,9 @@ const (
 	// PhaseShards is the SM half of the parallel phase: each shard applies
 	// fills, runs its prefetcher and issues from its warp schedulers.
 	PhaseShards
-	// PhaseMerge is the serial tail: deterministic response and egress
-	// merges, CTA refill, and termination/fast-forward bookkeeping.
+	// PhaseMerge is the serial tail: response slot replay, the counting-
+	// scatter store merge, CTA refill, and termination/fast-forward
+	// bookkeeping.
 	PhaseMerge
 
 	// NumPhases is the number of phases (for sizing arrays).
@@ -33,8 +40,10 @@ const (
 // String returns the phase's report name.
 func (p Phase) String() string {
 	switch p {
+	case PhaseSerialDrain:
+		return "serial-drain"
 	case PhaseSerialRoute:
-		return "serial-route"
+		return "route"
 	case PhaseMemPartitions:
 		return "parallel-partition"
 	case PhaseShards:
@@ -51,10 +60,11 @@ func (p Phase) String() string {
 // safe for concurrent use; give each engine its own accumulator.
 //
 // Phase timing answers the Amdahl question the parallel executor raises:
-// how much of the engine's wall clock is still serial (route + merge) versus
-// parallel (partitions + shards)? SerialShare is that fraction directly, and
-// snakebench's regression guard watches it so the serial fraction cannot
-// silently grow back.
+// how much of the engine's wall clock is still serial (drain + route + merge)
+// versus parallel (partitions + shards)? SerialShare is that fraction
+// directly — with RouteShare and MergeShare splitting out the two phases the
+// parallel route/merge work targeted — and snakebench's regression guard
+// watches them so the serial fraction cannot silently grow back.
 type Phases struct {
 	ns [NumPhases]int64
 	// barriers counts executed epochs (each epoch crosses the cycle barrier
@@ -103,13 +113,34 @@ func (p *Phases) TotalNs() int64 {
 }
 
 // SerialShare returns the fraction of accumulated time spent in the serial
-// phases (route + merge), 0..1; zero when nothing has been recorded.
+// phases (drain + route + merge), 0..1; zero when nothing has been recorded.
 func (p *Phases) SerialShare() float64 {
 	t := p.TotalNs()
 	if t == 0 {
 		return 0
 	}
-	return float64(p.ns[PhaseSerialRoute]+p.ns[PhaseMerge]) / float64(t)
+	return float64(p.ns[PhaseSerialDrain]+p.ns[PhaseSerialRoute]+p.ns[PhaseMerge]) / float64(t)
+}
+
+// RouteShare returns the fraction of accumulated time spent in the route
+// prefix-sum phase, 0..1. The parallel-route CI gate watches this: the
+// O(#partitions) plan must stay a sliver of the epoch.
+func (p *Phases) RouteShare() float64 {
+	t := p.TotalNs()
+	if t == 0 {
+		return 0
+	}
+	return float64(p.ns[PhaseSerialRoute]) / float64(t)
+}
+
+// MergeShare returns the fraction of accumulated time spent in the serial
+// merge tail, 0..1.
+func (p *Phases) MergeShare() float64 {
+	t := p.TotalNs()
+	if t == 0 {
+		return 0
+	}
+	return float64(p.ns[PhaseMerge]) / float64(t)
 }
 
 // Reset zeroes the accumulator.
@@ -119,14 +150,17 @@ func (p *Phases) Reset() {
 	p.epochCycles = 0
 }
 
-// Map returns the accumulated nanoseconds keyed by phase name, plus the
-// barrier counters under "barriers" and "epoch_cycles" (the BENCH_sim.json
-// phase_ns schema).
+// Map returns the accumulated nanoseconds keyed by phase name, plus explicit
+// "route_ns"/"merge_ns" aliases for the two formerly-serial phases the CI
+// gates watch, and the barrier counters under "barriers" and "epoch_cycles"
+// (the BENCH_sim.json phase_ns schema).
 func (p *Phases) Map() map[string]int64 {
-	out := make(map[string]int64, NumPhases+2)
+	out := make(map[string]int64, NumPhases+4)
 	for ph := Phase(0); ph < NumPhases; ph++ {
 		out[ph.String()] = p.ns[ph]
 	}
+	out["route_ns"] = p.ns[PhaseSerialRoute]
+	out["merge_ns"] = p.ns[PhaseMerge]
 	out["barriers"] = p.barriers
 	out["epoch_cycles"] = p.epochCycles
 	return out

@@ -10,7 +10,8 @@ func TestPhasesAccounting(t *testing.T) {
 	if p.TotalNs() != 0 || p.SerialShare() != 0 {
 		t.Fatalf("zero value not empty: total=%d share=%f", p.TotalNs(), p.SerialShare())
 	}
-	p.Add(PhaseSerialRoute, 30)
+	p.Add(PhaseSerialDrain, 25)
+	p.Add(PhaseSerialRoute, 5)
 	p.Add(PhaseMemPartitions, 20)
 	p.Add(PhaseShards, 40)
 	p.Add(PhaseMerge, 10)
@@ -21,6 +22,12 @@ func TestPhasesAccounting(t *testing.T) {
 	if got := p.SerialShare(); math.Abs(got-0.40) > 1e-12 {
 		t.Errorf("SerialShare = %f, want 0.40", got)
 	}
+	if got := p.RouteShare(); math.Abs(got-0.05) > 1e-12 {
+		t.Errorf("RouteShare = %f, want 0.05", got)
+	}
+	if got := p.MergeShare(); math.Abs(got-0.10) > 1e-12 {
+		t.Errorf("MergeShare = %f, want 0.10", got)
+	}
 	p.AddEpoch(6)
 	p.AddEpoch(2)
 	if p.Barriers() != 2 || p.EpochCycles() != 8 {
@@ -30,11 +37,14 @@ func TestPhasesAccounting(t *testing.T) {
 		t.Errorf("CyclesPerBarrier = %f, want 4", got)
 	}
 	m := p.Map()
-	if len(m) != int(NumPhases)+2 {
-		t.Fatalf("Map has %d entries, want %d", len(m), int(NumPhases)+2)
+	if len(m) != int(NumPhases)+4 {
+		t.Fatalf("Map has %d entries, want %d", len(m), int(NumPhases)+4)
 	}
-	if m["serial-route"] != 30 || m["parallel-partition"] != 20 || m["parallel-shard"] != 40 || m["merge"] != 10 {
+	if m["serial-drain"] != 25 || m["route"] != 5 || m["parallel-partition"] != 20 || m["parallel-shard"] != 40 || m["merge"] != 10 {
 		t.Errorf("Map = %v", m)
+	}
+	if m["route_ns"] != 5 || m["merge_ns"] != 10 {
+		t.Errorf("Map gate aliases = %v", m)
 	}
 	if m["barriers"] != 2 || m["epoch_cycles"] != 8 {
 		t.Errorf("Map barrier counters = %v", m)

@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"runtime"
 
 	"snake/internal/config"
@@ -180,24 +181,50 @@ type engine struct {
 	// units is the barrier group's schedule: partitions [0, L2Partitions),
 	// then shards. The serial paths iterate parts/shards directly.
 	units []workUnit
-	group *shardGroup // non-nil while Parallelism > 1 workers are running
+	// crew is the persistent barrier-worker group, created on the first
+	// parallel run and parked — not respawned — between runs, surviving Reset
+	// and pool recycling. Reclaimed by closeCrew (Engine.Close, or the engine
+	// finalizer as a backstop). group aliases crew only while a run is
+	// executing; the rest of the engine keys "is a parallel run active" off
+	// group, so pointing it at the parked crew per run keeps those paths
+	// unchanged.
+	crew  *shardGroup
+	group *shardGroup
 
-	// reqs is the SM→L2 ingress port: fill requests in flight across the
-	// request network, stamped with their arrival cycle at the partitions.
-	reqs icnt.Ingress[reqMsg]
+	// partReqs are the SM→L2 ingress ports, one ring per L2 partition: fill
+	// requests in flight across the request network, binned to their
+	// partition at injection time (pushReq) and stamped with the arrival
+	// cycle at the partition crossbar. Per-ring order is global injection
+	// order restricted to that partition, which makes an epoch's due set a
+	// per-ring prefix the route prefix-sum can count in O(#partitions).
+	// reqsLen is the total queued across all rings.
+	partReqs []icnt.Ingress[reqMsg]
+	reqsLen  int
 	// resps holds partition responses waiting for response-network
 	// bandwidth, ordered by data-ready cycle.
 	resps respHeap
 	// stores is the merged write-through store queue, in (cycle, smID, seq)
 	// order; a store issued at cycle p becomes sendable at p + horizon.
 	stores []storeMsg
-	// routed is the per-epoch response slot array: the routing phase assigns
-	// each due request a slot in global arrival order, the owning partition's
-	// tick span writes the computed response into that slot, and the epoch
-	// merge pushes slots in order — the exact push sequence the serial-arrival
-	// engine produced, so heap tie-breaking (and thus every downstream
-	// statistic) is unchanged.
+	// routed is the per-epoch response slot array: planRoute's prefix-sum
+	// assigns each partition a contiguous slot range in global arrival order
+	// (see planRoute for why partition-major ranges preserve it), the owning
+	// partition's tick span writes each computed response into its slot, and
+	// the epoch merge pushes slots in range order — replaying through the
+	// heap in the exact sequence the serial-arrival engine produced, so heap
+	// tie-breaking (and thus every downstream statistic) is unchanged.
 	routed []resp
+	// Scatter scratch for the parallel store merge (mergeStores): the active
+	// shards of the epoch being merged, the destination window in stores, and
+	// the epoch start — published before the scatter wave, consumed by
+	// runTask.
+	scatterShards []*shard
+	scatterDst    []storeMsg
+	scatterFrom   int64
+	// ctaOr is the merge phase's OR-accumulator over eligible launches'
+	// CTA-completion bitsets (one bit per epoch sub-cycle), recycled across
+	// epochs.
+	ctaOr epochBits
 
 	ageCtr   int64
 	inflight int   // outstanding fill requests in the memory system
@@ -232,12 +259,14 @@ type engine struct {
 	slackOK    bool
 	slackInfo  SlackInfo // resolved slack parameters, surfaced in Result
 	epochStart int64     // first sub-cycle of the epoch being ticked
-	utilSnap   []float64 // per-sub-cycle response-network utilization snapshots
-	respSeq    int64     // global response stamp, assigned in merge order
-	dispatchAt []int64   // matured CTA-redispatch cycles, ascending
-	storeIdx   []int     // per-shard cursor for the epoch store merge
-	minReqLat  int64     // smallest observed request-delivery latency (audit)
-	minRespLat int64     // smallest observed response-delivery latency (audit)
+	utilSnap []float64 // per-sub-cycle response-network utilization snapshots
+	// respSeq is the global arrival stamp, assigned at injection (pushReq);
+	// each request's response inherits it, so heap ordering equals serial
+	// arrival order no matter what order the merge pushes slots in.
+	respSeq    int64
+	dispatchAt []int64 // matured CTA-redispatch cycles, ascending
+	minReqLat  int64   // smallest observed request-delivery latency (audit)
+	minRespLat int64   // smallest observed response-delivery latency (audit)
 
 	shStats *stats.Shards
 	// memStats holds one counter block per L2 partition; totals are
@@ -252,6 +281,7 @@ type engine struct {
 // the construction cost.
 func Run(k *trace.Kernel, opt Options) (*Result, error) {
 	var en Engine
+	defer en.Close() // one-shot run: don't leave a parked crew to the finalizer
 	return en.Run(k, opt)
 }
 
@@ -326,12 +356,26 @@ func newMachine(opt Options) *engine {
 	for _, sh := range e.shards {
 		e.units = append(e.units, sh)
 	}
-	e.storeIdx = make([]int, cfg.NumSM)
+	e.partReqs = make([]icnt.Ingress[reqMsg], cfg.L2Partitions)
 	e.smBusy = make([]int, cfg.NumSM)
 	e.smAttr = make([]int, cfg.NumSM)
 	e.smBase = make([]stats.Sim, cfg.NumSM)
 	e.initSlack()
+	// Backstop for the persistent crew: an engine dropped without Close
+	// (tests, one-shot callers, pool discards) must not leak its parked
+	// workers. The crew holds no pointer back to the engine, so the engine
+	// stays collectable; the method expression captures nothing.
+	runtime.SetFinalizer(e, (*engine).closeCrew)
 	return e
+}
+
+// closeCrew stops and forgets the persistent barrier crew, if one exists.
+// Idempotent, and safe from the finalizer goroutine.
+func (e *engine) closeCrew() {
+	if e.crew != nil {
+		e.crew.stop()
+		e.crew = nil
+	}
 }
 
 // partOf maps a line address to its L2 partition. Interleaving is at DRAM
@@ -357,21 +401,28 @@ const deadlockIdleCycles = 1_000_000
 // run executes the epoch loop. Every executed epoch — a span of up to
 // slackMax consecutive cycles between two barriers — has the same shape:
 //
-//	serial route phase:  for each sub-cycle in order: net.tick → due requests
-//	                     binned per L2 partition in arrival order
-//	                     (slot-indexed) → response sends (with L2 installs
-//	                     deferred into partition bins) → fill delivery into
-//	                     shard inboxes → request injection (pull, smID order,
-//	                     horizon-matured heads only) → matured stores →
-//	                     utilization snapshot
+//	serial drain phase:  for each sub-cycle in order: net.tick → response
+//	                     sends (with L2 installs deferred into partition
+//	                     bins) → fill delivery into shard inboxes → request
+//	                     injection (pull, smID order, horizon-matured heads
+//	                     only, binned to the owning partition's ingress ring
+//	                     and stamped with the global arrival rank at push) →
+//	                     matured stores → utilization snapshot
+//	route phase:         O(#partitions) prefix-sum over the per-ring due
+//	                     counts assigns each partition a zero-copy due view
+//	                     and a contiguous response slot range (planRoute)
 //	parallel phase:      every work unit ticks the whole span, concurrently
-//	                     when Parallelism > 1 — partitions perform their
-//	                     binned L2 lookups, merges and DRAM timing; shards
-//	                     apply fills, run prefetchers and issue
-//	serial merge phase:  response slots pushed in arrival order (stamped with
-//	                     a global sequence) → store merge in (cycle, smID,
-//	                     seq) order → CTA-finish maturation → termination /
-//	                     idle / fast-forward bookkeeping
+//	                     when Parallelism > 1 — partitions perform their due
+//	                     L2 lookups, merges and DRAM timing, scattering
+//	                     responses into their reserved slots; shards apply
+//	                     fills, run prefetchers, issue, and count their
+//	                     epoch store outputs per sub-cycle
+//	serial merge phase:  response slots pushed in partition-major slot order
+//	                     (each already carrying its global arrival seq, so
+//	                     the heap replays serial arrival order) → store
+//	                     merge via counting scatter into (cycle, smID, seq)
+//	                     order → CTA-finish maturation → termination / idle /
+//	                     fast-forward bookkeeping
 //
 // The serial phase runs a whole epoch ahead of the ticks; that is sound
 // because every tick output is invisible to the serial phase for at least
@@ -380,11 +431,15 @@ const deadlockIdleCycles = 1_000_000
 // exactly the seed's per-cycle schedule.
 func (e *engine) run() error {
 	if e.opt.Parallelism > 1 {
-		e.group = startShardGroup(e.units, e.opt.Parallelism)
-		defer func() {
-			e.group.stop()
-			e.group = nil
-		}()
+		// Persistent crew: created on the first parallel run, parked between
+		// runs, reused across Reset/pool recycling. Only a Parallelism change
+		// (an engine recycled under different options) replaces it.
+		if e.crew == nil || e.crew.n != e.opt.Parallelism {
+			e.closeCrew()
+			e.crew = startShardGroup(e.opt.Parallelism)
+		}
+		e.group = e.crew
+		defer func() { e.group = nil }()
 	}
 	e.prof = e.opt.PhaseProfile
 	var clk phaseClock
@@ -436,6 +491,8 @@ func (e *engine) run() error {
 		}
 		e.cycle = end
 		e.epochStart = start
+		clk.lap(profiling.PhaseSerialDrain)
+		e.planRoute(end)
 		clk.lap(profiling.PhaseSerialRoute)
 		e.tickWave(start, end, &clk)
 		if e.prof != nil {
@@ -559,7 +616,12 @@ func (e *engine) nextInteresting() int64 {
 			return cur + 1
 		}
 	}
-	best := e.reqs.NextCycle()
+	best := int64(-1)
+	for i := range e.partReqs {
+		if c := e.partReqs[i].NextCycle(); c >= 0 && (best < 0 || c < best) {
+			best = c
+		}
+	}
 	if r, ok := e.resps.peek(); ok {
 		c := e.net.nextRespAccept(cur)
 		if r.readyAt > c {
@@ -694,7 +756,6 @@ func (e *engine) serialPhase(start, maxEnd int64) (int64, error) {
 			}
 		}
 		e.net.tick(c)
-		e.routeRequests(c)
 		e.drainResponses(c)
 		e.deliverFills(c)
 		e.releaseInflight(c)
@@ -729,51 +790,83 @@ func (e *engine) serialPhase(start, maxEnd int64) (int64, error) {
 }
 
 // predictedMsgs is the serial phase's view of inFlightMsgs at the end of a
-// sub-cycle: requests crossing the network, responses awaiting bandwidth
-// (both already pushed and routed-but-not-yet-computed), and fills not yet
+// sub-cycle: requests crossing the network or queued for this epoch's
+// partition ticks (both live in the partition ingress rings until the epoch
+// merge consumes them), responses awaiting bandwidth, and fills not yet
 // delivered. It equals exactly what inFlightMsgs reports after the cycle's
 // ticks and merge under per-cycle barriers: ticks consume the whole inbox
 // (so delivered-but-unconsumed fills don't count), and tick outputs (miss
 // queue entries, stores) are not messages until the serial phase injects
 // them.
 func (e *engine) predictedMsgs() int {
-	n := e.reqs.Len() + len(e.resps) + len(e.routed)
+	n := e.reqsLen + len(e.resps)
 	for _, sh := range e.shards {
 		n += sh.fills.Len()
 	}
 	return n
 }
 
-// routeRequests bins every fill request due at the L2 side at sub-cycle c
-// onto its partition, in the deterministic ingress order (send order). Each
-// request gets a slot in e.routed in that global order; the partition's tick
-// span computes the response into the slot and the epoch merge pushes slots
-// in order, so the response heap sees the exact push sequence the serial
-// arrival loop produced. The L2/DRAM work itself moves off the serial path
-// into the partitions' (parallel) tick spans.
+// pushReq injects a fill request into the memory side: the request is binned
+// to its owning partition's ingress ring right here, at injection time, and
+// stamped with the next global arrival rank (respSeq). Injection order is
+// the deterministic smID-order pull of drainMissQueues, and arrival stamps
+// are non-decreasing in that order (network sends serialize), so each ring
+// is the global arrival order restricted to its partition — which is what
+// lets planRoute locate an epoch's due set as a per-ring prefix instead of
+// walking requests one by one.
+func (e *engine) pushReq(arriveAt int64, req reqMsg) {
+	e.respSeq++
+	req.seq = e.respSeq
+	e.partReqs[e.partOf(req.lineAddr)].Push(arriveAt, req)
+	e.reqsLen++
+}
+
+// planRoute is the route phase, run once per epoch after the serial drain:
+// an O(#partitions) prefix-sum over the per-ring due counts. Each partition
+// gets a zero-copy view of its due prefix (every ring entry stamped ≤ end)
+// and a contiguous slot range [slotBase, slotBase+dueN) in the epoch
+// response array; its tick span computes responses into those slots, and
+// mergeEpoch pushes the slots in partition-major order.
+//
+// Partition-major slot order is NOT global arrival order — but it does not
+// need to be. The response heap's pop sequence is a pure function of the
+// response set's (readyAt, seq) keys (see respHeap), and every response
+// carries the global arrival seq its request was stamped with at injection,
+// so the heap replays exactly the serial arrival order no matter how the
+// slots were laid out. What the slot ranges must preserve — and do, by the
+// per-ring prefix property — is each partition's own arrival order, which
+// fixes its L2/DRAM access sequence.
 //
 // Responses computed for an arrival at sub-cycle c are never sendable before
 // c + L2.Latency ≥ c + horizon — past the epoch end — so deferring their
-// heap push to the epoch merge changes nothing (asserted there).
-func (e *engine) routeRequests(c int64) {
-	grew := false
-	for {
-		r, ok := e.reqs.PopDue(c)
-		if !ok {
-			break
-		}
-		p := e.parts[e.partOf(r.lineAddr)]
-		p.pending = append(p.pending, partReq{slot: len(e.routed), sm: r.sm, lineAddr: r.lineAddr, prefetch: r.prefetch, cycle: c})
-		e.routed = append(e.routed, resp{})
-		grew = true
+// heap push to the epoch merge changes nothing (asserted there). Returns the
+// epoch's total due-request count.
+func (e *engine) planRoute(end int64) int {
+	total := 0
+	for i, p := range e.parts {
+		a, b := e.partReqs[i].DueView(end)
+		p.dueA, p.dueB = a, b
+		p.slotBase = total
+		p.dueN = len(a) + len(b)
+		total += p.dueN
 	}
-	if grew {
-		// Re-alias the slot array on every partition: the appends above may
-		// have regrown its backing array since last epoch.
-		for _, p := range e.parts {
-			p.routed = e.routed
-		}
+	if total == 0 {
+		return 0
 	}
+	if cap(e.routed) < total {
+		// Grow geometrically; slots need no zeroing — every one is written by
+		// exactly one partition before the merge reads it.
+		c := 2 * cap(e.routed)
+		if c < total {
+			c = total
+		}
+		e.routed = make([]resp, total, c)
+	}
+	e.routed = e.routed[:total]
+	for _, p := range e.parts {
+		p.routed = e.routed
+	}
+	return total
 }
 
 // drainResponses sends ready memory responses back over the interconnect at
@@ -880,7 +973,7 @@ func (e *engine) drainMissQueues(c int64) {
 			// horizon (the slack audit's interconnect term), so arrival stays
 			// strictly in the future.
 			arriveAt := deliverAt - (e.horizon - 1)
-			e.reqs.Push(arriveAt, req)
+			e.pushReq(arriveAt, req)
 			if d := arriveAt - c; d < e.minReqLat {
 				e.minReqLat = d
 			}
@@ -928,7 +1021,7 @@ func (e *engine) tickWave(start, end int64, clk *phaseClock) {
 	switch {
 	case e.prof != nil:
 		if e.group != nil {
-			e.group.runSpan(start, end, 0, np)
+			e.group.runSpan(e.units, start, end, 0, np)
 		} else {
 			for _, p := range e.parts {
 				p.tickSpan(start, end)
@@ -936,7 +1029,7 @@ func (e *engine) tickWave(start, end int64, clk *phaseClock) {
 		}
 		clk.lap(profiling.PhaseMemPartitions)
 		if e.group != nil {
-			e.group.runSpan(start, end, np, len(e.units))
+			e.group.runSpan(e.units, start, end, np, len(e.units))
 		} else {
 			for _, sh := range e.shards {
 				sh.tickSpan(start, end)
@@ -944,7 +1037,7 @@ func (e *engine) tickWave(start, end int64, clk *phaseClock) {
 		}
 		clk.lap(profiling.PhaseShards)
 	case e.group != nil:
-		e.group.runSpan(start, end, 0, len(e.units))
+		e.group.runSpan(e.units, start, end, 0, len(e.units))
 	default:
 		for _, u := range e.units {
 			u.tickSpan(start, end)
@@ -953,14 +1046,16 @@ func (e *engine) tickWave(start, end int64, clk *phaseClock) {
 }
 
 // mergeEpoch performs the serial merges closing the epoch [start, end]:
-// partition responses are pushed in arrival-slot order (each stamped with a
-// global sequence so heap ordering is independent of push/pop interleaving
-// across epoch shapes), egress store streams are merged in (cycle, smID,
-// seq) order, and CTA finishes are queued for redispatch at +turnaround.
-// Returns whether any shard retired an instruction at the final sub-cycle —
-// the only per-cycle retire bit the idle bookkeeping still needs (earlier
-// sub-cycles all carried in-flight traffic, which resets the counter
-// regardless).
+// partition responses are pushed in partition-major slot order (each already
+// carrying the global arrival seq its request was stamped with at injection,
+// so heap ordering is independent of push order and of epoch shape), the
+// consumed due prefixes are dropped from the partition ingress rings, egress
+// store streams are merged into (cycle, smID, seq) order by a counting
+// scatter (mergeStores), and CTA finishes are queued for redispatch at
+// +turnaround. Returns whether any shard retired an instruction at the final
+// sub-cycle — the only per-cycle retire bit the idle bookkeeping still needs
+// (earlier sub-cycles all carried in-flight traffic, which resets the
+// counter regardless).
 func (e *engine) mergeEpoch(start, end int64) bool {
 	for i := range e.routed {
 		r := e.routed[i]
@@ -969,36 +1064,19 @@ func (e *engine) mergeEpoch(start, end int64) bool {
 			// earlier than arrival + L2.Latency ≥ arrival + horizon > end.
 			e.slackConflict(r.readyAt, end)
 		}
-		e.respSeq++
-		r.seq = e.respSeq
 		e.resps.push(r)
 	}
 	e.routed = e.routed[:0]
-
-	// Store merge: walk sub-cycles outer, shards inner, so the merged queue
-	// is in (cycle, smID, seq) order — exactly the order per-cycle barriers
-	// would have appended. Each shard's stream is already cycle-sorted.
-	for i := range e.storeIdx {
-		e.storeIdx[i] = 0
-	}
-	for c := start; c <= end; c++ {
-		for si, sh := range e.shards {
-			st := sh.out.stores
-			for e.storeIdx[si] < len(st) && st[e.storeIdx[si]].cycle <= c {
-				m := st[e.storeIdx[si]]
-				if m.cycle+e.horizon <= end {
-					// Provably unreachable: stores mature after the full
-					// horizon and epochs never span more than the horizon,
-					// so no store can mature inside its own epoch.
-					e.slackConflict(m.cycle+e.horizon, end)
-				}
-				e.stores = append(e.stores, m)
-				e.storeIdx[si]++
-			}
+	for i, p := range e.parts {
+		if p.dueN > 0 {
+			e.partReqs[i].Drop(p.dueN)
+			e.reqsLen -= p.dueN
+			p.dueN = 0
 		}
 	}
+
+	e.mergeStores(start, end)
 	for _, sh := range e.shards {
-		sh.out.stores = sh.out.stores[:0]
 		sh.mqExpiry = sh.mqExpiry[:0]
 	}
 
@@ -1009,33 +1087,37 @@ func (e *engine) mergeEpoch(start, end int64) bool {
 	// once no running launch holds undispatched CTAs: maturation would only
 	// cap future epochs for a guaranteed no-op fillSMs. Only completions on
 	// the SMs of a launch with remaining CTAs matter — a slot freed on
-	// another launch's SMs can never host them.
+	// another launch's SMs can never host them; OR-ing the eligible
+	// launches' shard bitsets gives exactly the sub-cycles at which one
+	// dispatch event is due (at most one per sub-cycle, as with per-cycle
+	// barriers).
 	if e.moreCTAs() {
-		anyCTA := false
-		for _, sh := range e.shards {
-			if sh.report.cta.anySet() {
-				anyCTA = true
-				break
+		words := int((end-start)>>6) + 1
+		e.ctaOr.reset(words)
+		any := false
+		for li := range e.launches {
+			ln := &e.launches[li]
+			if ln.state != lnRunning || ln.ctaNext >= len(ln.kernel.CTAs) {
+				continue
+			}
+			for _, sh := range ln.shards {
+				if sh.report.cta.orInto(e.ctaOr) {
+					any = true
+				}
 			}
 		}
-		for i := int64(0); anyCTA && i <= end-start; i++ {
-		launches:
-			for li := range e.launches {
-				ln := &e.launches[li]
-				if ln.state != lnRunning || ln.ctaNext >= len(ln.kernel.CTAs) {
-					continue
-				}
-				for _, sh := range ln.shards {
-					if sh.report.cta.test(i) {
-						at := start + i + e.turn
-						if at <= end {
-							// Unreachable: the epoch cutter's exit lookahead
-							// is armed whenever undispatched CTAs remain.
-							e.slackConflict(at, end)
-						}
-						e.dispatchAt = append(e.dispatchAt, at)
-						break launches
+		if any {
+			for w, bitsW := range e.ctaOr {
+				for bitsW != 0 {
+					i := int64(w)<<6 + int64(bits.TrailingZeros64(bitsW))
+					bitsW &= bitsW - 1
+					at := start + i + e.turn
+					if at <= end {
+						// Unreachable: the epoch cutter's exit lookahead
+						// is armed whenever undispatched CTAs remain.
+						e.slackConflict(at, end)
 					}
+					e.dispatchAt = append(e.dispatchAt, at)
 				}
 			}
 		}
@@ -1052,6 +1134,96 @@ func (e *engine) mergeEpoch(start, end int64) bool {
 		}
 	}
 	return false
+}
+
+// scatterParallelMin is the epoch store count below which the parallel
+// scatter is not worth a barrier wave: a few hundred 32-byte copies cost
+// less than waking the crew.
+const scatterParallelMin = 256
+
+// mergeStores merges the epoch's per-shard egress store streams into the
+// global queue in (cycle, smID, seq) order — exactly the order per-cycle
+// barriers would have appended — via a counting scatter instead of a serial
+// (span × shards) walk:
+//
+//	pass 1 (parallel):  each shard counted its stores per sub-cycle into
+//	                    storeCnt during its tick span (shard.tickSpan)
+//	pass 2 (serial):    a cycle-major, shard-minor prefix-sum over the
+//	                    active shards' counts turns each (cycle, shard)
+//	                    count into that group's first destination offset,
+//	                    stored back in place — O(span × active shards)
+//	                    bookkeeping, no per-store work
+//	pass 3 (parallel):  each shard scatters its (cycle-sorted, seq-ordered)
+//	                    stream into its reserved, disjoint offsets
+//	                    (shard.scatterStores), on the crew when the epoch
+//	                    carries enough stores to pay for the wave
+//
+// Store-free epochs — the common case — exit at the active scan without
+// touching anything.
+func (e *engine) mergeStores(start, end int64) {
+	active := e.scatterShards[:0]
+	total := 0
+	for _, sh := range e.shards {
+		if n := len(sh.out.stores); n > 0 {
+			if m := sh.out.stores[0].cycle + e.horizon; m <= end {
+				// Provably unreachable: stores mature after the full horizon
+				// and epochs never span more than the horizon, so no store
+				// can mature inside its own epoch. The stream is
+				// cycle-sorted, so checking its earliest entry covers it.
+				e.slackConflict(m, end)
+			}
+			active = append(active, sh)
+			total += n
+		}
+	}
+	e.scatterShards = active
+	if total == 0 {
+		return
+	}
+	base := len(e.stores)
+	e.stores = growStores(e.stores, base+total)
+	off := int32(0)
+	span := end - start + 1
+	for ci := int64(0); ci < span; ci++ {
+		for _, sh := range active {
+			n := sh.storeCnt[ci]
+			sh.storeCnt[ci] = off
+			off += n
+		}
+	}
+	e.scatterDst = e.stores[base:]
+	e.scatterFrom = start
+	if e.group != nil && len(active) > 1 && total >= scatterParallelMin {
+		e.group.runTasks(e, len(active))
+	} else {
+		for i := range active {
+			e.runTask(i)
+		}
+	}
+	e.scatterDst = nil
+}
+
+// runTask implements taskRunner for the store-merge scatter wave: task i is
+// shard i of the active set, whose destination offsets are disjoint from
+// every other task's by the prefix-sum construction.
+func (e *engine) runTask(i int) {
+	e.scatterShards[i].scatterStores(e.scatterDst, e.scatterFrom)
+}
+
+// growStores extends s to length n, reusing capacity and growing the backing
+// array geometrically — without the temporary slice that
+// append(s, make([]storeMsg, k)...) would allocate on the hot path.
+func growStores(s []storeMsg, n int) []storeMsg {
+	if n <= cap(s) {
+		return s[:n]
+	}
+	c := 2 * cap(s)
+	if c < n {
+		c = n
+	}
+	next := make([]storeMsg, n, c)
+	copy(next, s)
+	return next
 }
 
 // applyDispatches pops matured CTA-redispatch events due at the epoch start
@@ -1074,7 +1246,7 @@ func (e *engine) applyDispatches(start int64) {
 // to the L2 side, responses awaiting bandwidth, and fills not yet consumed
 // by their shard.
 func (e *engine) inFlightMsgs() int {
-	n := e.reqs.Len() + len(e.resps)
+	n := e.reqsLen + len(e.resps)
 	for _, sh := range e.shards {
 		n += sh.pendingFills()
 	}

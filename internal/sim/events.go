@@ -12,14 +12,16 @@ package sim
 // heap.Pop box every element into an interface{}, which made each in-flight
 // response allocate on the hot path.
 //
-// Ordering is the total order (readyAt, seq): seq is a global stamp the
-// engine assigns in deterministic merge order, so the pop sequence — ties
-// included — is a pure function of the response set, independent of how heap
-// pushes interleave with pops. That independence is what lets bounded-slack
-// epochs defer a whole epoch's pushes to one merge without perturbing any
-// downstream statistic (see DESIGN.md "Bounded-slack ticking"). Responses
-// pushed with seq 0 (white-box tests) tie-break exactly like the strict-less
-// heap the seed engine used.
+// Ordering is the total order (readyAt, seq): seq is the global arrival rank
+// the engine stamps on each request at injection (deterministic smID-order
+// pull) and the response inherits, so the pop sequence — ties included — is
+// a pure function of the response set, independent of how heap pushes
+// interleave with pops. That independence is what lets bounded-slack epochs
+// defer a whole epoch's pushes to one merge, and lets that merge push slots
+// in partition-major rather than global arrival order, without perturbing
+// any downstream statistic (see DESIGN.md "Bounded-slack ticking" and
+// "Deterministic parallel routing"). Responses pushed with seq 0 (white-box
+// tests) tie-break exactly like the strict-less heap the seed engine used.
 type resp struct {
 	readyAt  int64
 	seq      int64

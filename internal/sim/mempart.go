@@ -4,22 +4,9 @@ import (
 	"snake/internal/cache"
 	"snake/internal/config"
 	"snake/internal/dram"
+	"snake/internal/icnt"
 	"snake/internal/stats"
 )
-
-// partReq is one fill request routed to a partition, tagged with its arrival
-// sub-cycle. slot is the request's index in the engine's per-epoch response
-// array, assigned in global arrival order during the serial routing phase;
-// the partition writes its computed response into that slot, and the merge
-// phase pushes slots in order, reproducing the serial engine's heap push
-// order exactly.
-type partReq struct {
-	slot     int
-	sm       int
-	lineAddr uint64
-	prefetch bool
-	cycle    int64
-}
 
 // partFill is one shipped-response completion, tagged with the sub-cycle its
 // response left the partition (when the L2 install becomes visible).
@@ -33,12 +20,15 @@ type partFill struct {
 // partition so DRAM sees each line once.
 //
 // A partition is a schedulable work unit on the engine's cycle barrier, peer
-// to the SM shards: the serial routing phase bins the cycle's due requests
-// into pending (and the lines whose responses shipped into completes), and
-// tick — possibly concurrent with other partitions and with shard ticks —
-// performs the L2 lookups, in-flight merges and DRAM timing. Partitions are
-// data-disjoint by the engine's line-address hash (partOf): no line ever
-// reaches two partitions, so ticks share no state and need no locks.
+// to the SM shards: requests are binned to the partition at injection time
+// (the engine pushes them onto the partition's ingress ring, stamped with
+// their arrival cycle and global arrival seq), the O(#partitions) route
+// prefix-sum hands each partition a zero-copy due view plus a contiguous
+// slot range, and tick — possibly concurrent with other partitions and with
+// shard ticks — performs the L2 lookups, in-flight merges and DRAM timing,
+// scattering responses into its reserved slots. Partitions are data-disjoint
+// by the engine's line-address hash (partOf): no line ever reaches two
+// partitions, so ticks share no state and need no locks.
 type memPartition struct {
 	id       int
 	l2       *cache.Cache
@@ -51,12 +41,19 @@ type memPartition struct {
 	// merge-order invariant, see that package's property tests).
 	ms *stats.Mem
 
-	// Per-epoch work bins, filled by the engine's serial phase (sub-cycle
-	// tags non-decreasing) and consumed (and truncated) by tickSpan.
-	pending   []partReq  // requests that arrived this epoch, arrival order
-	completes []partFill // lines whose responses shipped this epoch
+	// Per-epoch work, set by the engine (sub-cycle tags non-decreasing) and
+	// consumed by tickSpan. dueA/dueB are this epoch's due requests — a
+	// zero-copy view of the partition's ingress ring (two windows because the
+	// ring wraps at most once), assigned by planRoute together with slotBase,
+	// the first index of this partition's contiguous range in routed. dueN
+	// persists past tickSpan: mergeEpoch uses it to Drop the consumed ring
+	// prefix.
+	dueA, dueB []icnt.Stamped[reqMsg]
+	slotBase   int
+	dueN       int
+	completes  []partFill // lines whose responses shipped this epoch
 	// routed aliases the engine's per-epoch response slot array; tickSpan
-	// writes each pending request's response at its pre-assigned slot.
+	// writes each due request's response at slotBase + its due-view index.
 	routed []resp
 
 	// minRespLat is the smallest (readyAt - arrival) latency this partition
@@ -89,22 +86,34 @@ func newMemPartition(id int, cfg config.GPU, ms *stats.Mem) *memPartition {
 // Deferring the completions from the serial response phase to here is
 // invisible: nothing between the two points reads L2 state, and a
 // sub-cycle's accesses cannot observe its completions in either schedule.
-// Bins are tagged with non-decreasing sub-cycles, so two index walks suffice.
+// Both the due view and completes are tagged with non-decreasing sub-cycles,
+// so two index walks suffice. Each response is written at slotBase + its
+// due-view index and inherits the request's global arrival seq, so any
+// partition-major merge replays in exact serial order (see planRoute).
 func (m *memPartition) tickSpan(from, to int64) {
-	pi, ci := 0, 0
+	di, ci := 0, 0
+	a, na, n := m.dueA, len(m.dueA), m.dueN
 	for c := from; c <= to; c++ {
-		for pi < len(m.pending) && m.pending[pi].cycle <= c {
-			r := &m.pending[pi]
-			readyAt := m.access(r.lineAddr, c)
-			m.routed[r.slot] = resp{readyAt: readyAt, sm: r.sm, lineAddr: r.lineAddr, part: m.id, prefetch: r.prefetch}
-			pi++
+		for di < n {
+			var e *icnt.Stamped[reqMsg]
+			if di < na {
+				e = &a[di]
+			} else {
+				e = &m.dueB[di-na]
+			}
+			if e.Cycle > c {
+				break
+			}
+			readyAt := m.access(e.Msg.lineAddr, c)
+			m.routed[m.slotBase+di] = resp{readyAt: readyAt, seq: e.Msg.seq, sm: e.Msg.sm, lineAddr: e.Msg.lineAddr, part: m.id, prefetch: e.Msg.prefetch}
+			di++
 		}
 		for ci < len(m.completes) && m.completes[ci].cycle <= c {
 			m.completeFill(m.completes[ci].lineAddr, c)
 			ci++
 		}
 	}
-	m.pending = m.pending[:0]
+	m.dueA, m.dueB = nil, nil
 	m.completes = m.completes[:0]
 }
 
@@ -116,7 +125,7 @@ func (m *memPartition) tick(cycle int64) { m.tickSpan(cycle, cycle) }
 // next cycle. (Bins are drained by tick every executed cycle, so this is
 // vacuously false at the fast-forward decision point.)
 func (m *memPartition) busy() bool {
-	return len(m.pending) > 0 || len(m.completes) > 0
+	return m.dueN > 0 || len(m.completes) > 0
 }
 
 // reset clears the partition for a new run on a recycled engine: the L2 is
@@ -127,7 +136,8 @@ func (m *memPartition) reset() {
 	m.l2.InvalidateAll()
 	m.dramCtl.Reset()
 	clear(m.inflight)
-	m.pending = m.pending[:0]
+	m.dueA, m.dueB = nil, nil
+	m.slotBase, m.dueN = 0, 0
 	m.completes = m.completes[:0]
 	m.routed = nil
 	m.minRespLat = int64(1)<<62 - 1

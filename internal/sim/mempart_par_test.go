@@ -29,26 +29,36 @@ func TestMemPartitionCountsL2Outcomes(t *testing.T) {
 }
 
 // TestRouteAndTickMergesAcrossSMs drives the routed path white-box: two SMs
-// requesting the same line in the same cycle are binned onto one partition
-// with consecutive slots, the partition's tick computes one miss plus one
-// merge (both responses ready at the same data cycle), and mergeResponses
-// publishes the slots onto the response heap in arrival order.
+// requesting the same line in the same cycle are binned onto one partition's
+// ingress ring at injection (pushReq, consecutive global arrival seqs),
+// planRoute hands the partition a due view with consecutive slots, the
+// partition's tick computes one miss plus one merge (both responses ready at
+// the same data cycle), and mergeEpoch publishes the slots onto the response
+// heap and drops the consumed ring prefix.
 func TestRouteAndTickMergesAcrossSMs(t *testing.T) {
 	k := workloads.StreamMicro(workloads.Tiny(), 256)
 	e := newEngine(k, Options{Config: parCfg()}.withDefaults())
 
 	line := uint64(0x10000)
-	e.reqs.Push(10, reqMsg{sm: 0, lineAddr: line})
-	e.reqs.Push(10, reqMsg{sm: 1, lineAddr: line})
+	e.pushReq(10, reqMsg{sm: 0, lineAddr: line})
+	e.pushReq(10, reqMsg{sm: 1, lineAddr: line})
 	e.cycle = 10
-	e.routeRequests(10)
+	if n := e.planRoute(10); n != 2 {
+		t.Fatalf("planRoute found %d due requests, want 2", n)
+	}
 
 	p := e.parts[e.partOf(line)]
-	if len(e.routed) != 2 || len(p.pending) != 2 {
-		t.Fatalf("routed %d slots, partition binned %d, want 2/2", len(e.routed), len(p.pending))
+	if len(e.routed) != 2 || p.dueN != 2 {
+		t.Fatalf("routed %d slots, partition due %d, want 2/2", len(e.routed), p.dueN)
 	}
-	if p.pending[0].slot != 0 || p.pending[1].slot != 1 {
-		t.Fatalf("slots = %d,%d, want arrival order 0,1", p.pending[0].slot, p.pending[1].slot)
+	if p.slotBase != 0 {
+		t.Fatalf("slotBase = %d, want 0: the only active partition owns the whole range", p.slotBase)
+	}
+	if got := len(p.dueA) + len(p.dueB); got != 2 {
+		t.Fatalf("due view holds %d entries, want 2", got)
+	}
+	if p.dueA[0].Msg.seq >= p.dueA[1].Msg.seq {
+		t.Fatalf("arrival seqs %d,%d not increasing in injection order", p.dueA[0].Msg.seq, p.dueA[1].Msg.seq)
 	}
 	p.tick(10)
 	if p.ms.L2Misses != 1 || p.ms.L2Merges != 1 {
@@ -58,12 +68,18 @@ func TestRouteAndTickMergesAcrossSMs(t *testing.T) {
 	if r0.sm != 0 || r1.sm != 1 {
 		t.Errorf("slot SMs = %d,%d, want 0,1", r0.sm, r1.sm)
 	}
+	if r0.seq >= r1.seq {
+		t.Errorf("slot seqs = %d,%d: responses must inherit increasing arrival seqs", r0.seq, r1.seq)
+	}
 	if r0.readyAt != r1.readyAt {
 		t.Errorf("merged request ready at %d, fetch at %d: must share the in-flight data cycle", r1.readyAt, r0.readyAt)
 	}
 	e.mergeEpoch(10, 10)
 	if len(e.resps) != 2 || len(e.routed) != 0 {
 		t.Errorf("after merge: %d heap entries, %d routed slots, want 2 and 0", len(e.resps), len(e.routed))
+	}
+	if e.reqsLen != 0 || e.partReqs[p.id].Len() != 0 {
+		t.Errorf("after merge: reqsLen=%d ringLen=%d, want 0/0: the due prefix must be dropped", e.reqsLen, e.partReqs[p.id].Len())
 	}
 	if p.busy() {
 		t.Error("partition still busy after tick: bins must drain every cycle")

@@ -13,16 +13,31 @@ type workUnit interface {
 	tickSpan(from, to int64)
 }
 
-// shardGroup runs work-unit tick spans (memory partitions and SM shards)
-// across a bounded set of persistent workers, one slack epoch at a time, with
+// taskRunner is the group's generic wave payload for non-span work (the
+// epoch store scatter): runTask(i) must touch only state owned by task i, so
+// any assignment of tasks to workers computes the same state.
+type taskRunner interface {
+	runTask(i int)
+}
+
+// shardGroup is a persistent crew of barrier workers that runs work waves —
+// work-unit tick spans or generic task sets — one slack epoch at a time, with
 // a barrier on each side of the parallel phase. The calling (engine)
-// goroutine is participant 0 and ticks its own stripe, so Parallelism=N uses
+// goroutine is participant 0 and runs its own stripe, so Parallelism=N uses
 // N-1 extra goroutines.
 //
+// The crew is unit-agnostic and long-lived: the wave payload (units or tasks)
+// is published per wave and cleared after the closing barrier, so a parked
+// crew references nothing but itself. That is what lets one crew outlive
+// engine Reset/reinit cycles and pool recycling — workers are created once
+// per engine (per Parallelism value), parked between runs, and reclaimed by
+// engine.closeCrew (explicitly via Engine.Close, or by the engine finalizer
+// when a pooled engine is discarded).
+//
 // Determinism does not depend on the group at all: units are data-disjoint
-// during tick spans (see workUnit), so any interleaving computes the same
-// state. The group only has to provide the two happens-before edges of the
-// epoch:
+// during tick spans (see workUnit) and tasks are data-disjoint by the
+// taskRunner contract, so any interleaving computes the same state. The group
+// only has to provide the two happens-before edges of the epoch:
 //
 //	engine's serial writes → release (epoch increment, atomic) → worker spans
 //	worker spans → arrive (counter increment, atomic) → engine's serial reads
@@ -40,14 +55,18 @@ type workUnit interface {
 // before the broadcast under the same mutex the waiter re-checks under, so
 // no wakeup can be lost.
 type shardGroup struct {
-	units []workUnit
-	n     int // participants, including the engine goroutine
+	n int // participants, including the engine goroutine
 
-	// from, to, lo, hi and quit are plain fields: they are written by the
-	// engine before the epoch release and read by workers after observing it.
+	// Wave payload: exactly one of units/tasks is non-nil during a wave.
+	// They are plain fields — written by the engine before the epoch release
+	// and read by workers after observing it — and cleared after the closing
+	// barrier so a parked crew holds no reference into any engine.
+	units    []workUnit
+	tasks    taskRunner
 	from, to int64
-	lo, hi   int // unit span for the current wave
+	lo, hi   int // unit/task span for the current wave
 	quit     bool
+	stopped  bool // stop already ran (close paths are idempotent)
 
 	epoch   atomic.Uint64
 	arrived atomic.Int64
@@ -59,11 +78,11 @@ type shardGroup struct {
 	joinWait bool       // engine currently parked on done
 }
 
-// startShardGroup launches n-1 workers over the units. n must be ≥ 2; a
+// startShardGroup launches a parked crew of n-1 workers. n must be ≥ 2; a
 // wave whose span is narrower than n leaves the surplus workers idling at
 // that wave's barrier.
-func startShardGroup(units []workUnit, n int) *shardGroup {
-	g := &shardGroup{units: units, n: n}
+func startShardGroup(n int) *shardGroup {
+	g := &shardGroup{n: n}
 	g.wake = sync.NewCond(&g.mu)
 	g.done = sync.NewCond(&g.mu)
 	for w := 1; w < n; w++ {
@@ -74,17 +93,37 @@ func startShardGroup(units []workUnit, n int) *shardGroup {
 
 // runSpan ticks units [lo, hi) for the epoch [from, to] as one barrier wave
 // and returns after all of them finished.
-func (g *shardGroup) runSpan(from, to int64, lo, hi int) {
+func (g *shardGroup) runSpan(units []workUnit, from, to int64, lo, hi int) {
+	g.units, g.tasks = units, nil
 	g.from, g.to, g.lo, g.hi = from, to, lo, hi
 	g.release()
 	for i := lo; i < hi; i += g.n {
-		g.units[i].tickSpan(from, to)
+		units[i].tickSpan(from, to)
 	}
 	g.join()
+	g.units = nil
 }
 
-// stop terminates the workers and waits for them to exit.
+// runTasks runs tasks [0, n) of t as one barrier wave and returns after all
+// of them finished.
+func (g *shardGroup) runTasks(t taskRunner, n int) {
+	g.units, g.tasks = nil, t
+	g.lo, g.hi = 0, n
+	g.release()
+	for i := 0; i < n; i += g.n {
+		t.runTask(i)
+	}
+	g.join()
+	g.tasks = nil
+}
+
+// stop terminates the workers and waits for them to exit. Idempotent: close
+// paths (explicit Close, run-error teardown, engine finalizer) may overlap.
 func (g *shardGroup) stop() {
+	if g.stopped {
+		return
+	}
+	g.stopped = true
 	g.quit = true
 	g.release()
 	g.join()
@@ -124,7 +163,7 @@ func (g *shardGroup) join() {
 	g.arrived.Store(0)
 }
 
-// worker ticks the stripe of each wave's span with offset ≡ w (mod n).
+// worker runs the stripe of each wave's span with offset ≡ w (mod n).
 func (g *shardGroup) worker(w int) {
 	for epoch := uint64(1); ; epoch++ {
 		g.awaitEpoch(epoch)
@@ -132,9 +171,16 @@ func (g *shardGroup) worker(w int) {
 			g.arrive()
 			return
 		}
-		from, to := g.from, g.to
-		for i := g.lo + w; i < g.hi; i += g.n {
-			g.units[i].tickSpan(from, to)
+		if t := g.tasks; t != nil {
+			for i := g.lo + w; i < g.hi; i += g.n {
+				t.runTask(i)
+			}
+		} else {
+			from, to := g.from, g.to
+			units := g.units
+			for i := g.lo + w; i < g.hi; i += g.n {
+				units[i].tickSpan(from, to)
+			}
 		}
 		g.arrive()
 	}

@@ -29,9 +29,16 @@ type fillMsg struct {
 }
 
 // reqMsg is a fill request in flight toward the L2 side. Its ingress stamp
-// carries the arrival cycle at the partition crossbar.
+// carries the arrival cycle at the partition crossbar; seq is the request's
+// global arrival rank, assigned by the engine at injection time (strictly
+// increasing across all partitions). The computed response inherits seq, so
+// the epoch merge can push responses in any partition-major order and the
+// response heap still replays them in exact serial arrival order — which is
+// what lets routing bin requests per partition at injection instead of in a
+// serial per-epoch walk.
 type reqMsg struct {
 	sm       int
+	seq      int64
 	lineAddr uint64
 	prefetch bool
 }

@@ -32,6 +32,18 @@ type Engine struct {
 // everything, exactly as the package-level Run does.
 func NewEngine() *Engine { return &Engine{} }
 
+// Close releases the engine's persistent barrier crew — the parked worker
+// goroutines its parallel runs reuse across Reset and pool recycling. Safe
+// on engines that never ran in parallel and safe to call repeatedly; the
+// Engine stays usable, the next parallel run simply starts a fresh crew.
+// Engines dropped without Close are covered by a finalizer backstop, but
+// long-lived holders (pools, services) should Close deterministically.
+func (en *Engine) Close() {
+	if en.e != nil {
+		en.e.closeCrew()
+	}
+}
+
 // Run simulates the kernel, recycling the engine's arenas when the config
 // matches the previous run. Prefetchers are always constructed fresh from
 // opt.NewPrefetcher; use RunTagged to recycle prefetcher instances too.
@@ -54,6 +66,9 @@ func (en *Engine) RunTagged(k *trace.Kernel, opt Options, tag string) (*Result, 
 	if en.e != nil && en.e.cfg == opt.Config {
 		en.e.reinit(k, opt, tag != "" && tag == en.tag)
 	} else {
+		if en.e != nil {
+			en.e.closeCrew() // don't leave the replaced engine's crew to the finalizer
+		}
 		en.e = newEngine(k, opt)
 	}
 	en.tag = tag
@@ -86,6 +101,9 @@ func (en *Engine) RunAppTagged(a *trace.App, opt Options, tag string) (*AppResul
 	if en.e != nil && en.e.cfg == opt.Config {
 		en.e.reinitApp(a, opt, tag != "" && tag == en.tag)
 	} else {
+		if en.e != nil {
+			en.e.closeCrew()
+		}
 		en.e = newEngineApp(a, opt)
 	}
 	en.tag = tag
@@ -116,7 +134,10 @@ func (e *engine) reinitApp(a *trace.App, opt Options, reusePf bool) {
 	for _, p := range e.parts {
 		p.reset()
 	}
-	e.reqs.Reset()
+	for i := range e.partReqs {
+		e.partReqs[i].Reset()
+	}
+	e.reqsLen = 0
 	e.resps = e.resps[:0]
 	e.stores = e.stores[:0]
 	e.routed = e.routed[:0]

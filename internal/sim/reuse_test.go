@@ -136,31 +136,49 @@ func TestEngineReuseUntaggedRebuildsPrefetchers(t *testing.T) {
 // TestRepeatedRunAllocs is the steady-state claim behind the engine pool:
 // once warm, re-running a kernel on a recycled Engine performs near-zero heap
 // allocations — the arenas (warp contexts, cache line index, MSHR files, port
-// rings, stats shards) are all reused in place. The bound leaves headroom for
-// the Result copy and the prefetcher's small per-run maps; a fresh engine
-// costs hundreds of allocations per run (see BENCH_sim.json).
+// rings, stats shards, route views, scatter scratch) are all reused in place,
+// and in parallel mode the barrier crew is a parked persistent group, not a
+// per-run goroutine spawn. The bound leaves headroom for the Result copy and
+// the prefetcher's small per-run maps; a fresh engine costs hundreds of
+// allocations per run (see BENCH_sim.json).
+//
+// The par4 measurement pins the allocation-flat-parallel-mode claim: a warm
+// pooled run must cost the same whether it ticks serially or on a
+// ForceParallelism=4 crew (the multi-worker barrier, the epoch bitsets, the
+// due views and the scatter none of them allocate per run).
 func TestRepeatedRunAllocs(t *testing.T) {
 	k, err := workloads.Build("lps", workloads.Tiny())
 	if err != nil {
 		t.Fatal(err)
 	}
-	en := NewEngine()
-	opt := Options{Config: parCfg(), NewPrefetcher: func(int) prefetch.Prefetcher { return core.NewSnake() }}
-	run := func() {
-		if _, err := en.RunTagged(k, opt, "snake"); err != nil {
-			t.Fatal(err)
+	measure := func(opt Options) float64 {
+		en := NewEngine()
+		defer en.Close()
+		run := func() {
+			if _, err := en.RunTagged(k, opt, "snake"); err != nil {
+				t.Fatal(err)
+			}
 		}
+		run() // warm: first run constructs everything, including the crew
+		return testing.AllocsPerRun(20, run)
 	}
-	run() // warm: first run constructs everything
-	allocs := testing.AllocsPerRun(20, run)
-	t.Logf("steady-state allocs/run = %.1f", allocs)
+	pf := func(int) prefetch.Prefetcher { return core.NewSnake() }
+	serial := measure(Options{Config: parCfg(), NewPrefetcher: pf})
+	par := measure(Options{Config: parCfg(), NewPrefetcher: pf, Parallelism: 4, ForceParallelism: true})
+	t.Logf("steady-state allocs/run: serial=%.1f par4=%.1f", serial, par)
 	if raceEnabled {
-		// The race detector allocates for its own bookkeeping; the loop above
-		// still provides race coverage of the reuse path.
+		// The race detector allocates for its own bookkeeping; the loops above
+		// still provide race coverage of the reuse and crew-reuse paths.
 		return
 	}
 	const bound = 64
-	if allocs > bound {
-		t.Errorf("steady-state reuse allocates %.1f/run, want <= %d", allocs, bound)
+	if serial > bound {
+		t.Errorf("steady-state serial reuse allocates %.1f/run, want <= %d", serial, bound)
+	}
+	if par > bound {
+		t.Errorf("steady-state par4 reuse allocates %.1f/run, want <= %d", par, bound)
+	}
+	if par > serial*1.2+4 {
+		t.Errorf("par4-pooled allocates %.1f/run vs serial %.1f: parallel mode must stay allocation-flat (<= 1.2x + 4)", par, serial)
 	}
 }

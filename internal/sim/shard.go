@@ -47,6 +47,14 @@ type shard struct {
 	// merged by the engine at the epoch barrier in (cycle, smID, seq) order.
 	out egress
 
+	// storeCnt is the counting-scatter scratch for the epoch store merge:
+	// tickSpan counts this shard's staged stores per sub-cycle (pass 1, in
+	// parallel), the engine's prefix-sum rewrites the counts into destination
+	// offsets in place (pass 2), and scatterStores consumes them (pass 3).
+	// Only meaningful for epochs in which the shard staged stores; recycled
+	// across epochs and runs.
+	storeCnt []int32
+
 	// report is tickSpan's summary for the epoch merge: bit i of a set is
 	// sub-cycle from+i.
 	report tickReport
@@ -164,6 +172,39 @@ func (sh *shard) tickSpan(from, to int64) {
 	s.l1.SetMissQueueClock(to, 0)
 	sh.inbox = sh.inbox[:0]
 	sh.inboxStamp = sh.inboxStamp[:0]
+	if len(sh.out.stores) > 0 {
+		// Pass 1 of the epoch store merge (engine.mergeStores): count this
+		// shard's stores per sub-cycle, here in the parallel phase so the
+		// serial merge only prefix-sums per-unit counts. The stream is
+		// cycle-sorted (sub-cycles run forward), so indices are in range.
+		span := int(to-from) + 1
+		if cap(sh.storeCnt) < span {
+			sh.storeCnt = make([]int32, span)
+		} else {
+			sh.storeCnt = sh.storeCnt[:span]
+			clear(sh.storeCnt)
+		}
+		for i := range sh.out.stores {
+			sh.storeCnt[sh.out.stores[i].cycle-from]++
+		}
+	}
+}
+
+// scatterStores is pass 3 of the epoch store merge: write this shard's
+// staged stores into their reserved slots of dst (the engine's merge window)
+// and clear the egress. storeCnt holds the destination offset for each
+// sub-cycle's group after the engine's prefix-sum; consecutive stores of one
+// sub-cycle land at consecutive offsets, preserving seq order within the
+// group. Offsets of different shards are disjoint by construction, so
+// scatters may run concurrently.
+func (sh *shard) scatterStores(dst []storeMsg, from int64) {
+	for i := range sh.out.stores {
+		m := &sh.out.stores[i]
+		c := m.cycle - from
+		dst[sh.storeCnt[c]] = *m
+		sh.storeCnt[c]++
+	}
+	sh.out.stores = sh.out.stores[:0]
 }
 
 // --- request port (serial phase only) -----------------------------------

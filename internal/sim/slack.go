@@ -263,6 +263,20 @@ func (b epochBits) anySet() bool {
 	return false
 }
 
+// orInto ORs b's marked sub-cycles into dst (sized to the same span) and
+// reports whether b had any marked at all — the merge phase's accumulator
+// for CTA-completion bits across a launch's shards.
+func (b epochBits) orInto(dst epochBits) bool {
+	any := false
+	for i, w := range b {
+		if w != 0 {
+			dst[i] |= w
+			any = true
+		}
+	}
+	return any
+}
+
 // lastSet returns the highest marked sub-cycle offset (-1: none).
 func (b epochBits) lastSet() int64 {
 	for w := len(b) - 1; w >= 0; w-- {
